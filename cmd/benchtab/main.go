@@ -1,0 +1,54 @@
+// Command benchtab regenerates the paper's tables and figures on the
+// emulated substrate. Each experiment prints the same rows or series the
+// paper reports; EXPERIMENTS.md records the paper-vs-measured comparison.
+//
+// Usage:
+//
+//	benchtab -list
+//	benchtab -exp fig2 [-seed 42]
+//	benchtab -all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"centralium/internal/experiments"
+)
+
+func main() {
+	var (
+		exp  = flag.String("exp", "", "experiment ID to run (see -list)")
+		all  = flag.Bool("all", false, "run every experiment")
+		list = flag.Bool("list", false, "list experiments")
+		seed = flag.Int64("seed", 42, "emulation seed")
+	)
+	flag.Parse()
+
+	switch {
+	case *list:
+		for _, e := range experiments.All() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+	case *all:
+		for _, e := range experiments.All() {
+			out, err := experiments.Run(e.ID, *seed)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Println(out)
+		}
+	case *exp != "":
+		out, err := experiments.Run(*exp, *seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,133 @@
+// Command fabsim builds an emulated data center fabric, converges BGP on
+// it, and reports routing and traffic state — a one-shot fabric simulator
+// for exploring the substrate underneath Centralium.
+//
+// Usage:
+//
+//	fabsim -pods 2 -planes 4 -grids 2 -seed 42 [-verbose]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"centralium/internal/fabric"
+	"centralium/internal/migrate"
+	"centralium/internal/topo"
+	"centralium/internal/traffic"
+	"centralium/internal/workload"
+)
+
+func main() {
+	var (
+		pods    = flag.Int("pods", 2, "fabric pods")
+		rsws    = flag.Int("rsws", 4, "RSWs per pod")
+		planes  = flag.Int("planes", 4, "spine planes (= FSWs per pod)")
+		ssws    = flag.Int("ssws", 2, "SSWs per plane")
+		grids   = flag.Int("grids", 2, "FA grids")
+		fadus   = flag.Int("fadus", 2, "FADUs per grid")
+		fauus   = flag.Int("fauus", 2, "FAUUs per grid")
+		ebs     = flag.Int("ebs", 2, "backbone devices")
+		seed    = flag.Int64("seed", 42, "emulation seed")
+		verbose = flag.Bool("verbose", false, "print per-device forwarding state")
+		save    = flag.String("save", "", "write the topology as JSON and exit")
+		load    = flag.String("load", "", "load the topology from a JSON file instead of building")
+		rackPfx = flag.Bool("rack-prefixes", false, "originate one /24 per rack and run east-west traffic")
+	)
+	flag.Parse()
+
+	var tp *topo.Topology
+	if *load != "" {
+		data, err := os.ReadFile(*load)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fabsim: %v\n", err)
+			os.Exit(1)
+		}
+		tp, err = topo.ImportJSON(data)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fabsim: %v\n", err)
+			os.Exit(1)
+		}
+	} else {
+		tp = topo.BuildFabric(topo.FabricParams{
+			Pods: *pods, RSWsPerPod: *rsws, FSWsPerPod: *planes, Planes: *planes,
+			SSWsPerPlane: *ssws, Grids: *grids, FADUsPerGrid: *fadus,
+			FAUUsPerGrid: *fauus, EBs: *ebs,
+		})
+	}
+	if err := tp.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "fabsim: invalid topology: %v\n", err)
+		os.Exit(1)
+	}
+	if *save != "" {
+		data, err := tp.ExportJSON()
+		if err == nil {
+			err = os.WriteFile(*save, data, 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fabsim: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d devices, %d links)\n", *save, tp.NumDevices(), tp.NumLinks())
+		return
+	}
+	fmt.Printf("topology: %d devices, %d links\n", tp.NumDevices(), tp.NumLinks())
+	for _, l := range tp.Layers() {
+		fmt.Printf("  %-5s x %d\n", l, len(tp.ByLayer(l)))
+	}
+
+	n := fabric.New(tp, fabric.Options{Seed: *seed})
+	for _, eb := range tp.ByLayer(topo.LayerEB) {
+		n.OriginateAt(eb.ID, migrate.DefaultRoute, []string{migrate.BackboneCommunity}, 0)
+	}
+	events := n.Converge()
+	fmt.Printf("\nconverged after %d events (virtual time %.1f ms)\n", events, float64(n.Now())/1e6)
+
+	// Routing summary: updates processed fleet-wide.
+	var updates, withdrawals int
+	for _, d := range tp.Devices() {
+		st := n.Speaker(d.ID).Stats()
+		updates += st.UpdatesReceived
+		withdrawals += st.WithdrawalsSent
+	}
+	fmt.Printf("fleet: %d updates received, %d withdrawals sent\n", updates, withdrawals)
+
+	// Northbound traffic check: every RSW sends toward the default route.
+	pr := &traffic.Propagator{Net: n}
+	res := pr.Run(traffic.UniformDemands(tp.ByLayer(topo.LayerRSW), migrate.DefaultRoute, 100))
+	fmt.Printf("\ntraffic: injected %.0f, delivered %.1f%%, blackholed %.1f%%, max link util %.3f\n",
+		res.Injected, res.DeliveredFraction()*100, res.BlackholedFraction()*100, res.MaxUtilization(tp))
+
+	if *rackPfx {
+		prefixes := workload.SeedRackPrefixes(n)
+		more := n.Converge()
+		rep := workload.CheckAnyToAny(n, workload.EastWestDemands(n, prefixes, 10, 8, *seed))
+		fmt.Printf("\nrack prefixes: %d originated (%d more events)\n", len(prefixes), more)
+		fmt.Printf("east-west: %d flows, delivered %.1f%%, blackholed %.1f%%, max util %.3f\n",
+			rep.Flows, rep.Delivered*100, rep.Blackholed*100, rep.MaxLinkUtil)
+	}
+
+	if *verbose {
+		fmt.Println("\nper-device default-route next hops:")
+		devs := tp.Devices()
+		sort.Slice(devs, func(i, j int) bool { return devs[i].ID < devs[j].ID })
+		for _, d := range devs {
+			nh := n.NextHopWeights(d.ID, migrate.DefaultRoute)
+			if len(nh) == 0 {
+				continue
+			}
+			fmt.Printf("  %-14s ->", d.ID)
+			var peers []string
+			for peer, w := range nh {
+				peers = append(peers, fmt.Sprintf(" %s(w%d)", peer, w))
+			}
+			sort.Strings(peers)
+			for _, p := range peers {
+				fmt.Print(p)
+			}
+			fmt.Println()
+		}
+	}
+}

@@ -1,0 +1,78 @@
+// Command migrate executes one of the paper's migration scenarios on the
+// emulated fabric, with or without RPA protection, and prints the measured
+// funneling / loss / next-hop-group metrics.
+//
+// Usage:
+//
+//	migrate -scenario 1 -rpa -seed 42
+//	migrate -scenario 3 -prefixes 512
+//	migrate -plan          # print all Table 3 step plans
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"centralium/internal/migrate"
+	"centralium/internal/topo"
+)
+
+func main() {
+	var (
+		scenario = flag.Int("scenario", 1, "scenario to run: 1 (first router), 2 (last router), 3 (NHG explosion)")
+		useRPA   = flag.Bool("rpa", false, "protect the migration with RPAs")
+		seed     = flag.Int64("seed", 42, "emulation seed")
+		prefixes = flag.Int("prefixes", 256, "prefixes for scenario 3")
+		plan     = flag.Bool("plan", false, "print the migration step plans instead of running")
+	)
+	flag.Parse()
+
+	if *plan {
+		printPlans()
+		return
+	}
+
+	switch *scenario {
+	case 1:
+		r := migrate.RunScenario1(migrate.Scenario1Params{Seed: *seed, UseRPA: *useRPA})
+		fmt.Printf("scenario 1 (topology expansion), rpa=%v\n", *useRPA)
+		fmt.Printf("  peak aggregation-device share: %.3f (fair %.3f)\n", r.PeakShare, r.FairShare)
+		fmt.Printf("  final share after convergence: %.3f\n", r.FinalShare)
+		fmt.Printf("  events: %d\n", r.Events)
+	case 2:
+		r := migrate.RunScenario2(migrate.Scenario2Params{Seed: *seed, UseRPA: *useRPA, KeepFibWarm: *useRPA})
+		fmt.Printf("scenario 2 (decommission), rpa=%v\n", *useRPA)
+		fmt.Printf("  peak FADU share: %.3f (fair %.3f)\n", r.PeakFADUShare, r.FairShare)
+		fmt.Printf("  peak blackholed fraction: %.3f\n", r.PeakBlackholed)
+		fmt.Printf("  events: %d\n", r.Events)
+	case 3:
+		r := migrate.RunScenario3(migrate.Scenario3Params{Seed: *seed, UseRPA: *useRPA, Prefixes: *prefixes})
+		fmt.Printf("scenario 3 (WCMP convergence), rpa=%v\n", *useRPA)
+		fmt.Printf("  peak next-hop groups on DU: %d (steady %d)\n", r.PeakNHG, r.SteadyNHG)
+		fmt.Printf("  hardware overflows: %d, group churn: %d\n", r.Overflows, r.GroupChurn)
+		fmt.Printf("  events: %d\n", r.Events)
+	default:
+		fmt.Fprintf(os.Stderr, "migrate: unknown scenario %d\n", *scenario)
+		os.Exit(2)
+	}
+}
+
+func printPlans() {
+	tp := topo.BuildFabric(topo.FabricParams{})
+	for _, c := range migrate.Categories() {
+		fmt.Printf("%s %s\n", c.Label(), c)
+		for _, withRPA := range []bool{false, true} {
+			p := migrate.PlanFor(c, withRPA)
+			mode := "without RPA"
+			if withRPA {
+				mode = "with RPA   "
+			}
+			fmt.Printf("  %s: %d steps, %.1f days\n", mode, p.NumSteps(), p.Days())
+			for i, s := range p.Steps {
+				fmt.Printf("    %d. %s\n", i+1, s.Name)
+			}
+		}
+		fmt.Printf("  generated RPA: %d LOC\n\n", migrate.RPAIntentFor(c, tp).TotalLOC())
+	}
+}

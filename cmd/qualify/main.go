@@ -1,0 +1,145 @@
+// Command qualify runs pre-deployment qualification suites (the paper's
+// §7.1 emulation gate): it deploys an RPA change onto a reduced-scale
+// emulated network through the real controller path, checks invariants
+// during every transient and at steady state, and exits non-zero on any
+// violation — wire it into CI in front of production pushes.
+//
+// Usage:
+//
+//	qualify -suite equalization          # the safe, sequenced rollout
+//	qualify -suite equalization-topdown  # the Figure 10 hazard (fails)
+//	qualify -suite protection            # the §4.4.2 decommission guard
+//	qualify -all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"centralium/internal/controller"
+	"centralium/internal/fabric"
+	"centralium/internal/migrate"
+	"centralium/internal/qualify"
+	"centralium/internal/topo"
+	"centralium/internal/traffic"
+)
+
+// suites builds the named qualification specs fresh (each owns a network).
+func suites(seed int64) map[string]func() qualify.Spec {
+	fig10 := func() (*fabric.Network, controller.Intent) {
+		tp := topo.BuildFig10(topo.Fig10Params{FSWs: 2, SSWs: 2, FAs: 2})
+		n := fabric.New(tp, fabric.Options{Seed: seed})
+		n.OriginateAt(topo.EBID(0), migrate.DefaultRoute, []string{migrate.BackboneCommunity}, 0)
+		n.Converge()
+		intent := controller.PathEqualizationIntent(tp,
+			[]topo.Layer{topo.LayerFSW, topo.LayerSSW, topo.LayerFA}, migrate.BackboneCommunity)
+		return n, intent
+	}
+	fas := []topo.DeviceID{topo.FAID(0), topo.FAID(1)}
+
+	return map[string]func() qualify.Spec{
+		"equalization": func() qualify.Spec {
+			n, intent := fig10()
+			return qualify.Spec{
+				Name:           "equalization (bottom-up)",
+				Net:            n,
+				Intent:         intent,
+				OriginAltitude: topo.LayerEB.Altitude(),
+				Workload:       traffic.UniformDemands(n.Topo.ByLayer(topo.LayerFSW), migrate.DefaultRoute, 100),
+				Invariants: []qualify.Invariant{
+					qualify.NoBlackholes(),
+					qualify.NoLoops(),
+					qualify.FunnelBound(fas, 0.75),
+					qualify.MinPaths(topo.FAID(0), "0.0.0.0/0", 2),
+				},
+			}
+		},
+		"equalization-topdown": func() qualify.Spec {
+			n, intent := fig10()
+			return qualify.Spec{
+				Name:           "equalization (top-down, the Figure 10 hazard)",
+				Net:            n,
+				Intent:         intent,
+				OriginAltitude: topo.LayerEB.Altitude(),
+				Removal:        true, // wrong order on purpose
+				Workload:       traffic.UniformDemands(n.Topo.ByLayer(topo.LayerFSW), migrate.DefaultRoute, 100),
+				Invariants: []qualify.Invariant{
+					qualify.NoBlackholes(),
+					qualify.FunnelBound(fas, 0.75),
+				},
+			}
+		},
+		"protection": func() qualify.Spec {
+			mesh := topo.BuildMesh(topo.MeshParams{Planes: 2, Grids: 4, PerGroup: 4})
+			n := fabric.New(mesh, fabric.Options{Seed: seed})
+			for i := 0; i < 2; i++ {
+				n.OriginateAt(topo.EBID(i), migrate.DefaultRoute, []string{migrate.BackboneCommunity}, 0)
+			}
+			n.Converge()
+			var targets []topo.DeviceID
+			for plane := 0; plane < 2; plane++ {
+				targets = append(targets, topo.SSWID(plane, 0))
+			}
+			return qualify.Spec{
+				Name:           "capacity protection (§4.4.2)",
+				Net:            n,
+				Intent:         controller.CapacityProtectionIntent(targets, migrate.BackboneCommunity, 75, true, 4),
+				OriginAltitude: topo.LayerEB.Altitude(),
+				Workload:       traffic.UniformDemands(mesh.ByLayer(topo.LayerFSW), migrate.DefaultRoute, 100),
+				Invariants: []qualify.Invariant{
+					qualify.NoBlackholes(),
+					qualify.NoLoops(),
+				},
+			}
+		},
+	}
+}
+
+func main() {
+	var (
+		suite = flag.String("suite", "", "suite to run (see source for names)")
+		all   = flag.Bool("all", false, "run every suite")
+		seed  = flag.Int64("seed", 42, "emulation seed")
+	)
+	flag.Parse()
+
+	available := suites(*seed)
+	var names []string
+	for name := range available {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var toRun []string
+	switch {
+	case *all:
+		toRun = names
+	case *suite != "":
+		if _, ok := available[*suite]; !ok {
+			fmt.Fprintf(os.Stderr, "qualify: unknown suite %q (have %v)\n", *suite, names)
+			os.Exit(2)
+		}
+		toRun = []string{*suite}
+	default:
+		fmt.Fprintf(os.Stderr, "qualify: pick -suite <name> or -all; suites: %v\n", names)
+		os.Exit(2)
+	}
+
+	failed := false
+	for _, name := range toRun {
+		rep, err := qualify.Run(available[name]())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "qualify: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Print(rep.String())
+		if !rep.Passed {
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,133 @@
+// Command rpactl is the operator debugging tool of the paper's Section 7.2:
+// it shows all active RPAs on a switch and explains, for a given route,
+// which RPA statement and path set govern it and why. Because the fleet is
+// emulated, rpactl first stands up a named scenario, then inspects it.
+//
+// Usage:
+//
+//	rpactl -scenario expansion -device ssw.pl0.0 -cmd show
+//	rpactl -scenario expansion -device ssw.pl0.0 -cmd explain -prefix 0.0.0.0/0
+//	rpactl -scenario fig9      -device r6        -cmd fib
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/netip"
+	"os"
+
+	"centralium/internal/bgp"
+	"centralium/internal/controller"
+	"centralium/internal/core"
+	"centralium/internal/fabric"
+	"centralium/internal/migrate"
+	"centralium/internal/rpadebug"
+	"centralium/internal/topo"
+)
+
+func main() {
+	var (
+		scenario = flag.String("scenario", "expansion", "scenario to stand up: expansion | mesh | fig9")
+		device   = flag.String("device", "", "device to inspect (default: a scenario-appropriate one)")
+		command  = flag.String("cmd", "show", "show | explain | fib")
+		prefix   = flag.String("prefix", "0.0.0.0/0", "prefix for -cmd explain")
+		seed     = flag.Int64("seed", 42, "emulation seed")
+	)
+	flag.Parse()
+
+	n, defaultDev, err := buildScenario(*scenario, *seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rpactl: %v\n", err)
+		os.Exit(1)
+	}
+	dev := topo.DeviceID(*device)
+	if dev == "" {
+		dev = defaultDev
+	}
+
+	switch *command {
+	case "show":
+		fmt.Print(rpadebug.ListRPAs(n, dev))
+	case "explain":
+		p, err := netip.ParsePrefix(*prefix)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rpactl: bad prefix: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(rpadebug.ExplainRoute(n, dev, p))
+	case "fib":
+		fmt.Print(rpadebug.DumpFIB(n, dev))
+	default:
+		fmt.Fprintf(os.Stderr, "rpactl: unknown command %q\n", *command)
+		os.Exit(2)
+	}
+}
+
+// buildScenario stands up a converged, RPA-equipped network for inspection.
+func buildScenario(name string, seed int64) (*fabric.Network, topo.DeviceID, error) {
+	switch name {
+	case "expansion":
+		exp := topo.BuildExpansion(topo.ExpansionParams{})
+		for i := 0; i < exp.Params.FAv2s; i++ {
+			exp.ActivateFAv2(i)
+		}
+		n := fabric.New(exp.Topology, fabric.Options{Seed: seed})
+		for i := 0; i < exp.Params.Backbones; i++ {
+			n.OriginateAt(topo.EBID(i), migrate.DefaultRoute, []string{migrate.BackboneCommunity}, 0)
+		}
+		n.Converge()
+		intent := controller.PathEqualizationIntent(exp.Topology, []topo.Layer{topo.LayerSSW}, migrate.BackboneCommunity)
+		for dev, cfg := range intent {
+			if err := n.DeployRPA(dev, cfg); err != nil {
+				return nil, "", err
+			}
+		}
+		n.Converge()
+		return n, topo.SSWID(0, 0), nil
+
+	case "mesh":
+		mesh := topo.BuildMesh(topo.MeshParams{})
+		n := fabric.New(mesh, fabric.Options{Seed: seed})
+		for i := 0; i < 2; i++ {
+			n.OriginateAt(topo.EBID(i), migrate.DefaultRoute, []string{migrate.BackboneCommunity}, 0)
+		}
+		n.Converge()
+		var targets []topo.DeviceID
+		for plane := 0; plane < 2; plane++ {
+			targets = append(targets, topo.SSWID(plane, 0))
+		}
+		intent := controller.CapacityProtectionIntent(targets, migrate.BackboneCommunity, 75, true, 2)
+		for dev, cfg := range intent {
+			if err := n.DeployRPA(dev, cfg); err != nil {
+				return nil, "", err
+			}
+		}
+		n.Converge()
+		return n, topo.SSWID(0, 0), nil
+
+	case "fig9":
+		tp := topo.BuildFig9(100)
+		tp.AddDevice(topo.Device{ID: "r0", Layer: topo.LayerGeneric, Pod: -1, Plane: -1, Grid: -1})
+		tp.AddLink("r0", topo.GenericID(1), 100)
+		n := fabric.New(tp, fabric.Options{Seed: seed, SpeakerConfig: func(*topo.Device) bgp.Config {
+			return bgp.Config{Multipath: true}
+		}})
+		n.SetPrependToward(topo.GenericID(1), topo.GenericID(5), 2)
+		n.OriginateAt("r0", netip.MustParsePrefix("198.51.100.0/24"), []string{"D"}, 0)
+		n.Converge()
+		rpa := &core.Config{PathSelection: []core.PathSelectionStatement{{
+			Name:        "balance-r2-r5",
+			Destination: core.Destination{Community: "D"},
+			PathSets: []core.PathSet{{
+				Name:      "via-r2-r5",
+				Signature: core.PathSignature{PeerRegex: controller.DeviceRegex(topo.GenericID(2), topo.GenericID(5))},
+			}},
+		}}}
+		if err := n.DeployRPA(topo.GenericID(6), rpa); err != nil {
+			return nil, "", err
+		}
+		n.Converge()
+		return n, topo.GenericID(6), nil
+	}
+	return nil, "", fmt.Errorf("unknown scenario %q (want expansion | mesh | fig9)", name)
+}

@@ -1,0 +1,78 @@
+package centralium_test
+
+import (
+	"fmt"
+	"net/netip"
+
+	"centralium"
+)
+
+// ExampleRPAConfig demonstrates the Section 4.4.1 equalization RPA: a leaf
+// switch that natively funnels onto the shortest path learns to use both
+// the short and the long path once the RPA is deployed, and reverts with no
+// residue when it is removed.
+func Example() {
+	tp := centralium.NewTopology()
+	tp.AddDevice(centralium.Device{ID: "origin"})
+	tp.AddDevice(centralium.Device{ID: "mid"})
+	tp.AddDevice(centralium.Device{ID: "leaf"})
+	tp.AddLink("origin", "leaf", 100)
+	tp.AddLink("origin", "mid", 100)
+	tp.AddLink("mid", "leaf", 100)
+
+	net := centralium.NewNetwork(tp, centralium.NetworkOptions{Seed: 1})
+	def := netip.MustParsePrefix("0.0.0.0/0")
+	net.OriginateAt("origin", def, []string{"BACKBONE_DEFAULT_ROUTE"}, 0)
+	net.Converge()
+	fmt.Println("native:", len(net.NextHopWeights("leaf", def)), "path(s)")
+
+	rpa := &centralium.RPAConfig{PathSelection: []centralium.PathSelectionStatement{{
+		Name:        "equalize",
+		Destination: centralium.Destination{Community: "BACKBONE_DEFAULT_ROUTE"},
+		PathSets: []centralium.PathSet{{
+			Signature: centralium.PathSignature{Communities: []string{"BACKBONE_DEFAULT_ROUTE"}},
+		}},
+	}}}
+	if err := net.DeployRPA("leaf", rpa); err != nil {
+		panic(err)
+	}
+	net.Converge()
+	fmt.Println("with RPA:", len(net.NextHopWeights("leaf", def)), "path(s)")
+
+	if err := net.DeployRPA("leaf", nil); err != nil {
+		panic(err)
+	}
+	net.Converge()
+	fmt.Println("removed:", len(net.NextHopWeights("leaf", def)), "path(s)")
+	// Output:
+	// native: 1 path(s)
+	// with RPA: 2 path(s)
+	// removed: 1 path(s)
+}
+
+// ExampleController shows a coordinated, layer-ordered rollout of an
+// equalization intent across a fabric (Section 5.3.2's bottom-up order).
+func ExampleController() {
+	tp := centralium.BuildFabric(centralium.FabricParams{Pods: 2})
+	net := centralium.NewNetwork(tp, centralium.NetworkOptions{Seed: 7})
+	def := netip.MustParsePrefix("0.0.0.0/0")
+	net.OriginateAt(centralium.EBID(0), def, []string{"BACKBONE_DEFAULT_ROUTE"}, 0)
+	net.OriginateAt(centralium.EBID(1), def, []string{"BACKBONE_DEFAULT_ROUTE"}, 0)
+	net.Converge()
+
+	intent := centralium.PathEqualizationIntent(tp,
+		[]centralium.Layer{1, 2} /* FSW, SSW */, "BACKBONE_DEFAULT_ROUTE")
+	ctl := &centralium.Controller{
+		Topo: tp,
+		Deploy: func(d centralium.DeviceID, cfg *centralium.RPAConfig) error {
+			return net.DeployRPA(d, cfg)
+		},
+		Settle: func() { net.Converge() },
+	}
+	err := ctl.Run(centralium.Rollout{Intent: intent, OriginAltitude: 5})
+	fmt.Println("rollout error:", err)
+	fmt.Println("devices deployed:", ctl.Deployments())
+	// Output:
+	// rollout error: <nil>
+	// devices deployed: 16
+}

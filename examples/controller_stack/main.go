@@ -1,0 +1,97 @@
+// Controller stack: the full Centralium deployment loop of the paper's
+// Figure 8 — emulated fabric, Open/R management substrate, replicated NSDB,
+// Switch Agents over RPC — including an NSDB leader failure mid-operation
+// (§5.2 "Service Failures") and device-failure detection over the
+// management network (§5.2 "Device Failures").
+package main
+
+import (
+	"fmt"
+	"net"
+
+	"centralium/internal/agent"
+	"centralium/internal/controller"
+	"centralium/internal/core"
+	"centralium/internal/fabric"
+	"centralium/internal/migrate"
+	"centralium/internal/nsdb"
+	"centralium/internal/openr"
+	"centralium/internal/topo"
+)
+
+func main() {
+	// --- substrate -------------------------------------------------------
+	tp := topo.BuildFabric(topo.FabricParams{Pods: 2})
+	n := fabric.New(tp, fabric.Options{Seed: 42})
+	for _, eb := range tp.ByLayer(topo.LayerEB) {
+		n.OriginateAt(eb.ID, migrate.DefaultRoute, []string{migrate.BackboneCommunity}, 0)
+	}
+	n.Converge()
+	fmt.Printf("fabric: %d devices converged\n", tp.NumDevices())
+
+	// Open/R provides the management plane Centralium rides on.
+	mgmt := openr.New(tp)
+	ctrlAttach := topo.RSWID(0, 0) // the controller racks next to servers
+	fmt.Printf("mgmt:   %s\n", mgmt)
+
+	// --- storage + I/O layers --------------------------------------------
+	db := nsdb.NewCluster(3)
+	h := &agent.FabricHandler{Net: n}
+	cli, srv := net.Pipe()
+	go (&agent.Server{H: h}).Serve(srv)
+	sa := &agent.Agent{Name: "switch-agent-0", DB: db, Client: agent.NewClient(cli)}
+	defer sa.Client.Close()
+	for _, d := range tp.Devices() {
+		if d.Layer != topo.LayerEB {
+			sa.Devices = append(sa.Devices, string(d.ID))
+		}
+	}
+
+	// --- application: equalization intent with mgmt pre-check ------------
+	intent := controller.PathEqualizationIntent(tp,
+		[]topo.Layer{topo.LayerFSW, topo.LayerSSW}, migrate.BackboneCommunity)
+	ctl := &controller.Controller{
+		Topo:                  tp,
+		DB:                    db,
+		BackendUpdatesCurrent: true, // the agent reports ground truth
+		Deploy: func(dev topo.DeviceID, cfg *core.Config) error {
+			agent.SetIntendedRPA(db, string(dev), cfg)
+			_, err := sa.ReconcileOnce()
+			return err
+		},
+		Settle: func() { h.Lock(); n.Converge(); h.Unlock() },
+	}
+	pre := controller.MgmtReachabilityCheck(mgmt, ctrlAttach, intent.Devices())
+
+	// NSDB leader dies mid-setup: reads fail over transparently.
+	fmt.Printf("nsdb:   leader nsdb-%d", db.Leader().ID)
+	db.Fail(db.Leader().ID)
+	fmt.Printf(" -> failed -> new leader nsdb-%d (term %d)\n", db.Leader().ID, db.Term())
+
+	err := ctl.Run(controller.Rollout{
+		Intent:               intent,
+		OriginAltitude:       topo.LayerEB.Altitude(),
+		Pre:                  []controller.HealthCheck{pre},
+		MaxStragglerFraction: 0.25,
+	})
+	if err != nil {
+		fmt.Println("rollout failed:", err)
+		return
+	}
+	fmt.Printf("rollout: %d devices deployed through the agent, slow-roll gate clean\n", ctl.Deployments())
+
+	// --- device-failure detection over the management plane ---------------
+	crashed := topo.FSWID(1, 2)
+	drained := topo.FSWID(0, 1)
+	mgmt.SetNodeUp(crashed, false)
+	mgmt.SetNodeUp(drained, false)
+	expected, unexpected := controller.DeviceFailureAlerts(mgmt, ctrlAttach,
+		map[topo.DeviceID]bool{drained: true})
+	fmt.Printf("mgmt:   %d expected-down (maintenance), ALERT on %v\n", len(expected), unexpected)
+
+	// The recovered replica catches up from the new leader.
+	db.Recover(0)
+	if cfg, ok := agent.IntendedRPA(db, string(intent.Devices()[0])); ok {
+		fmt.Printf("nsdb:   replica 0 recovered and caught up (intent version %d present)\n", cfg.Version)
+	}
+}

@@ -1,0 +1,36 @@
+// Decommission (the paper's Scenario 2, §3.3 / Figure 4): all SSWs and
+// FADUs of one number must be drained and removed. Because SSW-n connects
+// only to FADU-n in every grid, the last live FADU-n funnels every
+// same-numbered SSW's traffic (the last-router problem), and the window
+// after the final drain black-holes packets. The §4.4.2 protection RPA
+// (BgpNativeMinNextHop 75% + KeepFibWarm) on the decommissioned SSWs makes
+// them stop attracting traffic early, with zero loss.
+package main
+
+import (
+	"fmt"
+
+	"centralium/internal/migrate"
+)
+
+func main() {
+	fmt.Println("Scenario 2: decommission SSW-0/FADU-0 across 2 planes x 4 grids")
+	fmt.Println()
+	fmt.Printf("%-34s %12s %12s\n", "mode", "peak funnel", "peak loss")
+
+	native := migrate.RunScenario2(migrate.Scenario2Params{Seed: 42})
+	fmt.Printf("%-34s %11.1f%% %11.1f%%\n", "native BGP",
+		native.PeakFADUShare*100, native.PeakBlackholed*100)
+
+	protected := migrate.RunScenario2(migrate.Scenario2Params{
+		Seed: 42, UseRPA: true, KeepFibWarm: true,
+	})
+	fmt.Printf("%-34s %11.1f%% %11.1f%%\n", "MinNextHop RPA + warm FIB",
+		protected.PeakFADUShare*100, protected.PeakBlackholed*100)
+
+	fmt.Printf("\n(fair share per FADU is %.1f%%; the native run funnels %.1fx that)\n",
+		native.FairShare*100, native.PeakFADUShare/native.FairShare)
+	fmt.Println()
+	fmt.Println("With the RPA the whole operation is two steps — drain the FADUs, drain")
+	fmt.Println("the SSWs — with no funneling and no black-holing (§4.4.2).")
+}

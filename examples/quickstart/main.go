@@ -1,0 +1,59 @@
+// Quickstart: build a tiny topology, watch native BGP funnel everything
+// onto the shorter path, then deploy a Path Selection RPA that equalizes
+// paths of different AS-path lengths — the paper's core idea in 60 lines.
+package main
+
+import (
+	"fmt"
+	"net/netip"
+
+	"centralium"
+)
+
+func main() {
+	// leaf reaches origin both directly (short AS path) and through mid
+	// (long AS path). Native BGP only ever uses the short one.
+	tp := centralium.NewTopology()
+	tp.AddDevice(centralium.Device{ID: "origin"})
+	tp.AddDevice(centralium.Device{ID: "mid"})
+	tp.AddDevice(centralium.Device{ID: "leaf"})
+	tp.AddLink("origin", "leaf", 100)
+	tp.AddLink("origin", "mid", 100)
+	tp.AddLink("mid", "leaf", 100)
+
+	net := centralium.NewNetwork(tp, centralium.NetworkOptions{Seed: 1})
+	defaultRoute := netip.MustParsePrefix("0.0.0.0/0")
+	net.OriginateAt("origin", defaultRoute, []string{"BACKBONE_DEFAULT_ROUTE"}, 0)
+	net.Converge()
+
+	show := func(label string) {
+		nh := net.NextHopWeights("leaf", defaultRoute)
+		fmt.Printf("%-28s leaf forwards via %d path(s): %v\n", label, len(nh), nh)
+	}
+	show("native BGP:")
+
+	// The Section 4.4.1 RPA: select every path carrying the backbone
+	// community, regardless of AS-path length.
+	rpa := &centralium.RPAConfig{
+		PathSelection: []centralium.PathSelectionStatement{{
+			Name:        "equalize-backbone",
+			Destination: centralium.Destination{Community: "BACKBONE_DEFAULT_ROUTE"},
+			PathSets: []centralium.PathSet{{
+				Name:      "all-backbone-paths",
+				Signature: centralium.PathSignature{Communities: []string{"BACKBONE_DEFAULT_ROUTE"}},
+			}},
+		}},
+	}
+	if err := net.DeployRPA("leaf", rpa); err != nil {
+		panic(err)
+	}
+	net.Converge()
+	show("with PathSelection RPA:")
+
+	// Removal restores native behavior with no policy residue (§4.4.1).
+	if err := net.DeployRPA("leaf", nil); err != nil {
+		panic(err)
+	}
+	net.Converge()
+	show("after RPA removal:")
+}

@@ -1,0 +1,38 @@
+// Topology expansion (the paper's Scenario 1, §3.2 / Figure 2): an old
+// FAv1+Edge aggregation stack is replaced by a single, bigger FAv2 layer.
+// Activating FAv2 nodes into a live fabric creates a shorter AS path that
+// native BGP funnels ALL traffic onto (the first-router problem). The
+// equalization RPA of §4.4.1, deployed on the SSWs first, keeps traffic
+// spread over old and new paths for the whole migration.
+package main
+
+import (
+	"fmt"
+
+	"centralium/internal/migrate"
+)
+
+func main() {
+	fmt.Println("Scenario 1: capacity expansion, FAv1+Edge -> FAv2")
+	fmt.Println("4 SSWs x 4 FAv1 x 4 Edge, activating 4 FAv2 nodes one at a time")
+	fmt.Println()
+
+	for _, useRPA := range []bool{false, true} {
+		r := migrate.RunScenario1(migrate.Scenario1Params{Seed: 42, UseRPA: useRPA})
+		mode := "native BGP        "
+		if useRPA {
+			mode = "PathSelection RPA "
+		}
+		fmt.Printf("%s peak share on hottest aggregator: %.1f%% (fair share %.1f%%)\n",
+			mode, r.PeakShare*100, r.FairShare*100)
+		if !useRPA && r.PeakShare > 0.9 {
+			fmt.Println("                   -> the first activated FAv2 attracted ~all traffic")
+		}
+		if useRPA {
+			fmt.Println("                   -> traffic stayed spread across FAv1 and FAv2 paths")
+		}
+	}
+	fmt.Println()
+	fmt.Println("With RPA, the migration is non-disruptive and leaves no policy residue:")
+	fmt.Println("removing the RPA afterwards restores native selection on the new topology.")
+}

@@ -1,0 +1,3 @@
+module centralium
+
+go 1.22

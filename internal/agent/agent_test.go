@@ -1,0 +1,385 @@
+package agent
+
+import (
+	"context"
+	"net"
+	"net/netip"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"centralium/internal/core"
+	"centralium/internal/fabric"
+	"centralium/internal/metrics"
+	"centralium/internal/nsdb"
+	"centralium/internal/topo"
+)
+
+// testRig wires an emulated fabric, an RPC server over net.Pipe, an NSDB
+// cluster, and one agent managing every device.
+type testRig struct {
+	net     *fabric.Network
+	handler *FabricHandler
+	db      *nsdb.Cluster
+	agent   *Agent
+	done    chan error
+}
+
+func newRig(t *testing.T) *testRig {
+	t.Helper()
+	tp := topo.New()
+	tp.AddDevice(topo.Device{ID: "origin", Layer: topo.LayerEB})
+	tp.AddDevice(topo.Device{ID: "leaf", Layer: topo.LayerSSW})
+	tp.AddLink("origin", "leaf", 100)
+	n := fabric.New(tp, fabric.Options{Seed: 1})
+	n.OriginateAt("origin", netip.MustParsePrefix("0.0.0.0/0"), []string{"BACKBONE_DEFAULT_ROUTE"}, 0)
+	n.Converge()
+
+	h := &FabricHandler{Net: n, ConvergeOnDeploy: true}
+	cliConn, srvConn := net.Pipe()
+	srv := &Server{H: h}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(srvConn) }()
+
+	db := nsdb.NewCluster(2)
+	a := &Agent{
+		Name:            "sa-0",
+		DB:              db,
+		Client:          NewClient(cliConn),
+		Devices:         []string{"origin", "leaf"},
+		Meter:           metrics.NewTaskMeter("sa-0"),
+		DeployLatencies: metrics.NewSample(16),
+	}
+	t.Cleanup(func() { a.Client.Close() })
+	return &testRig{net: n, handler: h, db: db, agent: a, done: done}
+}
+
+func testRPA() *core.Config {
+	return &core.Config{
+		Version: 1,
+		PathSelection: []core.PathSelectionStatement{{
+			Name:        "equalize",
+			Destination: core.Destination{Community: "BACKBONE_DEFAULT_ROUTE"},
+			PathSets: []core.PathSet{{
+				Signature: core.PathSignature{Communities: []string{"BACKBONE_DEFAULT_ROUTE"}},
+			}},
+		}},
+	}
+}
+
+func TestReconcileDeploysIntended(t *testing.T) {
+	rig := newRig(t)
+	SetIntendedRPA(rig.db, "leaf", testRPA())
+
+	touched, err := rig.agent.ReconcileOnce()
+	if err != nil {
+		t.Fatalf("ReconcileOnce: %v", err)
+	}
+	if len(touched) != 1 || touched[0] != "leaf" {
+		t.Fatalf("touched = %v", touched)
+	}
+	// The switch actually got the config.
+	rig.handler.Lock()
+	got := rig.net.Speaker("leaf").RPAConfig()
+	rig.handler.Unlock()
+	if got.Version != 1 || len(got.PathSelection) != 1 {
+		t.Fatalf("deployed config = %+v", got)
+	}
+	// Current state updated: a second pass is a no-op.
+	touched, err = rig.agent.ReconcileOnce()
+	if err != nil || len(touched) != 0 {
+		t.Fatalf("second pass touched %v (err %v)", touched, err)
+	}
+	if rig.agent.Deploys() != 1 {
+		t.Fatalf("Deploys = %d", rig.agent.Deploys())
+	}
+	// Deployment latency recorded.
+	if rig.agent.DeployLatencies.Len() != 1 {
+		t.Fatal("latency not recorded")
+	}
+}
+
+func TestReconcileRedeploysOnIntentChange(t *testing.T) {
+	rig := newRig(t)
+	SetIntendedRPA(rig.db, "leaf", testRPA())
+	rig.agent.ReconcileOnce()
+
+	cfg2 := testRPA()
+	cfg2.Version = 2
+	SetIntendedRPA(rig.db, "leaf", cfg2)
+	touched, err := rig.agent.ReconcileOnce()
+	if err != nil || len(touched) != 1 {
+		t.Fatalf("touched = %v, err %v", touched, err)
+	}
+	cur, ok := CurrentRPA(rig.db, "leaf")
+	if !ok || cur.Version != 2 {
+		t.Fatalf("current = %+v, %v", cur, ok)
+	}
+}
+
+func TestCollectOnce(t *testing.T) {
+	rig := newRig(t)
+	if err := rig.agent.CollectOnce(); err != nil {
+		t.Fatalf("CollectOnce: %v", err)
+	}
+	st, ok := CollectedState(rig.db, "leaf")
+	if !ok {
+		t.Fatal("no collected state")
+	}
+	if st.Device != "leaf" || st.FIBEntries != 1 {
+		t.Fatalf("state = %+v", st)
+	}
+	if rig.agent.Polls() != 2 {
+		t.Fatalf("Polls = %d", rig.agent.Polls())
+	}
+	// Meter captured memory attribution.
+	if rig.agent.Meter.HeapBytes() < 0 {
+		t.Fatal("heap accounting negative")
+	}
+}
+
+func TestDeployInvalidConfigSurfacesError(t *testing.T) {
+	rig := newRig(t)
+	bad := &core.Config{PathSelection: []core.PathSelectionStatement{{Name: ""}}}
+	rig.db.Publish(nsdb.Intended, RPAPath("leaf"), bad)
+	_, err := rig.agent.ReconcileOnce()
+	if err == nil || !strings.Contains(err.Error(), "name") {
+		t.Fatalf("err = %v, want validation failure from switch", err)
+	}
+}
+
+func TestUnknownDeviceError(t *testing.T) {
+	rig := newRig(t)
+	rig.agent.Devices = []string{"ghost"}
+	SetIntendedRPA(rig.db, "ghost", testRPA())
+	if _, err := rig.agent.ReconcileOnce(); err == nil {
+		t.Fatal("deploy to unknown device succeeded")
+	}
+	if err := rig.agent.CollectOnce(); err == nil {
+		t.Fatal("collect from unknown device succeeded")
+	}
+}
+
+func TestRPCOverTCP(t *testing.T) {
+	// Same flow over a real TCP loopback socket.
+	rig := newRig(t)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		(&Server{H: rig.handler}).Serve(conn)
+	}()
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := NewClient(conn)
+	defer client.Close()
+
+	if _, err := client.Call("ping", "", nil); err != nil {
+		t.Fatalf("ping: %v", err)
+	}
+	data, _ := testRPA().Marshal()
+	if _, err := client.Call("deploy_rpa", "leaf", data); err != nil {
+		t.Fatalf("deploy over TCP: %v", err)
+	}
+	if _, err := client.Call("bogus", "leaf", nil); err == nil {
+		t.Fatal("unknown method succeeded")
+	}
+	if _, err := client.Call("collect_state", "leaf", nil); err != nil {
+		t.Fatalf("collect over TCP: %v", err)
+	}
+}
+
+func TestIntendedCurrentHelpers(t *testing.T) {
+	db := nsdb.NewCluster(1)
+	if _, ok := IntendedRPA(db, "x"); ok {
+		t.Fatal("missing intended found")
+	}
+	if _, ok := CurrentRPA(db, "x"); ok {
+		t.Fatal("missing current found")
+	}
+	if _, ok := CollectedState(db, "x"); ok {
+		t.Fatal("missing state found")
+	}
+	SetIntendedRPA(db, "x", testRPA())
+	cfg, ok := IntendedRPA(db, "x")
+	if !ok || cfg.Version != 1 {
+		t.Fatalf("IntendedRPA = %+v, %v", cfg, ok)
+	}
+	// Survives a snapshot round trip (generic map form).
+	leader := db.Leader()
+	leader.Store.LoadSnapshot(leader.Store.Snapshot())
+	cfg, ok = IntendedRPA(db, "x")
+	if !ok || cfg.Version != 1 || len(cfg.PathSelection) != 1 {
+		t.Fatalf("IntendedRPA after snapshot = %+v, %v", cfg, ok)
+	}
+}
+
+func TestWatchReconcilesReactively(t *testing.T) {
+	rig := newRig(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var mu sync.Mutex
+	var errs []error
+	done := make(chan error, 1)
+	go func() {
+		done <- rig.agent.Watch(ctx, func(err error) {
+			mu.Lock()
+			errs = append(errs, err)
+			mu.Unlock()
+		})
+	}()
+
+	waitDeploys := func(want int) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			if rig.agent.Deploys() >= want {
+				return
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		t.Fatalf("timeout waiting for %d deploys (have %d)", want, rig.agent.Deploys())
+	}
+
+	// Intent published AFTER the watch started: deployed reactively.
+	SetIntendedRPA(rig.db, "leaf", testRPA())
+	waitDeploys(1)
+	rig.handler.Lock()
+	got := rig.net.Speaker("leaf").RPAConfig().Version
+	rig.handler.Unlock()
+	if got != 1 {
+		t.Fatalf("deployed version = %d", got)
+	}
+
+	// A version bump triggers redeployment.
+	cfg2 := testRPA()
+	cfg2.Version = 2
+	SetIntendedRPA(rig.db, "leaf", cfg2)
+	waitDeploys(2)
+
+	// Intent for an unmanaged device is ignored.
+	rig.db.Publish(nsdb.Intended, RPAPath("other-agent-device"), testRPA())
+	time.Sleep(20 * time.Millisecond)
+	if rig.agent.Deploys() != 2 {
+		t.Fatalf("deployed to unmanaged device: %d deploys", rig.agent.Deploys())
+	}
+
+	cancel()
+	if err := <-done; err != context.Canceled {
+		t.Fatalf("Watch returned %v, want context.Canceled", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(errs) != 0 {
+		t.Fatalf("errors during watch: %v", errs)
+	}
+}
+
+func TestWatchCatchUpAndNoLeader(t *testing.T) {
+	rig := newRig(t)
+	// Intent published BEFORE the watch: the initial pass catches it.
+	SetIntendedRPA(rig.db, "leaf", testRPA())
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- rig.agent.Watch(ctx, nil) }()
+	deadline := time.Now().Add(5 * time.Second)
+	for rig.agent.Deploys() < 1 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if rig.agent.Deploys() < 1 {
+		t.Fatal("catch-up reconcile did not run")
+	}
+	cancel()
+	<-done
+
+	// No live NSDB replica: Watch refuses to start.
+	dead := nsdb.NewCluster(1)
+	dead.Fail(0)
+	a := &Agent{Name: "x", DB: dead}
+	if err := a.Watch(context.Background(), nil); err != nsdb.ErrNoLeader {
+		t.Fatalf("err = %v, want ErrNoLeader", err)
+	}
+}
+
+func TestDeviceOf(t *testing.T) {
+	tests := []struct {
+		path, want string
+	}{
+		{"/devices/ssw.pl0.0/rpa", "ssw.pl0.0"},
+		{"/devices/x/state", ""},
+		{"/other/x/rpa", ""},
+		{"/devices/x/rpa/extra", ""},
+	}
+	for _, tt := range tests {
+		if got := deviceOf(tt.path); got != tt.want {
+			t.Errorf("deviceOf(%q) = %q, want %q", tt.path, got, tt.want)
+		}
+	}
+}
+
+func TestClearIntendedRPARestoresNative(t *testing.T) {
+	rig := newRig(t)
+	SetIntendedRPA(rig.db, "leaf", testRPA())
+	if _, err := rig.agent.ReconcileOnce(); err != nil {
+		t.Fatal(err)
+	}
+	rig.handler.Lock()
+	if rig.net.Speaker("leaf").RPAConfig().IsEmpty() {
+		t.Fatal("RPA not deployed")
+	}
+	rig.handler.Unlock()
+
+	// Remove the intent: the next pass deploys an empty config.
+	ClearIntendedRPA(rig.db, "leaf")
+	touched, err := rig.agent.ReconcileOnce()
+	if err != nil || len(touched) != 1 {
+		t.Fatalf("removal pass touched %v (err %v)", touched, err)
+	}
+	rig.handler.Lock()
+	if !rig.net.Speaker("leaf").RPAConfig().IsEmpty() {
+		t.Fatal("RPA residue after removal")
+	}
+	rig.handler.Unlock()
+	// A third pass is a no-op.
+	if touched, _ := rig.agent.ReconcileOnce(); len(touched) != 0 {
+		t.Fatalf("removal not idempotent: %v", touched)
+	}
+}
+
+func TestWatchHandlesIntentRemoval(t *testing.T) {
+	rig := newRig(t)
+	SetIntendedRPA(rig.db, "leaf", testRPA())
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- rig.agent.Watch(ctx, nil) }()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for rig.agent.Deploys() < 1 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	ClearIntendedRPA(rig.db, "leaf")
+	for rig.agent.Deploys() < 2 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if rig.agent.Deploys() < 2 {
+		t.Fatal("watch did not react to intent removal")
+	}
+	rig.handler.Lock()
+	empty := rig.net.Speaker("leaf").RPAConfig().IsEmpty()
+	rig.handler.Unlock()
+	if !empty {
+		t.Fatal("RPA residue after watched removal")
+	}
+	cancel()
+	<-done
+}

@@ -1,0 +1,71 @@
+package agent
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"centralium/internal/core"
+	"centralium/internal/fabric"
+	"centralium/internal/topo"
+)
+
+// FabricHandler bridges the RPC server to an emulated fabric. A mutex
+// serializes access because fabric.Network is single-threaded by design;
+// experiment harnesses that also drive the network directly must use
+// Lock/Unlock around their own calls.
+type FabricHandler struct {
+	mu  sync.Mutex
+	Net *fabric.Network
+
+	// ConvergeOnDeploy runs the event loop to quiescence after each
+	// deployment, so collected state reflects the deployed config.
+	ConvergeOnDeploy bool
+}
+
+// Lock acquires the handler's network mutex for external drivers.
+func (h *FabricHandler) Lock() { h.mu.Lock() }
+
+// Unlock releases the handler's network mutex.
+func (h *FabricHandler) Unlock() { h.mu.Unlock() }
+
+// DeployRPA implements Handler.
+func (h *FabricHandler) DeployRPA(device string, cfgJSON []byte) error {
+	cfg, err := core.Unmarshal(cfgJSON)
+	if err != nil {
+		return err
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.Net.Node(topo.DeviceID(device)) == nil {
+		return fmt.Errorf("agent: unknown device %q", device)
+	}
+	if err := h.Net.DeployRPA(topo.DeviceID(device), cfg); err != nil {
+		return err
+	}
+	if h.ConvergeOnDeploy {
+		h.Net.Converge()
+	}
+	return nil
+}
+
+// CollectState implements Handler.
+func (h *FabricHandler) CollectState(device string) ([]byte, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	node := h.Net.Node(topo.DeviceID(device))
+	if node == nil {
+		return nil, fmt.Errorf("agent: unknown device %q", device)
+	}
+	sp := node.Speaker
+	fibStats := sp.FIB().Stats()
+	st := DeviceState{
+		Device:     device,
+		RPAVersion: sp.RPAConfig().Version,
+		RPA:        sp.RPAConfig(),
+		FIBEntries: fibStats.Entries,
+		NHGroups:   fibStats.Groups,
+		Drained:    sp.Drained(),
+	}
+	return json.Marshal(st)
+}

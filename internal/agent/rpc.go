@@ -1,0 +1,170 @@
+// Package agent implements Centralium's I/O layer, the Switch Agent
+// (Section 5.1): it subscribes to intended state in NSDB, deploys RPAs to
+// switches over an RPC channel, polls switch state back, and continuously
+// reconciles current with intended state. The RPC layer runs over any
+// net.Conn (net.Pipe in-process, TCP loopback in tests), so deployment
+// latency — the Figure 12 metric — is measured across a real transport.
+//
+// In production the agent reaches switches over Open/R's resilient
+// out-of-band network; here the always-available net.Conn stands in for
+// that management plane (see DESIGN.md).
+package agent
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// Request is one RPC call to a switch endpoint.
+type Request struct {
+	ID     uint64          `json:"id"`
+	Method string          `json:"method"` // "deploy_rpa" | "collect_state" | "ping"
+	Device string          `json:"device"`
+	Body   json.RawMessage `json:"body,omitempty"`
+}
+
+// Response answers one Request.
+type Response struct {
+	ID   uint64          `json:"id"`
+	Err  string          `json:"err,omitempty"`
+	Body json.RawMessage `json:"body,omitempty"`
+}
+
+// maxFrame bounds a single RPC frame (a per-switch RPA config is small;
+// this is a safety valve against a corrupted stream).
+const maxFrame = 16 << 20
+
+func writeFrame(w io.Writer, v any) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("agent: marshal frame: %w", err)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(data)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(data)
+	return err
+}
+
+func readFrame(r io.Reader, v any) error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return fmt.Errorf("agent: frame of %d bytes exceeds limit", n)
+	}
+	data := make([]byte, n)
+	if _, err := io.ReadFull(r, data); err != nil {
+		return err
+	}
+	return json.Unmarshal(data, v)
+}
+
+// Handler executes RPCs on the switch side. Implementations bridge to the
+// emulated fabric (or, in a real deployment, the BGP daemon's thrift
+// service).
+type Handler interface {
+	// DeployRPA installs the marshaled core.Config on the device.
+	DeployRPA(device string, cfgJSON []byte) error
+	// CollectState returns the device's current state as JSON.
+	CollectState(device string) ([]byte, error)
+}
+
+// Server serves switch RPCs on one connection per Serve call.
+type Server struct {
+	H Handler
+}
+
+// Serve handles requests on conn until EOF or error. It is synchronous:
+// requests on one connection execute in order, like the per-switch thrift
+// channel in production.
+func (s *Server) Serve(conn net.Conn) error {
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+	for {
+		var req Request
+		if err := readFrame(br, &req); err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return err
+		}
+		resp := Response{ID: req.ID}
+		switch req.Method {
+		case "ping":
+			// no-op health probe
+		case "deploy_rpa":
+			if err := s.H.DeployRPA(req.Device, req.Body); err != nil {
+				resp.Err = err.Error()
+			}
+		case "collect_state":
+			body, err := s.H.CollectState(req.Device)
+			if err != nil {
+				resp.Err = err.Error()
+			} else {
+				resp.Body = body
+			}
+		default:
+			resp.Err = fmt.Sprintf("agent: unknown method %q", req.Method)
+		}
+		if err := writeFrame(bw, &resp); err != nil {
+			return err
+		}
+		if err := bw.Flush(); err != nil {
+			return err
+		}
+	}
+}
+
+// Client issues switch RPCs over one connection. Safe for concurrent use;
+// calls are serialized (one in flight), matching the per-device channel.
+type Client struct {
+	mu     sync.Mutex
+	conn   net.Conn
+	br     *bufio.Reader
+	bw     *bufio.Writer
+	nextID uint64
+}
+
+// NewClient wraps an established connection.
+func NewClient(conn net.Conn) *Client {
+	return &Client{conn: conn, br: bufio.NewReader(conn), bw: bufio.NewWriter(conn)}
+}
+
+// Close tears down the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Call performs one synchronous RPC.
+func (c *Client) Call(method, device string, body []byte) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nextID++
+	req := Request{ID: c.nextID, Method: method, Device: device, Body: body}
+	if err := writeFrame(c.bw, &req); err != nil {
+		return nil, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return nil, err
+	}
+	var resp Response
+	if err := readFrame(c.br, &resp); err != nil {
+		return nil, err
+	}
+	if resp.ID != req.ID {
+		return nil, fmt.Errorf("agent: response id %d for request %d", resp.ID, req.ID)
+	}
+	if resp.Err != "" {
+		return nil, fmt.Errorf("agent: remote: %s", resp.Err)
+	}
+	return resp.Body, nil
+}

@@ -1,0 +1,417 @@
+package bgp
+
+import (
+	"net/netip"
+	"sort"
+	"strings"
+
+	"centralium/internal/core"
+	"centralium/internal/fib"
+)
+
+// candidate pairs a RIB route with the session it arrived on.
+type candidate struct {
+	attrs   core.RouteAttrs
+	session SessionID
+}
+
+// recompute runs the full Figure 6 pipeline for one prefix: gather
+// candidates, select paths (RPA or native), enforce min-next-hop, assign
+// weights (RPA or ECMP/WCMP), install the FIB, and advertise.
+func (s *Speaker) recompute(p netip.Prefix) {
+	s.stats.Recomputes++
+	st := s.state(p)
+
+	// Locally originated prefixes: local route wins, peers' routes unused.
+	if oi, ok := s.originated[p]; ok {
+		if oi.installFIB {
+			s.fibTbl.Install(p, []fib.NextHop{{ID: LocalNextHop, Weight: 1}})
+		} else {
+			s.fibTbl.Remove(p)
+		}
+		localAttrs := core.RouteAttrs{
+			Prefix:            p,
+			Communities:       oi.communities,
+			Origin:            oi.origin,
+			LinkBandwidthGbps: oi.bandwidthGbps,
+		}
+		s.advertise(p, st, &localAttrs, SessionID(""), oi.bandwidthGbps)
+		return
+	}
+
+	cands := s.gather(p)
+	if len(cands) == 0 {
+		s.fibTbl.Remove(p)
+		s.withdrawAll(p, st)
+		return
+	}
+
+	// Track the high-water distinct-next-hop baseline for percentage
+	// thresholds ("75% of full health").
+	if n := distinctDevices(cands, allIdx(cands)); n > st.baseline {
+		st.baseline = n
+	}
+
+	attrs := make([]core.RouteAttrs, len(cands))
+	for i := range cands {
+		attrs[i] = cands[i].attrs
+	}
+
+	var selected []int
+	viaRPA := false
+	dec := s.rpa.SelectPaths(attrs, st.baseline)
+	if !dec.UsedNative {
+		selected = dec.Selected
+		viaRPA = true
+		s.stats.RPASelections++
+	} else {
+		selected = nativeSelect(cands, s.cfg.Multipath)
+		s.stats.NativeDecisions++
+
+		// BgpNativeMinNextHop (RPA) and the vendor minimum-ECMP knob both
+		// constrain the native result.
+		nc := s.rpa.NativeConstraintFor(&attrs[0])
+		required := 0
+		keepWarm := false
+		if nc.Present {
+			required = nc.MinNextHop.Required(nc.Baseline(st.baseline))
+			keepWarm = nc.KeepFibWarm
+		}
+		if s.cfg.VendorMinECMP > required {
+			required = s.cfg.VendorMinECMP
+		}
+		if required > 0 && distinctDevices(cands, selected) < required {
+			s.stats.MnhWithdrawals++
+			if keepWarm {
+				// Keep forwarding entries so in-flight packets survive,
+				// but advertise nothing (the Figure 14 footgun).
+				s.installFIB(p, cands, selected)
+				s.fibTbl.MarkWarm(p)
+			} else {
+				s.fibTbl.Remove(p)
+			}
+			s.withdrawAll(p, st)
+			return
+		}
+	}
+
+	if len(selected) == 0 {
+		s.fibTbl.Remove(p)
+		s.withdrawAll(p, st)
+		return
+	}
+
+	aggBW := s.installFIB(p, cands, selected)
+
+	// Advertisement: RPA speakers advertise the least favorable selected
+	// path (Section 5.3.1); native decisions advertise the best path.
+	var advIdx int
+	if viaRPA && s.cfg.Advertise == AdvertiseLeastFavorable {
+		advIdx = leastFavorable(cands, selected)
+	} else {
+		advIdx = bestOf(cands, selected)
+	}
+	s.advertise(p, st, &cands[advIdx].attrs, cands[advIdx].session, aggBW)
+}
+
+// gather collects candidates from all sessions in deterministic order.
+func (s *Speaker) gather(p netip.Prefix) []candidate {
+	var out []candidate
+	sessions := make([]SessionID, 0, len(s.adjIn))
+	for sess := range s.adjIn {
+		sessions = append(sessions, sess)
+	}
+	sort.Slice(sessions, func(i, j int) bool { return sessions[i] < sessions[j] })
+	for _, sess := range sessions {
+		if attrs, ok := s.adjIn[sess][p]; ok {
+			out = append(out, candidate{attrs: attrs, session: sess})
+		}
+	}
+	return out
+}
+
+func allIdx(c []candidate) []int {
+	out := make([]int, len(c))
+	for i := range c {
+		out[i] = i
+	}
+	return out
+}
+
+func distinctDevices(cands []candidate, idx []int) int {
+	seen := make(map[string]struct{}, len(idx))
+	for _, i := range idx {
+		seen[cands[i].attrs.NextHop] = struct{}{}
+	}
+	return len(seen)
+}
+
+// better reports whether a is strictly preferred over b by the native BGP
+// decision process up to (not including) the arbitrary tie-breaks:
+// higher LocalPref, then shorter AS path, then lower origin, then lower MED.
+func better(a, b *core.RouteAttrs) bool {
+	if a.LocalPref != b.LocalPref {
+		return a.LocalPref > b.LocalPref
+	}
+	if len(a.ASPath) != len(b.ASPath) {
+		return len(a.ASPath) < len(b.ASPath)
+	}
+	if a.Origin != b.Origin {
+		return a.Origin < b.Origin
+	}
+	return a.MED < b.MED
+}
+
+// equalPreference reports whether two routes tie on all compared attributes
+// (the multipath condition).
+func equalPreference(a, b *core.RouteAttrs) bool {
+	return !better(a, b) && !better(b, a)
+}
+
+// nativeSelect runs native path selection: the maximal equally-preferred
+// set under the standard comparison; multipath keeps the whole set, single
+// path mode keeps the deterministic best.
+func nativeSelect(cands []candidate, multipath bool) []int {
+	if len(cands) == 0 {
+		return nil
+	}
+	best := 0
+	for i := 1; i < len(cands); i++ {
+		if better(&cands[i].attrs, &cands[best].attrs) {
+			best = i
+		}
+	}
+	if !multipath {
+		// Final tie-breaks: lowest peer device, then lowest session.
+		for i := range cands {
+			if i == best {
+				continue
+			}
+			if equalPreference(&cands[i].attrs, &cands[best].attrs) && tieBreakLess(&cands[i], &cands[best]) {
+				best = i
+			}
+		}
+		return []int{best}
+	}
+	var out []int
+	for i := range cands {
+		if equalPreference(&cands[i].attrs, &cands[best].attrs) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func tieBreakLess(a, b *candidate) bool {
+	if a.attrs.Peer != b.attrs.Peer {
+		return a.attrs.Peer < b.attrs.Peer
+	}
+	return a.session < b.session
+}
+
+// bestOf returns the index (into cands) of the best route among selected,
+// with deterministic tie-breaks.
+func bestOf(cands []candidate, selected []int) int {
+	best := selected[0]
+	for _, i := range selected[1:] {
+		if better(&cands[i].attrs, &cands[best].attrs) {
+			best = i
+		} else if equalPreference(&cands[i].attrs, &cands[best].attrs) && tieBreakLess(&cands[i], &cands[best]) {
+			best = i
+		}
+	}
+	return best
+}
+
+// leastFavorable returns the index of the selected route with the least
+// favorable attributes — longest AS path first (Section 5.3.1), then the
+// inverse of the standard tie-breaks, deterministically.
+func leastFavorable(cands []candidate, selected []int) int {
+	worst := selected[0]
+	for _, i := range selected[1:] {
+		a, w := &cands[i].attrs, &cands[worst].attrs
+		switch {
+		case len(a.ASPath) != len(w.ASPath):
+			if len(a.ASPath) > len(w.ASPath) {
+				worst = i
+			}
+		case better(w, a):
+			worst = i
+		case equalPreference(a, w) && !tieBreakLess(&cands[i], &cands[worst]):
+			worst = i
+		}
+	}
+	return worst
+}
+
+// installFIB writes the weighted next-hop set for the selected routes and
+// returns the aggregate advertised bandwidth for WCMP mode.
+func (s *Speaker) installFIB(p netip.Prefix, cands []candidate, selected []int) float64 {
+	attrs := make([]core.RouteAttrs, len(selected))
+	for k, i := range selected {
+		attrs[k] = cands[i].attrs
+	}
+
+	weights := make([]int, len(selected))
+	if wd := s.rpa.AssignWeights(attrs, s.now()); wd.Applied {
+		copy(weights, wd.Weights)
+		s.stats.WeightOverrides++
+	} else if s.cfg.WCMP == WCMPDistributed {
+		for k, i := range selected {
+			bw := cands[i].attrs.LinkBandwidthGbps
+			if bw <= 0 {
+				bw = s.peerCapacity(cands[i].session)
+			}
+			w := int(bw)
+			if w < 1 {
+				w = 1
+			}
+			weights[k] = w
+		}
+	} else {
+		for k := range weights {
+			weights[k] = 1
+		}
+	}
+
+	hops := make([]fib.NextHop, 0, len(selected))
+	aggBW := 0.0
+	for k, i := range selected {
+		if weights[k] <= 0 {
+			continue // weight 0 = drained path: selected but carries nothing
+		}
+		hops = append(hops, fib.NextHop{ID: string(cands[i].session), Weight: weights[k]})
+		bw := cands[i].attrs.LinkBandwidthGbps
+		if bw <= 0 {
+			bw = s.peerCapacity(cands[i].session)
+		}
+		aggBW += bw
+	}
+	s.fibTbl.Install(p, hops)
+	return aggBW
+}
+
+func (s *Speaker) peerCapacity(sess SessionID) float64 {
+	if pr := s.peers[sess]; pr != nil {
+		return pr.linkGbps
+	}
+	return 0
+}
+
+// advKeyOf canonicalizes the advertised content for duplicate suppression.
+func advKeyOf(path []uint32, comms []string, origin core.Origin) string {
+	var b strings.Builder
+	for _, asn := range path {
+		b.WriteString(" ")
+		b.WriteString(uitoa(asn))
+	}
+	b.WriteString("|")
+	sorted := append([]string(nil), comms...)
+	sort.Strings(sorted)
+	b.WriteString(strings.Join(sorted, ","))
+	b.WriteString("|")
+	b.WriteString(origin.String())
+	return b.String()
+}
+
+func uitoa(v uint32) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [10]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+// advertise sends the chosen route to every eligible session, and
+// withdrawals to sessions that previously heard this prefix but are no
+// longer eligible.
+//
+// learnedFrom is the session the advertised route was learned on (empty for
+// locally originated routes); the split-horizon rule never re-advertises a
+// route to the device it came from.
+func (s *Speaker) advertise(p netip.Prefix, st *prefixState, route *core.RouteAttrs, learnedFrom SessionID, aggBW float64) {
+	if s.drained {
+		s.withdrawAll(p, st)
+		return
+	}
+	fromDevice := ""
+	if pr := s.peers[learnedFrom]; pr != nil {
+		fromDevice = pr.device
+	}
+
+	sessions := make([]SessionID, 0, len(s.peers))
+	for sess := range s.peers {
+		sessions = append(sessions, sess)
+	}
+	sort.Slice(sessions, func(i, j int) bool { return sessions[i] < sessions[j] })
+
+	for _, sess := range sessions {
+		pr := s.peers[sess]
+		eligible := true
+		if fromDevice != "" && pr.device == fromDevice {
+			eligible = false // split horizon toward the source device
+		}
+		if eligible && !s.rpa.AllowRoute(route, pr.device, core.Egress) {
+			eligible = false
+		}
+		if !eligible {
+			s.withdrawOne(p, st, sess)
+			continue
+		}
+
+		// Prepend own ASN (1 + maintenance prepend) onto the path.
+		path := make([]uint32, 0, 1+pr.prepend+len(route.ASPath))
+		for i := 0; i <= pr.prepend; i++ {
+			path = append(path, s.cfg.ASN)
+		}
+		path = append(path, route.ASPath...)
+
+		bw := 0.0
+		if s.cfg.WCMP == WCMPDistributed {
+			bw = aggBW
+		}
+		key := advKeyOf(path, route.Communities, route.Origin)
+		if prev, ok := st.advertised[sess]; ok && prev.pathKey == key && prev.bw == bw {
+			continue // nothing changed on this session
+		}
+		st.advertised[sess] = adv{pathKey: key, bw: bw}
+		s.stats.UpdatesSent++
+		s.outbox = append(s.outbox, OutMsg{Session: sess, Update: Update{
+			Prefix:            p,
+			ASPath:            path,
+			Communities:       append([]string(nil), route.Communities...),
+			Origin:            route.Origin,
+			LinkBandwidthGbps: bw,
+		}})
+	}
+}
+
+// withdrawAll retracts the prefix from every session it was advertised on.
+func (s *Speaker) withdrawAll(p netip.Prefix, st *prefixState) {
+	sessions := make([]SessionID, 0, len(st.advertised))
+	for sess := range st.advertised {
+		sessions = append(sessions, sess)
+	}
+	sort.Slice(sessions, func(i, j int) bool { return sessions[i] < sessions[j] })
+	for _, sess := range sessions {
+		s.withdrawOne(p, st, sess)
+	}
+}
+
+func (s *Speaker) withdrawOne(p netip.Prefix, st *prefixState, sess SessionID) {
+	if _, ok := st.advertised[sess]; !ok {
+		return
+	}
+	delete(st.advertised, sess)
+	if _, stillUp := s.peers[sess]; !stillUp {
+		return // session gone; nothing to send
+	}
+	s.stats.WithdrawalsSent++
+	s.outbox = append(s.outbox, OutMsg{Session: sess, Update: Update{Prefix: p, Withdraw: true}})
+}

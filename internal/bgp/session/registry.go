@@ -1,0 +1,76 @@
+// Package session runs bgp.Speaker state machines over real transports:
+// it implements the BGP session layer — OPEN handshake, keepalive and hold
+// timers, UPDATE exchange — using the RFC 4271 codec of bgp/wire on any
+// net.Conn. The emulated fabric uses the in-process event engine for scale;
+// this package is the "live mode" that proves the speaker and codec
+// interoperate over an actual TCP connection, as the paper's emulation test
+// suite does for binary qualification (Section 7.1).
+package session
+
+import (
+	"fmt"
+	"sync"
+
+	"centralium/internal/bgp/wire"
+)
+
+// Registry maps the emulation's symbolic community names (e.g.
+// "BACKBONE_DEFAULT_ROUTE") to on-the-wire RFC 1997 values. Both ends of a
+// session must share a registry, mirroring how production assigns
+// well-known community values fleet-wide.
+type Registry struct {
+	mu      sync.RWMutex
+	byName  map[string]wire.Community
+	byValue map[wire.Community]string
+	next    uint32
+}
+
+// NewRegistry returns a registry that allocates values in the private-use
+// 65535:N range.
+func NewRegistry() *Registry {
+	return &Registry{
+		byName:  make(map[string]wire.Community),
+		byValue: make(map[wire.Community]string),
+		next:    0xFFFF0000,
+	}
+}
+
+// Register assigns (or returns the existing) wire value for a name.
+func (r *Registry) Register(name string) wire.Community {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if v, ok := r.byName[name]; ok {
+		return v
+	}
+	v := wire.Community(r.next)
+	r.next++
+	r.byName[name] = v
+	r.byValue[v] = name
+	return v
+}
+
+// Encode maps symbolic names to wire communities; unknown names are
+// registered on the fly (sender-side authority).
+func (r *Registry) Encode(names []string) []wire.Community {
+	out := make([]wire.Community, 0, len(names))
+	for _, n := range names {
+		out = append(out, r.Register(n))
+	}
+	return out
+}
+
+// Decode maps wire communities back to names; unknown values render as
+// "65535:N" style strings so nothing is silently dropped.
+func (r *Registry) Decode(values []wire.Community) []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(values))
+	for _, v := range values {
+		if n, ok := r.byValue[v]; ok {
+			out = append(out, n)
+		} else {
+			out = append(out, fmt.Sprintf("%d:%d", uint32(v)>>16, uint32(v)&0xFFFF))
+		}
+	}
+	return out
+}

@@ -1,0 +1,321 @@
+package bgp
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+
+	"centralium/internal/core"
+	"centralium/internal/fib"
+)
+
+// LocalNextHop is the FIB next-hop ID installed for locally originated
+// prefixes; the traffic model treats it as final delivery.
+const LocalNextHop = "local"
+
+// Speaker is one emulated BGP daemon. It is single-threaded by design: the
+// fabric engine serializes all calls, mirroring a real daemon's decision
+// thread.
+type Speaker struct {
+	cfg   Config
+	peers map[SessionID]*peer
+
+	adjIn      map[SessionID]map[netip.Prefix]core.RouteAttrs
+	originated map[netip.Prefix]originInfo
+	prefixes   map[netip.Prefix]*prefixState
+
+	rpa     *core.Evaluator
+	rpaCfg  *core.Config
+	fibTbl  *fib.Table
+	outbox  []OutMsg
+	stats   Stats
+	drained bool
+
+	// now supplies the emulation clock for Route Attribute expiry.
+	now func() int64
+}
+
+// NewSpeaker constructs a speaker. The clock function may be nil (treated
+// as a constant zero clock).
+func NewSpeaker(cfg Config, now func() int64) *Speaker {
+	if cfg.LocalPref == 0 {
+		cfg.LocalPref = 100
+	}
+	if now == nil {
+		now = func() int64 { return 0 }
+	}
+	emptyRPA, err := core.NewEvaluator(&core.Config{})
+	if err != nil {
+		panic("bgp: empty RPA config failed to compile: " + err.Error())
+	}
+	return &Speaker{
+		cfg:        cfg,
+		peers:      make(map[SessionID]*peer),
+		adjIn:      make(map[SessionID]map[netip.Prefix]core.RouteAttrs),
+		originated: make(map[netip.Prefix]originInfo),
+		prefixes:   make(map[netip.Prefix]*prefixState),
+		rpa:        emptyRPA,
+		rpaCfg:     &core.Config{},
+		fibTbl:     fib.New(cfg.FIBGroupLimit),
+		now:        now,
+	}
+}
+
+// ID returns the speaker's device name.
+func (s *Speaker) ID() string { return s.cfg.ID }
+
+// ASN returns the speaker's autonomous system number.
+func (s *Speaker) ASN() uint32 { return s.cfg.ASN }
+
+// FIB exposes the speaker's forwarding table.
+func (s *Speaker) FIB() *fib.Table { return s.fibTbl }
+
+// Stats returns a snapshot of the activity counters.
+func (s *Speaker) Stats() Stats { return s.stats }
+
+// RPAConfig returns the currently deployed RPA configuration.
+func (s *Speaker) RPAConfig() *core.Config { return s.rpaCfg }
+
+// TakeOutbox returns and clears the pending outgoing messages.
+func (s *Speaker) TakeOutbox() []OutMsg {
+	out := s.outbox
+	s.outbox = nil
+	return out
+}
+
+// AddPeer registers a session to a neighboring device. Existing
+// advertisements are replayed onto the new session.
+func (s *Speaker) AddPeer(sess SessionID, device string, asn uint32, linkGbps float64) {
+	if _, dup := s.peers[sess]; dup {
+		panic(fmt.Sprintf("bgp %s: duplicate session %q", s.cfg.ID, sess))
+	}
+	s.peers[sess] = &peer{session: sess, device: device, asn: asn, linkGbps: linkGbps}
+	s.adjIn[sess] = make(map[netip.Prefix]core.RouteAttrs)
+	// Replay current decisions to the new peer.
+	for p := range s.allPrefixes() {
+		s.recompute(p)
+	}
+}
+
+// RemovePeer tears down a session: its routes leave the RIB and affected
+// prefixes are recomputed.
+func (s *Speaker) RemovePeer(sess SessionID) {
+	pr := s.peers[sess]
+	if pr == nil {
+		return
+	}
+	affected := make([]netip.Prefix, 0, len(s.adjIn[sess]))
+	for p := range s.adjIn[sess] {
+		affected = append(affected, p)
+	}
+	delete(s.peers, sess)
+	delete(s.adjIn, sess)
+	for _, st := range s.prefixes {
+		delete(st.advertised, sess)
+	}
+	for _, p := range affected {
+		s.recompute(p)
+	}
+}
+
+// Peers returns the registered session IDs, sorted.
+func (s *Speaker) Peers() []SessionID {
+	out := make([]SessionID, 0, len(s.peers))
+	for id := range s.peers {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// SetPeerPrepend sets the export AS-path prepend count toward a neighboring
+// device (across all its sessions). This is the "preset export policy"
+// maintenance mechanism of Section 3.4: prepending makes this speaker's
+// advertisements less favorable. All prefixes are re-advertised.
+func (s *Speaker) SetPeerPrepend(device string, n int) {
+	for _, pr := range s.peers {
+		if pr.device == device {
+			pr.prepend = n
+		}
+	}
+	for p := range s.allPrefixes() {
+		s.recompute(p)
+	}
+}
+
+// SetAllPeersPrepend sets the export prepend toward every peer — the whole
+// device entering maintenance.
+func (s *Speaker) SetAllPeersPrepend(n int) {
+	for _, pr := range s.peers {
+		pr.prepend = n
+	}
+	for p := range s.allPrefixes() {
+		s.recompute(p)
+	}
+}
+
+// SetDrained steers traffic away from this device: while drained, the
+// speaker withdraws all its advertisements (but keeps forwarding state so
+// in-flight packets drain gracefully).
+func (s *Speaker) SetDrained(d bool) {
+	if s.drained == d {
+		return
+	}
+	s.drained = d
+	for p := range s.allPrefixes() {
+		s.recompute(p)
+	}
+}
+
+// Drained reports the drain state.
+func (s *Speaker) Drained() bool { return s.drained }
+
+// SetRPA deploys an RPA configuration, replacing any previous one, and
+// re-runs the decision process for every known prefix. This is the
+// operation whose latency Figure 12 reports.
+func (s *Speaker) SetRPA(cfg *core.Config) error {
+	if cfg == nil {
+		cfg = &core.Config{}
+	}
+	ev, err := core.NewEvaluator(cfg)
+	if err != nil {
+		return fmt.Errorf("bgp %s: %w", s.cfg.ID, err)
+	}
+	s.rpa = ev
+	s.rpaCfg = cfg.Clone()
+	for p := range s.allPrefixes() {
+		s.recompute(p)
+	}
+	return nil
+}
+
+// Originate injects a locally originated prefix (e.g. the backbone's
+// default route) and advertises it to all peers.
+func (s *Speaker) Originate(p netip.Prefix, communities []string, origin core.Origin, bandwidthGbps float64) {
+	s.OriginateEx(p, communities, origin, bandwidthGbps, true)
+}
+
+// OriginateEx is Originate with control over local forwarding state.
+// installFIB=false originates an aggregate the device merely advertises on
+// behalf of others: no local delivery entry is installed, so packets for
+// the prefix fall through to less-specific routes (or black-hole if there
+// are none — the Figure 14 SEV's "not production ready" FA).
+func (s *Speaker) OriginateEx(p netip.Prefix, communities []string, origin core.Origin, bandwidthGbps float64, installFIB bool) {
+	s.originated[p] = originInfo{
+		communities:   append([]string(nil), communities...),
+		origin:        origin,
+		bandwidthGbps: bandwidthGbps,
+		installFIB:    installFIB,
+	}
+	s.recompute(p)
+}
+
+// WithdrawOrigin removes a locally originated prefix.
+func (s *Speaker) WithdrawOrigin(p netip.Prefix) {
+	if _, ok := s.originated[p]; !ok {
+		return
+	}
+	delete(s.originated, p)
+	s.recompute(p)
+}
+
+// HandleUpdate processes one received UPDATE on a session: loop check,
+// ingress RouteFilter RPA, Adj-RIB-In write, decision.
+func (s *Speaker) HandleUpdate(sess SessionID, u Update) {
+	pr := s.peers[sess]
+	if pr == nil {
+		return // session raced down; drop silently like a closed TCP conn
+	}
+	s.stats.UpdatesReceived++
+	if u.Withdraw {
+		if _, had := s.adjIn[sess][u.Prefix]; had {
+			delete(s.adjIn[sess], u.Prefix)
+			s.recompute(u.Prefix)
+		}
+		return
+	}
+	// Sanity: AS-path loop prevention (RFC 4271 §9.1.2).
+	for _, asn := range u.ASPath {
+		if asn == s.cfg.ASN {
+			s.stats.LoopRejects++
+			return
+		}
+	}
+	// Sanity: eBGP enforce-first-AS — the leftmost ASN must be the peer's.
+	if len(u.ASPath) == 0 || u.ASPath[0] != pr.asn {
+		s.stats.FirstASRejects++
+		return
+	}
+	attrs := core.RouteAttrs{
+		Prefix:            u.Prefix,
+		ASPath:            append([]uint32(nil), u.ASPath...),
+		Communities:       append([]string(nil), u.Communities...),
+		LocalPref:         s.cfg.LocalPref,
+		MED:               u.MED,
+		Origin:            u.Origin,
+		NextHop:           pr.device,
+		Peer:              pr.device,
+		LinkBandwidthGbps: u.LinkBandwidthGbps,
+	}
+	// Ingress Route Filter RPA (Figure 6: after sanity and ingress policy).
+	if !s.rpa.AllowRoute(&attrs, pr.device, core.Ingress) {
+		s.stats.FilterRejects++
+		// A denied route must also clear any previous RIB entry.
+		if _, had := s.adjIn[sess][u.Prefix]; had {
+			delete(s.adjIn[sess], u.Prefix)
+			s.recompute(u.Prefix)
+		}
+		return
+	}
+	s.adjIn[sess][u.Prefix] = attrs
+	s.recompute(u.Prefix)
+}
+
+// Candidates returns copies of the RIB routes for a prefix, in the same
+// deterministic order the decision process sees them. Used by the debug
+// tooling (Section 7.2) to explain selection.
+func (s *Speaker) Candidates(p netip.Prefix) []core.RouteAttrs {
+	cands := s.gather(p)
+	out := make([]core.RouteAttrs, len(cands))
+	for i := range cands {
+		out[i] = cands[i].attrs
+	}
+	return out
+}
+
+// Baseline returns the prefix's observed full-health next-hop count (the
+// denominator for percentage MinNextHop thresholds when the statement does
+// not pin ExpectedNextHops).
+func (s *Speaker) Baseline(p netip.Prefix) int {
+	if st := s.prefixes[p]; st != nil {
+		return st.baseline
+	}
+	return 0
+}
+
+// allPrefixes returns the set of prefixes known from any source.
+func (s *Speaker) allPrefixes() map[netip.Prefix]struct{} {
+	out := make(map[netip.Prefix]struct{})
+	for _, rib := range s.adjIn {
+		for p := range rib {
+			out[p] = struct{}{}
+		}
+	}
+	for p := range s.originated {
+		out[p] = struct{}{}
+	}
+	for p := range s.prefixes {
+		out[p] = struct{}{}
+	}
+	return out
+}
+
+// state returns (creating if needed) the prefix bookkeeping.
+func (s *Speaker) state(p netip.Prefix) *prefixState {
+	st := s.prefixes[p]
+	if st == nil {
+		st = &prefixState{advertised: make(map[SessionID]adv)}
+		s.prefixes[p] = st
+	}
+	return st
+}

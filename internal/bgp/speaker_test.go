@@ -1,0 +1,439 @@
+package bgp
+
+import (
+	"net/netip"
+	"testing"
+
+	"centralium/internal/core"
+	"centralium/internal/fib"
+)
+
+var defaultRoute = netip.MustParsePrefix("0.0.0.0/0")
+
+func newTestSpeaker(id string, asn uint32) *Speaker {
+	return NewSpeaker(Config{ID: id, ASN: asn, Multipath: true}, nil)
+}
+
+// drainOutbox empties and returns the outbox grouped by session.
+func drainOutbox(s *Speaker) map[SessionID][]Update {
+	out := make(map[SessionID][]Update)
+	for _, m := range s.TakeOutbox() {
+		out[m.Session] = append(out[m.Session], m.Update)
+	}
+	return out
+}
+
+func TestOriginateAdvertisesToAllPeers(t *testing.T) {
+	s := newTestSpeaker("eb.0", 100)
+	s.AddPeer("s1", "fauu.0", 200, 100)
+	s.AddPeer("s2", "fauu.1", 201, 100)
+	s.Originate(defaultRoute, []string{"BACKBONE_DEFAULT_ROUTE"}, core.OriginIGP, 0)
+
+	msgs := drainOutbox(s)
+	for _, sess := range []SessionID{"s1", "s2"} {
+		got := msgs[sess]
+		if len(got) != 1 {
+			t.Fatalf("session %s got %d updates, want 1", sess, len(got))
+		}
+		u := got[0]
+		if u.Withdraw || u.Prefix != defaultRoute {
+			t.Fatalf("bad update: %+v", u)
+		}
+		if len(u.ASPath) != 1 || u.ASPath[0] != 100 {
+			t.Fatalf("AS path = %v, want [100]", u.ASPath)
+		}
+		if len(u.Communities) != 1 || u.Communities[0] != "BACKBONE_DEFAULT_ROUTE" {
+			t.Fatalf("communities = %v", u.Communities)
+		}
+	}
+	// Origin's own FIB points at local delivery.
+	hops := s.FIB().Lookup(defaultRoute)
+	if len(hops) != 1 || hops[0].ID != LocalNextHop {
+		t.Fatalf("origin FIB = %v", hops)
+	}
+}
+
+func TestPropagationPrependsASN(t *testing.T) {
+	s := newTestSpeaker("mid", 200)
+	s.AddPeer("up", "origin-dev", 100, 100)
+	s.AddPeer("down", "down-dev", 300, 100)
+	drainOutbox(s)
+
+	s.HandleUpdate("up", Update{Prefix: defaultRoute, ASPath: []uint32{100}, Origin: core.OriginIGP})
+	msgs := drainOutbox(s)
+	if len(msgs["up"]) != 0 {
+		t.Fatalf("advertised back to source device: %+v", msgs["up"])
+	}
+	down := msgs["down"]
+	if len(down) != 1 {
+		t.Fatalf("downstream got %d updates, want 1", len(down))
+	}
+	want := []uint32{200, 100}
+	if len(down[0].ASPath) != 2 || down[0].ASPath[0] != want[0] || down[0].ASPath[1] != want[1] {
+		t.Fatalf("AS path = %v, want %v", down[0].ASPath, want)
+	}
+	// FIB installed toward the upstream session.
+	hops := s.FIB().Lookup(defaultRoute)
+	if len(hops) != 1 || hops[0].ID != "up" {
+		t.Fatalf("FIB = %v", hops)
+	}
+}
+
+func TestLoopPrevention(t *testing.T) {
+	s := newTestSpeaker("x", 200)
+	s.AddPeer("p", "peer-dev", 100, 100)
+	s.HandleUpdate("p", Update{Prefix: defaultRoute, ASPath: []uint32{100, 200, 50}})
+	if s.FIB().Lookup(defaultRoute) != nil {
+		t.Fatal("looping route installed")
+	}
+	if s.Stats().LoopRejects != 1 {
+		t.Fatalf("LoopRejects = %d, want 1", s.Stats().LoopRejects)
+	}
+}
+
+func TestNativeSelectionPrefersShortestPath(t *testing.T) {
+	s := newTestSpeaker("ssw", 300)
+	s.AddPeer("a", "fav1.0", 101, 100)
+	s.AddPeer("b", "fav2.0", 102, 100)
+	drainOutbox(s)
+	// Long path via fav1, short via fav2.
+	s.HandleUpdate("a", Update{Prefix: defaultRoute, ASPath: []uint32{101, 50, 60}})
+	s.HandleUpdate("b", Update{Prefix: defaultRoute, ASPath: []uint32{102, 60}})
+	hops := s.FIB().Lookup(defaultRoute)
+	if len(hops) != 1 || hops[0].ID != "b" {
+		t.Fatalf("FIB = %v, want only the short path via b (first-router behavior)", hops)
+	}
+}
+
+func TestNativeMultipathECMP(t *testing.T) {
+	s := newTestSpeaker("ssw", 300)
+	s.AddPeer("a", "fadu.0", 101, 100)
+	s.AddPeer("b", "fadu.1", 102, 100)
+	s.HandleUpdate("a", Update{Prefix: defaultRoute, ASPath: []uint32{101, 60}})
+	s.HandleUpdate("b", Update{Prefix: defaultRoute, ASPath: []uint32{102, 60}})
+	hops := s.FIB().Lookup(defaultRoute)
+	if len(hops) != 2 {
+		t.Fatalf("FIB = %v, want ECMP over both", hops)
+	}
+	for _, h := range hops {
+		if h.Weight != 1 {
+			t.Fatalf("ECMP weight = %d, want 1", h.Weight)
+		}
+	}
+}
+
+func TestSinglePathModeTieBreak(t *testing.T) {
+	s := NewSpeaker(Config{ID: "x", ASN: 300, Multipath: false}, nil)
+	s.AddPeer("b-sess", "bbb", 102, 100)
+	s.AddPeer("a-sess", "aaa", 101, 100)
+	s.HandleUpdate("b-sess", Update{Prefix: defaultRoute, ASPath: []uint32{102, 60}})
+	s.HandleUpdate("a-sess", Update{Prefix: defaultRoute, ASPath: []uint32{101, 60}})
+	hops := s.FIB().Lookup(defaultRoute)
+	if len(hops) != 1 || hops[0].ID != "a-sess" {
+		t.Fatalf("FIB = %v, want deterministic single path via lowest device", hops)
+	}
+}
+
+func TestWithdrawPropagates(t *testing.T) {
+	s := newTestSpeaker("mid", 200)
+	s.AddPeer("up", "u", 100, 100)
+	s.AddPeer("down", "d", 300, 100)
+	s.HandleUpdate("up", Update{Prefix: defaultRoute, ASPath: []uint32{100}})
+	drainOutbox(s)
+	s.HandleUpdate("up", Update{Prefix: defaultRoute, Withdraw: true})
+	msgs := drainOutbox(s)
+	if len(msgs["down"]) != 1 || !msgs["down"][0].Withdraw {
+		t.Fatalf("downstream withdrawal missing: %+v", msgs)
+	}
+	if s.FIB().Lookup(defaultRoute) != nil {
+		t.Fatal("FIB entry survived withdrawal")
+	}
+	// Duplicate withdraw: no message.
+	s.HandleUpdate("up", Update{Prefix: defaultRoute, Withdraw: true})
+	if msgs := drainOutbox(s); len(msgs["down"]) != 0 {
+		t.Fatalf("duplicate withdrawal sent: %+v", msgs)
+	}
+}
+
+func TestDuplicateSuppression(t *testing.T) {
+	s := newTestSpeaker("mid", 200)
+	s.AddPeer("up", "u", 100, 100)
+	s.AddPeer("down", "d", 300, 100)
+	s.HandleUpdate("up", Update{Prefix: defaultRoute, ASPath: []uint32{100}})
+	drainOutbox(s)
+	// Same content again: nothing new downstream.
+	s.HandleUpdate("up", Update{Prefix: defaultRoute, ASPath: []uint32{100}})
+	if msgs := drainOutbox(s); len(msgs["down"]) != 0 {
+		t.Fatalf("duplicate update sent: %+v", msgs)
+	}
+}
+
+func TestRemovePeerWithdraws(t *testing.T) {
+	s := newTestSpeaker("mid", 200)
+	s.AddPeer("up", "u", 100, 100)
+	s.AddPeer("down", "d", 300, 100)
+	s.HandleUpdate("up", Update{Prefix: defaultRoute, ASPath: []uint32{100}})
+	drainOutbox(s)
+	s.RemovePeer("up")
+	msgs := drainOutbox(s)
+	if len(msgs["down"]) != 1 || !msgs["down"][0].Withdraw {
+		t.Fatalf("peer removal did not withdraw downstream: %+v", msgs)
+	}
+	if got := len(s.Peers()); got != 1 {
+		t.Fatalf("Peers = %d, want 1", got)
+	}
+	// Removing an unknown peer is a no-op.
+	s.RemovePeer("nope")
+}
+
+func TestAddPeerReplaysRoutes(t *testing.T) {
+	s := newTestSpeaker("mid", 200)
+	s.AddPeer("up", "u", 100, 100)
+	s.HandleUpdate("up", Update{Prefix: defaultRoute, ASPath: []uint32{100}})
+	drainOutbox(s)
+	s.AddPeer("late", "l", 300, 100)
+	msgs := drainOutbox(s)
+	if len(msgs["late"]) != 1 || msgs["late"][0].Withdraw {
+		t.Fatalf("late peer did not receive replay: %+v", msgs)
+	}
+}
+
+func TestDrain(t *testing.T) {
+	s := newTestSpeaker("fadu", 200)
+	s.AddPeer("up", "eb", 100, 100)
+	s.AddPeer("down", "ssw", 300, 100)
+	s.HandleUpdate("up", Update{Prefix: defaultRoute, ASPath: []uint32{100}})
+	drainOutbox(s)
+
+	s.SetDrained(true)
+	if !s.Drained() {
+		t.Fatal("Drained() = false")
+	}
+	msgs := drainOutbox(s)
+	if len(msgs["down"]) != 1 || !msgs["down"][0].Withdraw {
+		t.Fatalf("drain did not withdraw: %+v", msgs)
+	}
+	// Forwarding state retained while drained (graceful drain).
+	if s.FIB().Lookup(defaultRoute) == nil {
+		t.Fatal("drain dropped forwarding state")
+	}
+	// New routes while drained are not advertised.
+	s.HandleUpdate("up", Update{Prefix: netip.MustParsePrefix("10.0.0.0/8"), ASPath: []uint32{100}})
+	if msgs := drainOutbox(s); len(msgs["down"]) != 0 {
+		t.Fatalf("drained speaker advertised: %+v", msgs)
+	}
+	// Undrain re-advertises.
+	s.SetDrained(false)
+	msgs = drainOutbox(s)
+	if len(msgs["down"]) != 2 {
+		t.Fatalf("undrain re-advertised %d prefixes, want 2", len(msgs["down"]))
+	}
+	s.SetDrained(false) // idempotent
+}
+
+func TestSetPeerPrepend(t *testing.T) {
+	s := newTestSpeaker("eb", 100)
+	s.AddPeer("s1", "uu.0", 200, 100)
+	s.Originate(defaultRoute, nil, core.OriginIGP, 0)
+	drainOutbox(s)
+
+	s.SetAllPeersPrepend(2)
+	msgs := drainOutbox(s)
+	got := msgs["s1"]
+	if len(got) != 1 {
+		t.Fatalf("prepend did not re-advertise: %+v", msgs)
+	}
+	if len(got[0].ASPath) != 3 {
+		t.Fatalf("AS path = %v, want own ASN x3", got[0].ASPath)
+	}
+	for _, asn := range got[0].ASPath {
+		if asn != 100 {
+			t.Fatalf("AS path = %v", got[0].ASPath)
+		}
+	}
+	// Per-device variant.
+	s.SetPeerPrepend("uu.0", 0)
+	msgs = drainOutbox(s)
+	if len(msgs["s1"]) != 1 || len(msgs["s1"][0].ASPath) != 1 {
+		t.Fatalf("per-device prepend reset failed: %+v", msgs)
+	}
+}
+
+func TestVendorMinECMPWithdraws(t *testing.T) {
+	s := NewSpeaker(Config{ID: "ssw", ASN: 300, Multipath: true, VendorMinECMP: 2}, nil)
+	s.AddPeer("a", "fadu.0", 101, 100)
+	s.AddPeer("b", "fadu.1", 102, 100)
+	s.AddPeer("down", "fsw.0", 400, 100)
+	s.HandleUpdate("a", Update{Prefix: defaultRoute, ASPath: []uint32{101, 60}})
+	s.HandleUpdate("b", Update{Prefix: defaultRoute, ASPath: []uint32{102, 60}})
+	drainOutbox(s)
+	if s.FIB().Lookup(defaultRoute) == nil {
+		t.Fatal("route missing with 2 next-hops")
+	}
+	// Lose one next-hop: below vendor threshold, withdraw and clear FIB.
+	s.HandleUpdate("a", Update{Prefix: defaultRoute, Withdraw: true})
+	msgs := drainOutbox(s)
+	if len(msgs["down"]) != 1 || !msgs["down"][0].Withdraw {
+		t.Fatalf("vendor min-ECMP did not withdraw: %+v", msgs)
+	}
+	if s.FIB().Lookup(defaultRoute) != nil {
+		t.Fatal("vendor min-ECMP kept FIB entry")
+	}
+	if s.Stats().MnhWithdrawals == 0 {
+		t.Fatal("MnhWithdrawals not counted")
+	}
+}
+
+func TestWCMPDistributedWeightsAndAggregation(t *testing.T) {
+	s := NewSpeaker(Config{ID: "uu", ASN: 300, Multipath: true, WCMP: WCMPDistributed}, nil)
+	s.AddPeer("e1", "eb.0", 101, 100)
+	s.AddPeer("e2", "eb.1", 102, 100)
+	s.AddPeer("d1", "du.0", 400, 100)
+	s.HandleUpdate("e1", Update{Prefix: defaultRoute, ASPath: []uint32{101}, LinkBandwidthGbps: 300})
+	s.HandleUpdate("e2", Update{Prefix: defaultRoute, ASPath: []uint32{102}, LinkBandwidthGbps: 100})
+	hops := s.FIB().Lookup(defaultRoute)
+	if len(hops) != 2 {
+		t.Fatalf("FIB = %v", hops)
+	}
+	weights := map[string]int{}
+	for _, h := range hops {
+		weights[h.ID] = h.Weight
+	}
+	if weights["e1"] != 3*weights["e2"] {
+		t.Fatalf("weights = %v, want 3:1", weights)
+	}
+	// Downstream advertisement aggregates bandwidth.
+	msgs := drainOutbox(s)
+	down := msgs["d1"]
+	if len(down) == 0 {
+		t.Fatal("no downstream advertisement")
+	}
+	last := down[len(down)-1]
+	if last.LinkBandwidthGbps != 400 {
+		t.Fatalf("aggregated bandwidth = %v, want 400", last.LinkBandwidthGbps)
+	}
+	// Losing a path re-advertises with the reduced aggregate (WCMP churn).
+	s.HandleUpdate("e2", Update{Prefix: defaultRoute, Withdraw: true})
+	msgs = drainOutbox(s)
+	down = msgs["d1"]
+	if len(down) != 1 || down[0].LinkBandwidthGbps != 300 {
+		t.Fatalf("bandwidth churn advertisement = %+v", down)
+	}
+}
+
+func TestWCMPFallsBackToLinkCapacity(t *testing.T) {
+	s := NewSpeaker(Config{ID: "uu", ASN: 300, Multipath: true, WCMP: WCMPDistributed}, nil)
+	s.AddPeer("e1", "eb.0", 101, 400) // link capacity used when no bw community
+	s.AddPeer("e2", "eb.1", 102, 100)
+	s.HandleUpdate("e1", Update{Prefix: defaultRoute, ASPath: []uint32{101}})
+	s.HandleUpdate("e2", Update{Prefix: defaultRoute, ASPath: []uint32{102}})
+	hops := s.FIB().Lookup(defaultRoute)
+	weights := map[string]int{}
+	for _, h := range hops {
+		weights[h.ID] = h.Weight
+	}
+	if weights["e1"] != 4*weights["e2"] {
+		t.Fatalf("weights = %v, want 4:1 from link capacities", weights)
+	}
+}
+
+func TestWithdrawOrigin(t *testing.T) {
+	s := newTestSpeaker("eb", 100)
+	s.AddPeer("s1", "uu.0", 200, 100)
+	s.Originate(defaultRoute, nil, core.OriginIGP, 0)
+	drainOutbox(s)
+	s.WithdrawOrigin(defaultRoute)
+	msgs := drainOutbox(s)
+	if len(msgs["s1"]) != 1 || !msgs["s1"][0].Withdraw {
+		t.Fatalf("origin withdrawal missing: %+v", msgs)
+	}
+	if s.FIB().Lookup(defaultRoute) != nil {
+		t.Fatal("FIB kept after origin withdrawal")
+	}
+	s.WithdrawOrigin(defaultRoute) // idempotent
+}
+
+func TestHandleUpdateUnknownSessionIgnored(t *testing.T) {
+	s := newTestSpeaker("x", 100)
+	s.HandleUpdate("ghost", Update{Prefix: defaultRoute, ASPath: []uint32{1}})
+	if s.FIB().Lookup(defaultRoute) != nil {
+		t.Fatal("route from unknown session installed")
+	}
+}
+
+func TestAddPeerDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s := newTestSpeaker("x", 100)
+	s.AddPeer("s", "d", 1, 100)
+	s.AddPeer("s", "d", 1, 100)
+}
+
+func TestZeroWeightPathsCarryNoTraffic(t *testing.T) {
+	s := newTestSpeaker("ssw", 300)
+	cfg := &core.Config{RouteAttribute: []core.RouteAttributeStatement{{
+		Name:        "drain-a",
+		Destination: core.Destination{},
+		NextHopWeights: []core.NextHopWeight{
+			{Signature: core.PathSignature{NextHopRegex: "^fadu\\.0"}, Weight: 0},
+		},
+	}}}
+	s.AddPeer("a", "fadu.0", 101, 100)
+	s.AddPeer("b", "fadu.1", 102, 100)
+	if err := s.SetRPA(cfg); err != nil {
+		t.Fatal(err)
+	}
+	s.HandleUpdate("a", Update{Prefix: defaultRoute, ASPath: []uint32{101, 60}})
+	s.HandleUpdate("b", Update{Prefix: defaultRoute, ASPath: []uint32{102, 60}})
+	hops := s.FIB().Lookup(defaultRoute)
+	if len(hops) != 1 || hops[0].ID != "b" {
+		t.Fatalf("FIB = %v, want only b (a drained by weight 0)", hops)
+	}
+	if s.Stats().WeightOverrides == 0 {
+		t.Fatal("WeightOverrides not counted")
+	}
+}
+
+func TestSetRPAInvalidConfigRejected(t *testing.T) {
+	s := newTestSpeaker("x", 100)
+	bad := &core.Config{PathSelection: []core.PathSelectionStatement{{Name: ""}}}
+	if err := s.SetRPA(bad); err == nil {
+		t.Fatal("invalid RPA accepted")
+	}
+	if err := s.SetRPA(nil); err != nil {
+		t.Fatalf("nil RPA rejected: %v", err)
+	}
+}
+
+func TestFIBGroupLimitPlumbed(t *testing.T) {
+	s := NewSpeaker(Config{ID: "x", ASN: 1, FIBGroupLimit: 7}, nil)
+	if got := s.FIB().Stats().Limit; got != 7 {
+		t.Fatalf("FIB limit = %d, want 7", got)
+	}
+	if fib.New(0).Stats().Limit != fib.DefaultGroupLimit {
+		t.Fatal("default limit wrong")
+	}
+}
+
+func TestEnforceFirstAS(t *testing.T) {
+	s := newTestSpeaker("x", 200)
+	s.AddPeer("p", "peer-dev", 100, 100)
+	// Leftmost ASN is not the peer's: spoofed/mis-forwarded update.
+	s.HandleUpdate("p", Update{Prefix: defaultRoute, ASPath: []uint32{999, 50}})
+	if s.FIB().Lookup(defaultRoute) != nil {
+		t.Fatal("update with wrong first AS installed")
+	}
+	// Empty AS path from an eBGP peer is equally invalid.
+	s.HandleUpdate("p", Update{Prefix: defaultRoute, ASPath: nil})
+	if got := s.Stats().FirstASRejects; got != 2 {
+		t.Fatalf("FirstASRejects = %d, want 2", got)
+	}
+	// The legitimate form passes.
+	s.HandleUpdate("p", Update{Prefix: defaultRoute, ASPath: []uint32{100, 50}})
+	if s.FIB().Lookup(defaultRoute) == nil {
+		t.Fatal("valid update rejected")
+	}
+}

@@ -1,0 +1,79 @@
+package wire
+
+import (
+	"net/netip"
+	"testing"
+)
+
+// FuzzUnmarshal drives the codec with arbitrary bytes: it must never panic
+// and, when it accepts a message, re-marshaling must produce bytes that
+// parse back to an equivalent message (idempotence under a round trip).
+func FuzzUnmarshal(f *testing.F) {
+	// Seed corpus: one valid message of each type plus mutations.
+	seeds := []Message{
+		&Keepalive{},
+		&Notification{Code: NotifCease, Subcode: 1, Data: []byte{1, 2}},
+		&Open{ASN: 4200000001, HoldTime: 90, RouterID: netip.MustParseAddr("10.0.0.1")},
+		&Update{
+			Withdrawn:      []netip.Prefix{netip.MustParsePrefix("192.0.2.0/24")},
+			ASPath:         []ASPathSegment{{Type: SegSequence, ASNs: []uint32{65001, 65002}}},
+			NextHop:        netip.MustParseAddr("10.0.0.9"),
+			Communities:    []Community{42},
+			ExtCommunities: []ExtCommunity{LinkBandwidth(23456, 1e9)},
+			NLRI:           []netip.Prefix{netip.MustParsePrefix("10.0.0.0/8"), netip.MustParsePrefix("0.0.0.0/0")},
+		},
+	}
+	for _, m := range seeds {
+		data, err := Marshal(m)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+		// A couple of corrupted variants.
+		for _, i := range []int{16, 18, len(data) - 1} {
+			if i >= 0 && i < len(data) {
+				mut := append([]byte(nil), data...)
+				mut[i] ^= 0xFF
+				f.Add(mut)
+			}
+		}
+	}
+	f.Add([]byte{})
+	f.Add(make([]byte, HeaderLen))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Unmarshal(data)
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		re, err := Marshal(m)
+		if err != nil {
+			t.Fatalf("accepted message failed to re-marshal: %v", err)
+		}
+		if _, err := Unmarshal(re); err != nil {
+			t.Fatalf("re-marshaled bytes rejected: %v", err)
+		}
+	})
+}
+
+// FuzzParsePrefixes exercises the NLRI sub-parser directly.
+func FuzzParsePrefixes(f *testing.F) {
+	f.Add([]byte{8, 10})
+	f.Add([]byte{32, 1, 2, 3, 4})
+	f.Add([]byte{0})
+	f.Add([]byte{33})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ps, err := parsePrefixes(data)
+		if err != nil {
+			return
+		}
+		for _, p := range ps {
+			if !p.IsValid() {
+				t.Fatalf("accepted invalid prefix %v", p)
+			}
+			if p.Masked() != p {
+				t.Fatalf("non-canonical prefix %v escaped", p)
+			}
+		}
+	})
+}

@@ -1,0 +1,135 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+)
+
+// Multiprotocol extensions (RFC 4760): IPv6 unicast reachability is carried
+// in the MP_REACH_NLRI / MP_UNREACH_NLRI path attributes. The paper's
+// production prefixes include both address families (its default-route
+// example is "0.0.0.0/0 and ::/0", §4.4).
+
+// MP attribute type codes.
+const (
+	AttrMPReachNLRI   uint8 = 14
+	AttrMPUnreachNLRI uint8 = 15
+)
+
+// AFI/SAFI for IPv6 unicast.
+const (
+	AFIIPv6     uint16 = 2
+	SAFIUnicast uint8  = 1
+)
+
+// MPReach is the MP_REACH_NLRI payload for IPv6 unicast.
+type MPReach struct {
+	NextHop netip.Addr // IPv6
+	NLRI    []netip.Prefix
+}
+
+// MPUnreach is the MP_UNREACH_NLRI payload for IPv6 unicast.
+type MPUnreach struct {
+	Withdrawn []netip.Prefix
+}
+
+// appendPrefix6 encodes one IPv6 prefix in NLRI form.
+func appendPrefix6(dst []byte, p netip.Prefix) ([]byte, error) {
+	if !p.Addr().Is6() || p.Addr().Is4In6() {
+		return nil, fmt.Errorf("wire: prefix %v is not IPv6", p)
+	}
+	bits := p.Bits()
+	dst = append(dst, uint8(bits))
+	a16 := p.Addr().As16()
+	return append(dst, a16[:(bits+7)/8]...), nil
+}
+
+func parsePrefixes6(src []byte) ([]netip.Prefix, error) {
+	var out []netip.Prefix
+	for len(src) > 0 {
+		bits := int(src[0])
+		if bits > 128 {
+			return nil, fmt.Errorf("wire: IPv6 NLRI prefix length %d", bits)
+		}
+		n := (bits + 7) / 8
+		if len(src) < 1+n {
+			return nil, ErrTruncated
+		}
+		var a16 [16]byte
+		copy(a16[:], src[1:1+n])
+		p := netip.PrefixFrom(netip.AddrFrom16(a16), bits).Masked()
+		out = append(out, p)
+		src = src[1+n:]
+	}
+	return out, nil
+}
+
+// marshalMPReach encodes the MP_REACH_NLRI attribute body.
+func (m *MPReach) marshal() ([]byte, error) {
+	if !m.NextHop.Is6() || m.NextHop.Is4In6() {
+		return nil, fmt.Errorf("wire: MP next hop %v is not IPv6", m.NextHop)
+	}
+	body := binary.BigEndian.AppendUint16(nil, AFIIPv6)
+	body = append(body, SAFIUnicast, 16)
+	nh := m.NextHop.As16()
+	body = append(body, nh[:]...)
+	body = append(body, 0) // reserved (SNPA count)
+	var err error
+	for _, p := range m.NLRI {
+		if body, err = appendPrefix6(body, p); err != nil {
+			return nil, err
+		}
+	}
+	return body, nil
+}
+
+func parseMPReach(body []byte) (*MPReach, error) {
+	if len(body) < 5 {
+		return nil, ErrTruncated
+	}
+	afi := binary.BigEndian.Uint16(body[:2])
+	safi := body[2]
+	if afi != AFIIPv6 || safi != SAFIUnicast {
+		return nil, fmt.Errorf("wire: unsupported AFI/SAFI %d/%d", afi, safi)
+	}
+	nhLen := int(body[3])
+	if nhLen != 16 || len(body) < 4+nhLen+1 {
+		return nil, fmt.Errorf("wire: MP next hop length %d", nhLen)
+	}
+	var nh [16]byte
+	copy(nh[:], body[4:20])
+	nlri, err := parsePrefixes6(body[21:]) // skip reserved byte
+	if err != nil {
+		return nil, err
+	}
+	return &MPReach{NextHop: netip.AddrFrom16(nh), NLRI: nlri}, nil
+}
+
+func (m *MPUnreach) marshal() ([]byte, error) {
+	body := binary.BigEndian.AppendUint16(nil, AFIIPv6)
+	body = append(body, SAFIUnicast)
+	var err error
+	for _, p := range m.Withdrawn {
+		if body, err = appendPrefix6(body, p); err != nil {
+			return nil, err
+		}
+	}
+	return body, nil
+}
+
+func parseMPUnreach(body []byte) (*MPUnreach, error) {
+	if len(body) < 3 {
+		return nil, ErrTruncated
+	}
+	afi := binary.BigEndian.Uint16(body[:2])
+	safi := body[2]
+	if afi != AFIIPv6 || safi != SAFIUnicast {
+		return nil, fmt.Errorf("wire: unsupported AFI/SAFI %d/%d", afi, safi)
+	}
+	wd, err := parsePrefixes6(body[3:])
+	if err != nil {
+		return nil, err
+	}
+	return &MPUnreach{Withdrawn: wd}, nil
+}

@@ -1,0 +1,128 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+)
+
+// Open is the type-1 message (RFC 4271 §4.2). Four-octet AS numbers are
+// carried in the Capabilities optional parameter (RFC 6793): the fixed
+// 2-byte My Autonomous System field holds AS_TRANS (23456) when the real
+// ASN does not fit.
+type Open struct {
+	Version  uint8 // always 4
+	ASN      uint32
+	HoldTime uint16
+	RouterID netip.Addr // IPv4
+
+	// Capabilities carries raw capability TLVs beyond the implicit
+	// four-octet-AS capability, which is always emitted.
+	Capabilities []Capability
+}
+
+// Capability is one BGP capability TLV (RFC 5492).
+type Capability struct {
+	Code  uint8
+	Value []byte
+}
+
+// Capability codes used here.
+const (
+	CapFourOctetAS uint8 = 65
+	// ASTrans is the 2-byte placeholder ASN (RFC 6793).
+	ASTrans uint16 = 23456
+)
+
+// Type returns TypeOpen.
+func (*Open) Type() uint8 { return TypeOpen }
+
+func (o *Open) marshalBody(dst []byte) ([]byte, error) {
+	version := o.Version
+	if version == 0 {
+		version = 4
+	}
+	if !o.RouterID.Is4() {
+		return nil, fmt.Errorf("wire: open router ID %v is not IPv4", o.RouterID)
+	}
+	dst = append(dst, version)
+	as2 := ASTrans
+	if o.ASN <= 0xFFFF {
+		as2 = uint16(o.ASN)
+	}
+	dst = binary.BigEndian.AppendUint16(dst, as2)
+	dst = binary.BigEndian.AppendUint16(dst, o.HoldTime)
+	rid := o.RouterID.As4()
+	dst = append(dst, rid[:]...)
+
+	// Optional parameters: one Capabilities parameter (type 2) holding the
+	// four-octet-AS capability plus any extras.
+	var caps []byte
+	caps = append(caps, CapFourOctetAS, 4)
+	caps = binary.BigEndian.AppendUint32(caps, o.ASN)
+	for _, c := range o.Capabilities {
+		if len(c.Value) > 255 {
+			return nil, fmt.Errorf("wire: capability %d value too long", c.Code)
+		}
+		caps = append(caps, c.Code, uint8(len(c.Value)))
+		caps = append(caps, c.Value...)
+	}
+	if len(caps) > 255 {
+		return nil, fmt.Errorf("wire: capabilities block too long (%d)", len(caps))
+	}
+	// opt param: type=2 (capabilities), length, value
+	dst = append(dst, uint8(2+len(caps)))  // total optional params length
+	dst = append(dst, 2, uint8(len(caps))) // param type, param length
+	return append(dst, caps...), nil
+}
+
+func (o *Open) unmarshalBody(src []byte) error {
+	if len(src) < 10 {
+		return ErrTruncated
+	}
+	o.Version = src[0]
+	as2 := binary.BigEndian.Uint16(src[1:3])
+	o.ASN = uint32(as2)
+	o.HoldTime = binary.BigEndian.Uint16(src[3:5])
+	o.RouterID = netip.AddrFrom4([4]byte(src[5:9]))
+	optLen := int(src[9])
+	rest := src[10:]
+	if len(rest) != optLen {
+		return fmt.Errorf("wire: open optional params length %d, have %d bytes", optLen, len(rest))
+	}
+	o.Capabilities = nil
+	for len(rest) > 0 {
+		if len(rest) < 2 {
+			return ErrTruncated
+		}
+		ptype, plen := rest[0], int(rest[1])
+		if len(rest) < 2+plen {
+			return ErrTruncated
+		}
+		val := rest[2 : 2+plen]
+		rest = rest[2+plen:]
+		if ptype != 2 { // not capabilities; ignore
+			continue
+		}
+		for len(val) > 0 {
+			if len(val) < 2 {
+				return ErrTruncated
+			}
+			code, clen := val[0], int(val[1])
+			if len(val) < 2+clen {
+				return ErrTruncated
+			}
+			body := val[2 : 2+clen]
+			val = val[2+clen:]
+			if code == CapFourOctetAS {
+				if clen != 4 {
+					return fmt.Errorf("wire: four-octet-AS capability length %d", clen)
+				}
+				o.ASN = binary.BigEndian.Uint32(body)
+				continue
+			}
+			o.Capabilities = append(o.Capabilities, Capability{Code: code, Value: append([]byte(nil), body...)})
+		}
+	}
+	return nil
+}

@@ -1,0 +1,368 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"net/netip"
+)
+
+// Path attribute type codes (RFC 4271 §5, RFC 1997, RFC 4360).
+const (
+	AttrOrigin         uint8 = 1
+	AttrASPath         uint8 = 2
+	AttrNextHop        uint8 = 3
+	AttrMED            uint8 = 4
+	AttrLocalPref      uint8 = 5
+	AttrCommunities    uint8 = 8
+	AttrExtCommunities uint8 = 16
+)
+
+// Attribute flag bits.
+const (
+	flagOptional   uint8 = 0x80
+	flagTransitive uint8 = 0x40
+	flagExtLen     uint8 = 0x10
+)
+
+// AS path segment types (RFC 4271 §4.3).
+const (
+	SegSet      uint8 = 1
+	SegSequence uint8 = 2
+)
+
+// ASPathSegment is one segment of the AS_PATH attribute; ASNs are 4-octet.
+type ASPathSegment struct {
+	Type uint8
+	ASNs []uint32
+}
+
+// Community is a standard 4-byte community (RFC 1997).
+type Community uint32
+
+// ExtCommunity is an 8-byte extended community (RFC 4360).
+type ExtCommunity [8]byte
+
+// Link-bandwidth extended community layout (draft-ietf-idr-link-bandwidth):
+// type 0x40 (non-transitive, two-octet-AS specific), subtype 0x04, 2-byte
+// ASN, 4-byte IEEE 754 bandwidth in bytes per second.
+const (
+	extTypeLinkBandwidth    uint8 = 0x40
+	extSubtypeLinkBandwidth uint8 = 0x04
+)
+
+// LinkBandwidth builds a link-bandwidth extended community.
+func LinkBandwidth(asn uint16, bytesPerSec float32) ExtCommunity {
+	var ec ExtCommunity
+	ec[0] = extTypeLinkBandwidth
+	ec[1] = extSubtypeLinkBandwidth
+	binary.BigEndian.PutUint16(ec[2:4], asn)
+	binary.BigEndian.PutUint32(ec[4:8], math.Float32bits(bytesPerSec))
+	return ec
+}
+
+// AsLinkBandwidth decodes a link-bandwidth extended community, reporting
+// false when ec is a different kind.
+func (ec ExtCommunity) AsLinkBandwidth() (asn uint16, bytesPerSec float32, ok bool) {
+	if ec[0] != extTypeLinkBandwidth || ec[1] != extSubtypeLinkBandwidth {
+		return 0, 0, false
+	}
+	asn = binary.BigEndian.Uint16(ec[2:4])
+	bytesPerSec = math.Float32frombits(binary.BigEndian.Uint32(ec[4:8]))
+	return asn, bytesPerSec, true
+}
+
+// Update is the type-2 message (RFC 4271 §4.3), restricted to IPv4 NLRI.
+type Update struct {
+	Withdrawn []netip.Prefix
+
+	// Path attributes. Zero values mean "absent" except Origin, which is
+	// always emitted when NLRI is present.
+	Origin         uint8
+	ASPath         []ASPathSegment
+	NextHop        netip.Addr // IPv4; required when NLRI present
+	MED            uint32
+	HasMED         bool
+	LocalPref      uint32
+	HasLocalPref   bool
+	Communities    []Community
+	ExtCommunities []ExtCommunity
+
+	NLRI []netip.Prefix
+
+	// Multiprotocol extensions (RFC 4760): IPv6 unicast reach/unreach.
+	MPReach   *MPReach
+	MPUnreach *MPUnreach
+}
+
+// Type returns TypeUpdate.
+func (*Update) Type() uint8 { return TypeUpdate }
+
+// appendPrefix encodes one IPv4 prefix in NLRI form: length bit count then
+// ceil(bits/8) address bytes.
+func appendPrefix(dst []byte, p netip.Prefix) ([]byte, error) {
+	if !p.Addr().Is4() {
+		return nil, fmt.Errorf("wire: prefix %v is not IPv4", p)
+	}
+	bits := p.Bits()
+	dst = append(dst, uint8(bits))
+	a4 := p.Addr().As4()
+	return append(dst, a4[:(bits+7)/8]...), nil
+}
+
+func parsePrefixes(src []byte) ([]netip.Prefix, error) {
+	var out []netip.Prefix
+	for len(src) > 0 {
+		bits := int(src[0])
+		if bits > 32 {
+			return nil, fmt.Errorf("wire: NLRI prefix length %d", bits)
+		}
+		n := (bits + 7) / 8
+		if len(src) < 1+n {
+			return nil, ErrTruncated
+		}
+		var a4 [4]byte
+		copy(a4[:], src[1:1+n])
+		p := netip.PrefixFrom(netip.AddrFrom4(a4), bits)
+		if p.Masked() != p {
+			// Accept but canonicalize: stray host bits are a peer bug.
+			p = p.Masked()
+		}
+		out = append(out, p)
+		src = src[1+n:]
+	}
+	return out, nil
+}
+
+// appendAttr encodes one attribute with extended length when needed.
+func appendAttr(dst []byte, flags, code uint8, body []byte) []byte {
+	if len(body) > 255 {
+		flags |= flagExtLen
+		dst = append(dst, flags, code)
+		return append(binary.BigEndian.AppendUint16(dst, uint16(len(body))), body...)
+	}
+	dst = append(dst, flags, code, uint8(len(body)))
+	return append(dst, body...)
+}
+
+func (u *Update) marshalBody(dst []byte) ([]byte, error) {
+	// Withdrawn routes.
+	var wd []byte
+	var err error
+	for _, p := range u.Withdrawn {
+		if wd, err = appendPrefix(wd, p); err != nil {
+			return nil, err
+		}
+	}
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(wd)))
+	dst = append(dst, wd...)
+
+	// Path attributes. ORIGIN and AS_PATH accompany any reachability
+	// (classic v4 NLRI or MP_REACH); the classic NEXT_HOP only v4 NLRI.
+	var attrs []byte
+	if len(u.NLRI) > 0 || u.MPReach != nil {
+		attrs = appendAttr(attrs, flagTransitive, AttrOrigin, []byte{u.Origin})
+
+		var pathBody []byte
+		for _, seg := range u.ASPath {
+			if len(seg.ASNs) > 255 {
+				return nil, fmt.Errorf("wire: AS path segment with %d ASNs", len(seg.ASNs))
+			}
+			pathBody = append(pathBody, seg.Type, uint8(len(seg.ASNs)))
+			for _, asn := range seg.ASNs {
+				pathBody = binary.BigEndian.AppendUint32(pathBody, asn)
+			}
+		}
+		attrs = appendAttr(attrs, flagTransitive, AttrASPath, pathBody)
+	}
+	if len(u.NLRI) > 0 {
+		if !u.NextHop.Is4() {
+			return nil, fmt.Errorf("wire: update next hop %v is not IPv4", u.NextHop)
+		}
+		nh := u.NextHop.As4()
+		attrs = appendAttr(attrs, flagTransitive, AttrNextHop, nh[:])
+	}
+	if u.MPReach != nil {
+		body, err := u.MPReach.marshal()
+		if err != nil {
+			return nil, err
+		}
+		attrs = appendAttr(attrs, flagOptional, AttrMPReachNLRI, body)
+	}
+	if u.MPUnreach != nil {
+		body, err := u.MPUnreach.marshal()
+		if err != nil {
+			return nil, err
+		}
+		attrs = appendAttr(attrs, flagOptional, AttrMPUnreachNLRI, body)
+	}
+	if u.HasMED {
+		attrs = appendAttr(attrs, flagOptional, AttrMED, binary.BigEndian.AppendUint32(nil, u.MED))
+	}
+	if u.HasLocalPref {
+		attrs = appendAttr(attrs, flagTransitive, AttrLocalPref, binary.BigEndian.AppendUint32(nil, u.LocalPref))
+	}
+	if len(u.Communities) > 0 {
+		var body []byte
+		for _, c := range u.Communities {
+			body = binary.BigEndian.AppendUint32(body, uint32(c))
+		}
+		attrs = appendAttr(attrs, flagOptional|flagTransitive, AttrCommunities, body)
+	}
+	if len(u.ExtCommunities) > 0 {
+		var body []byte
+		for _, ec := range u.ExtCommunities {
+			body = append(body, ec[:]...)
+		}
+		attrs = appendAttr(attrs, flagOptional|flagTransitive, AttrExtCommunities, body)
+	}
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(attrs)))
+	dst = append(dst, attrs...)
+
+	// NLRI.
+	for _, p := range u.NLRI {
+		if dst, err = appendPrefix(dst, p); err != nil {
+			return nil, err
+		}
+	}
+	return dst, nil
+}
+
+func (u *Update) unmarshalBody(src []byte) error {
+	if len(src) < 4 {
+		return ErrTruncated
+	}
+	wdLen := int(binary.BigEndian.Uint16(src[:2]))
+	if len(src) < 2+wdLen+2 {
+		return ErrTruncated
+	}
+	var err error
+	if u.Withdrawn, err = parsePrefixes(src[2 : 2+wdLen]); err != nil {
+		return err
+	}
+	rest := src[2+wdLen:]
+	attrLen := int(binary.BigEndian.Uint16(rest[:2]))
+	if len(rest) < 2+attrLen {
+		return ErrTruncated
+	}
+	if err := u.parseAttrs(rest[2 : 2+attrLen]); err != nil {
+		return err
+	}
+	if u.NLRI, err = parsePrefixes(rest[2+attrLen:]); err != nil {
+		return err
+	}
+	return nil
+}
+
+func (u *Update) parseAttrs(src []byte) error {
+	for len(src) > 0 {
+		if len(src) < 3 {
+			return ErrTruncated
+		}
+		flags, code := src[0], src[1]
+		var alen, hdr int
+		if flags&flagExtLen != 0 {
+			if len(src) < 4 {
+				return ErrTruncated
+			}
+			alen, hdr = int(binary.BigEndian.Uint16(src[2:4])), 4
+		} else {
+			alen, hdr = int(src[2]), 3
+		}
+		if len(src) < hdr+alen {
+			return ErrTruncated
+		}
+		body := src[hdr : hdr+alen]
+		src = src[hdr+alen:]
+
+		switch code {
+		case AttrOrigin:
+			if alen != 1 {
+				return fmt.Errorf("wire: ORIGIN length %d", alen)
+			}
+			u.Origin = body[0]
+		case AttrASPath:
+			u.ASPath = nil
+			for len(body) > 0 {
+				if len(body) < 2 {
+					return ErrTruncated
+				}
+				seg := ASPathSegment{Type: body[0]}
+				n := int(body[1])
+				if len(body) < 2+4*n {
+					return ErrTruncated
+				}
+				for i := 0; i < n; i++ {
+					seg.ASNs = append(seg.ASNs, binary.BigEndian.Uint32(body[2+4*i:6+4*i]))
+				}
+				u.ASPath = append(u.ASPath, seg)
+				body = body[2+4*n:]
+			}
+		case AttrNextHop:
+			if alen != 4 {
+				return fmt.Errorf("wire: NEXT_HOP length %d", alen)
+			}
+			u.NextHop = netip.AddrFrom4([4]byte(body))
+		case AttrMED:
+			if alen != 4 {
+				return fmt.Errorf("wire: MED length %d", alen)
+			}
+			u.MED = binary.BigEndian.Uint32(body)
+			u.HasMED = true
+		case AttrLocalPref:
+			if alen != 4 {
+				return fmt.Errorf("wire: LOCAL_PREF length %d", alen)
+			}
+			u.LocalPref = binary.BigEndian.Uint32(body)
+			u.HasLocalPref = true
+		case AttrCommunities:
+			if alen%4 != 0 {
+				return fmt.Errorf("wire: COMMUNITIES length %d", alen)
+			}
+			u.Communities = nil
+			for i := 0; i < alen; i += 4 {
+				u.Communities = append(u.Communities, Community(binary.BigEndian.Uint32(body[i:i+4])))
+			}
+		case AttrMPReachNLRI:
+			mp, err := parseMPReach(body)
+			if err != nil {
+				return err
+			}
+			u.MPReach = mp
+		case AttrMPUnreachNLRI:
+			mp, err := parseMPUnreach(body)
+			if err != nil {
+				return err
+			}
+			u.MPUnreach = mp
+		case AttrExtCommunities:
+			if alen%8 != 0 {
+				return fmt.Errorf("wire: EXT_COMMUNITIES length %d", alen)
+			}
+			u.ExtCommunities = nil
+			for i := 0; i < alen; i += 8 {
+				var ec ExtCommunity
+				copy(ec[:], body[i:i+8])
+				u.ExtCommunities = append(u.ExtCommunities, ec)
+			}
+		default:
+			// Unknown optional attributes are tolerated (and dropped);
+			// unknown well-known attributes are an error per RFC 4271.
+			if flags&flagOptional == 0 {
+				return fmt.Errorf("wire: unrecognized well-known attribute %d", code)
+			}
+		}
+	}
+	return nil
+}
+
+// FlatASPath returns the concatenated ASNs of all SEQUENCE segments — the
+// form the emulation's AS-path comparisons use. SET segments contribute
+// their members in order.
+func (u *Update) FlatASPath() []uint32 {
+	var out []uint32
+	for _, seg := range u.ASPath {
+		out = append(out, seg.ASNs...)
+	}
+	return out
+}

@@ -1,0 +1,498 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"net"
+	"net/netip"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestKeepaliveRoundTrip(t *testing.T) {
+	data, err := Marshal(&Keepalive{})
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	if len(data) != HeaderLen {
+		t.Fatalf("keepalive length = %d, want %d", len(data), HeaderLen)
+	}
+	m, err := Unmarshal(data)
+	if err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if _, ok := m.(*Keepalive); !ok {
+		t.Fatalf("got %T, want *Keepalive", m)
+	}
+}
+
+func TestNotificationRoundTrip(t *testing.T) {
+	n := &Notification{Code: NotifCease, Subcode: 2, Data: []byte{1, 2, 3}}
+	data, err := Marshal(n)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	m, err := Unmarshal(data)
+	if err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	got := m.(*Notification)
+	if got.Code != n.Code || got.Subcode != n.Subcode || !bytes.Equal(got.Data, n.Data) {
+		t.Fatalf("round trip: %+v != %+v", got, n)
+	}
+	if got.Error() == "" {
+		t.Error("Notification.Error empty")
+	}
+}
+
+func TestOpenRoundTripFourOctetAS(t *testing.T) {
+	o := &Open{
+		ASN:          4200000123, // does not fit in 2 bytes
+		HoldTime:     90,
+		RouterID:     netip.MustParseAddr("10.0.0.1"),
+		Capabilities: []Capability{{Code: 2, Value: []byte{}}}, // route refresh
+	}
+	data, err := Marshal(o)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	m, err := Unmarshal(data)
+	if err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	got := m.(*Open)
+	if got.ASN != o.ASN {
+		t.Errorf("ASN = %d, want %d (four-octet capability must carry it)", got.ASN, o.ASN)
+	}
+	if got.Version != 4 {
+		t.Errorf("Version = %d, want 4", got.Version)
+	}
+	if got.HoldTime != 90 || got.RouterID != o.RouterID {
+		t.Errorf("fields lost: %+v", got)
+	}
+	if len(got.Capabilities) != 1 || got.Capabilities[0].Code != 2 {
+		t.Errorf("extra capabilities lost: %+v", got.Capabilities)
+	}
+}
+
+func TestOpenSmallASN(t *testing.T) {
+	o := &Open{ASN: 65001, HoldTime: 3, RouterID: netip.MustParseAddr("1.2.3.4")}
+	data, _ := Marshal(o)
+	got, err := Unmarshal(data)
+	if err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if got.(*Open).ASN != 65001 {
+		t.Errorf("ASN = %d", got.(*Open).ASN)
+	}
+}
+
+func TestOpenRejectsIPv6RouterID(t *testing.T) {
+	o := &Open{ASN: 1, RouterID: netip.MustParseAddr("::1")}
+	if _, err := Marshal(o); err == nil {
+		t.Fatal("expected error for IPv6 router ID")
+	}
+}
+
+func sampleUpdate() *Update {
+	return &Update{
+		Withdrawn: []netip.Prefix{netip.MustParsePrefix("192.168.5.0/24")},
+		Origin:    0,
+		ASPath: []ASPathSegment{
+			{Type: SegSequence, ASNs: []uint32{4200000001, 4200000002}},
+		},
+		NextHop:      netip.MustParseAddr("10.9.9.9"),
+		MED:          17,
+		HasMED:       true,
+		LocalPref:    200,
+		HasLocalPref: true,
+		Communities:  []Community{0xFFFF0001, 42},
+		ExtCommunities: []ExtCommunity{
+			LinkBandwidth(23456, 12.5e9),
+		},
+		NLRI: []netip.Prefix{
+			netip.MustParsePrefix("10.0.0.0/8"),
+			netip.MustParsePrefix("172.16.4.0/22"),
+			netip.MustParsePrefix("0.0.0.0/0"),
+		},
+	}
+}
+
+func TestUpdateRoundTrip(t *testing.T) {
+	u := sampleUpdate()
+	data, err := Marshal(u)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	m, err := Unmarshal(data)
+	if err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	got := m.(*Update)
+	if !reflect.DeepEqual(got, u) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, u)
+	}
+}
+
+func TestUpdateWithdrawOnly(t *testing.T) {
+	u := &Update{Withdrawn: []netip.Prefix{netip.MustParsePrefix("10.1.0.0/16")}}
+	data, err := Marshal(u)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	got, err := Unmarshal(data)
+	if err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	gu := got.(*Update)
+	if len(gu.NLRI) != 0 || len(gu.Withdrawn) != 1 {
+		t.Fatalf("withdraw-only mismatch: %+v", gu)
+	}
+	if len(gu.ASPath) != 0 {
+		t.Error("withdraw-only update must not carry AS path")
+	}
+}
+
+func TestUpdateRequiresIPv4(t *testing.T) {
+	u := &Update{
+		NLRI:    []netip.Prefix{netip.MustParsePrefix("2001:db8::/32")},
+		NextHop: netip.MustParseAddr("10.0.0.1"),
+	}
+	if _, err := Marshal(u); err == nil {
+		t.Fatal("expected error for IPv6 NLRI")
+	}
+	u2 := &Update{
+		NLRI:    []netip.Prefix{netip.MustParsePrefix("10.0.0.0/8")},
+		NextHop: netip.MustParseAddr("::1"),
+	}
+	if _, err := Marshal(u2); err == nil {
+		t.Fatal("expected error for IPv6 next hop")
+	}
+}
+
+func TestLinkBandwidthCodec(t *testing.T) {
+	ec := LinkBandwidth(23456, 100e9)
+	asn, bw, ok := ec.AsLinkBandwidth()
+	if !ok || asn != 23456 {
+		t.Fatalf("decode: asn=%d ok=%v", asn, ok)
+	}
+	if math.Abs(float64(bw)-100e9)/100e9 > 1e-6 {
+		t.Errorf("bandwidth = %v, want ~100e9", bw)
+	}
+	var other ExtCommunity
+	other[0] = 0x01
+	if _, _, ok := other.AsLinkBandwidth(); ok {
+		t.Error("non-link-bandwidth community decoded as one")
+	}
+}
+
+func TestFlatASPath(t *testing.T) {
+	u := &Update{ASPath: []ASPathSegment{
+		{Type: SegSequence, ASNs: []uint32{1, 2}},
+		{Type: SegSet, ASNs: []uint32{3}},
+	}}
+	got := u.FlatASPath()
+	want := []uint32{1, 2, 3}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("FlatASPath = %v, want %v", got, want)
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	good, _ := Marshal(&Keepalive{})
+
+	t.Run("truncated", func(t *testing.T) {
+		if _, err := Unmarshal(good[:10]); !errors.Is(err, ErrTruncated) {
+			t.Errorf("err = %v, want ErrTruncated", err)
+		}
+	})
+	t.Run("bad marker", func(t *testing.T) {
+		bad := append([]byte(nil), good...)
+		bad[3] = 0
+		if _, err := Unmarshal(bad); !errors.Is(err, ErrBadMarker) {
+			t.Errorf("err = %v, want ErrBadMarker", err)
+		}
+	})
+	t.Run("bad type", func(t *testing.T) {
+		bad := append([]byte(nil), good...)
+		bad[18] = 99
+		if _, err := Unmarshal(bad); !errors.Is(err, ErrBadType) {
+			t.Errorf("err = %v, want ErrBadType", err)
+		}
+	})
+	t.Run("trailing", func(t *testing.T) {
+		bad := append(append([]byte(nil), good...), 0)
+		if _, err := Unmarshal(bad); !errors.Is(err, ErrTrailing) {
+			t.Errorf("err = %v, want ErrTrailing", err)
+		}
+	})
+	t.Run("bad length", func(t *testing.T) {
+		bad := append([]byte(nil), good...)
+		bad[16], bad[17] = 0xFF, 0xFF
+		if _, err := Unmarshal(bad); !errors.Is(err, ErrBadLength) {
+			t.Errorf("err = %v, want ErrBadLength", err)
+		}
+	})
+	t.Run("keepalive with body", func(t *testing.T) {
+		n := &Notification{Code: 1, Subcode: 1}
+		data, _ := Marshal(n)
+		data[18] = TypeKeepalive
+		if _, err := Unmarshal(data); err == nil {
+			t.Error("keepalive with body accepted")
+		}
+	})
+}
+
+func TestUpdateQuickRoundTrip(t *testing.T) {
+	// Property: any structurally valid small update round-trips.
+	f := func(octets [4]byte, bits uint8, asn1, asn2 uint32, lp uint32, med uint32, comm uint32) bool {
+		p := netip.PrefixFrom(netip.AddrFrom4(octets), int(bits%33)).Masked()
+		u := &Update{
+			Origin:       1,
+			ASPath:       []ASPathSegment{{Type: SegSequence, ASNs: []uint32{asn1, asn2}}},
+			NextHop:      netip.MustParseAddr("10.0.0.1"),
+			LocalPref:    lp,
+			HasLocalPref: true,
+			MED:          med,
+			HasMED:       true,
+			Communities:  []Community{Community(comm)},
+			NLRI:         []netip.Prefix{p},
+		}
+		data, err := Marshal(u)
+		if err != nil {
+			return false
+		}
+		m, err := Unmarshal(data)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(m, u)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnmarshalFuzzishGarbage(t *testing.T) {
+	// Deterministic pseudo-fuzz: mutate every byte of a valid update and
+	// require "parse or error", never panic.
+	u := sampleUpdate()
+	data, err := Marshal(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		for _, b := range []byte{0x00, 0xFF, data[i] ^ 0x55} {
+			mut := append([]byte(nil), data...)
+			mut[i] = b
+			_, _ = Unmarshal(mut) // must not panic
+		}
+	}
+}
+
+func TestReadWriteMessageOverPipe(t *testing.T) {
+	// Exercise the stream framing over a real in-memory connection.
+	client, server := net.Pipe()
+	defer client.Close()
+	defer server.Close()
+
+	go func() {
+		_ = WriteMessage(client, &Open{ASN: 4200000001, HoldTime: 9, RouterID: netip.MustParseAddr("1.1.1.1")})
+		_ = WriteMessage(client, &Keepalive{})
+		u := sampleUpdate()
+		_ = WriteMessage(client, u)
+	}()
+
+	m1, err := ReadMessage(server)
+	if err != nil {
+		t.Fatalf("read open: %v", err)
+	}
+	if o, ok := m1.(*Open); !ok || o.ASN != 4200000001 {
+		t.Fatalf("got %+v", m1)
+	}
+	if _, err := ReadMessage(server); err != nil {
+		t.Fatalf("read keepalive: %v", err)
+	}
+	m3, err := ReadMessage(server)
+	if err != nil {
+		t.Fatalf("read update: %v", err)
+	}
+	if u, ok := m3.(*Update); !ok || len(u.NLRI) != 3 {
+		t.Fatalf("got %+v", m3)
+	}
+}
+
+func TestParsePrefixCanonicalizesHostBits(t *testing.T) {
+	// Build an NLRI with stray host bits: 10.0.0.1/8.
+	raw := []byte{8, 10} // only 1 byte of address carried for /8
+	ps, err := parsePrefixes(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps[0] != netip.MustParsePrefix("10.0.0.0/8") {
+		t.Fatalf("got %v", ps[0])
+	}
+	// Oversized prefix length.
+	if _, err := parsePrefixes([]byte{40, 1, 2, 3, 4, 5}); err == nil {
+		t.Error("prefix length 40 accepted")
+	}
+}
+
+func TestExtendedLengthAttribute(t *testing.T) {
+	// More than 63 communities pushes the attribute body past 255 bytes,
+	// forcing the extended-length encoding.
+	u := &Update{
+		ASPath:  []ASPathSegment{{Type: SegSequence, ASNs: []uint32{1}}},
+		NextHop: netip.MustParseAddr("10.0.0.1"),
+		NLRI:    []netip.Prefix{netip.MustParsePrefix("10.0.0.0/8")},
+	}
+	for i := 0; i < 100; i++ {
+		u.Communities = append(u.Communities, Community(i))
+	}
+	data, err := Marshal(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gu := got.(*Update)
+	if len(gu.Communities) != 100 {
+		t.Fatalf("communities = %d, want 100", len(gu.Communities))
+	}
+	for i, c := range gu.Communities {
+		if c != Community(i) {
+			t.Fatalf("community %d = %d", i, c)
+		}
+	}
+}
+
+func TestUnknownOptionalAttributeTolerated(t *testing.T) {
+	// Build a valid update, then splice in an unknown optional attribute;
+	// parsing must succeed. An unknown well-known attribute must fail.
+	u := &Update{
+		ASPath:  []ASPathSegment{{Type: SegSequence, ASNs: []uint32{1}}},
+		NextHop: netip.MustParseAddr("10.0.0.1"),
+		NLRI:    []netip.Prefix{netip.MustParsePrefix("10.0.0.0/8")},
+	}
+	body, err := u.marshalBody(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	splice := func(flags byte) []byte {
+		// body layout: wdLen(2)=0, attrLen(2), attrs..., nlri
+		attrLen := int(body[2])<<8 | int(body[3])
+		attrs := append([]byte(nil), body[4:4+attrLen]...)
+		attrs = append(attrs, flags, 200, 2, 0xAA, 0xBB) // type 200, len 2
+		out := []byte{0, 0, byte(len(attrs) >> 8), byte(len(attrs))}
+		out = append(out, attrs...)
+		return append(out, body[4+attrLen:]...)
+	}
+	var ok Update
+	if err := ok.unmarshalBody(splice(0x80 | 0x40)); err != nil { // optional transitive
+		t.Fatalf("unknown optional attribute rejected: %v", err)
+	}
+	if len(ok.NLRI) != 1 {
+		t.Fatalf("NLRI lost: %+v", ok)
+	}
+	var bad Update
+	if err := bad.unmarshalBody(splice(0x40)); err == nil { // "well-known"
+		t.Fatal("unknown well-known attribute accepted")
+	}
+}
+
+func TestMessageTooLargeRejected(t *testing.T) {
+	u := &Update{
+		ASPath:  []ASPathSegment{{Type: SegSequence, ASNs: make([]uint32, 255)}},
+		NextHop: netip.MustParseAddr("10.0.0.1"),
+	}
+	// ~1000 prefixes exceed the 4096-byte cap.
+	for i := 0; i < 1000; i++ {
+		u.NLRI = append(u.NLRI, netip.PrefixFrom(netip.AddrFrom4([4]byte{10, byte(i >> 8), byte(i), 0}), 24))
+	}
+	if _, err := Marshal(u); err == nil {
+		t.Fatal("oversized message accepted")
+	}
+}
+
+func TestMPBGPv6RoundTrip(t *testing.T) {
+	u := &Update{
+		Origin: 0,
+		ASPath: []ASPathSegment{{Type: SegSequence, ASNs: []uint32{65001, 64512}}},
+		MPReach: &MPReach{
+			NextHop: netip.MustParseAddr("fd00::1"),
+			NLRI: []netip.Prefix{
+				netip.MustParsePrefix("::/0"),
+				netip.MustParsePrefix("2001:db8:1::/48"),
+			},
+		},
+		MPUnreach: &MPUnreach{
+			Withdrawn: []netip.Prefix{netip.MustParsePrefix("2001:db8:2::/48")},
+		},
+		Communities: []Community{7},
+	}
+	data, err := Marshal(u)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	got, err := Unmarshal(data)
+	if err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	gu := got.(*Update)
+	if !reflect.DeepEqual(gu, u) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", gu, u)
+	}
+	if gu.MPReach.NLRI[0].String() != "::/0" {
+		t.Fatalf("v6 default lost: %v", gu.MPReach.NLRI)
+	}
+}
+
+func TestMPBGPMixedFamilies(t *testing.T) {
+	// One update can carry v4 NLRI and v6 MP_REACH at once.
+	u := &Update{
+		ASPath:  []ASPathSegment{{Type: SegSequence, ASNs: []uint32{1}}},
+		NextHop: netip.MustParseAddr("10.0.0.1"),
+		NLRI:    []netip.Prefix{netip.MustParsePrefix("0.0.0.0/0")},
+		MPReach: &MPReach{NextHop: netip.MustParseAddr("fd00::1"),
+			NLRI: []netip.Prefix{netip.MustParsePrefix("::/0")}},
+	}
+	data, err := Marshal(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gu := got.(*Update)
+	if len(gu.NLRI) != 1 || gu.MPReach == nil {
+		t.Fatalf("families lost: %+v", gu)
+	}
+}
+
+func TestMPBGPValidation(t *testing.T) {
+	// v4 prefix in MP_REACH rejected.
+	bad := &Update{MPReach: &MPReach{
+		NextHop: netip.MustParseAddr("fd00::1"),
+		NLRI:    []netip.Prefix{netip.MustParsePrefix("10.0.0.0/8")},
+	}}
+	if _, err := Marshal(bad); err == nil {
+		t.Fatal("v4 NLRI in MP_REACH accepted")
+	}
+	// v4 next hop in MP_REACH rejected.
+	bad2 := &Update{MPReach: &MPReach{
+		NextHop: netip.MustParseAddr("10.0.0.1"),
+		NLRI:    []netip.Prefix{netip.MustParsePrefix("::/0")},
+	}}
+	if _, err := Marshal(bad2); err == nil {
+		t.Fatal("v4 next hop in MP_REACH accepted")
+	}
+	// Oversized v6 prefix length rejected on parse.
+	if _, err := parsePrefixes6([]byte{129}); err == nil {
+		t.Fatal("prefix length 129 accepted")
+	}
+}

@@ -1,0 +1,277 @@
+// Package controller implements Centralium's application layer (Section 5):
+// use-case applications that compile operator intent into per-switch RPA
+// configs, pre/post-deployment health checks, and the coordinated,
+// layer-ordered rollout of Section 5.3.2 that prevents transient funneling
+// during deployment. State flows through NSDB; deployment goes through a
+// pluggable backend (the Switch Agent RPC in the full stack, or a direct
+// fabric hook in experiments).
+package controller
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"centralium/internal/core"
+	"centralium/internal/nsdb"
+	"centralium/internal/topo"
+)
+
+// Intent is a per-device RPA assignment produced by an application.
+type Intent map[topo.DeviceID]*core.Config
+
+// Merge combines two intents; devices present in both get merged configs
+// (orthogonal RPAs compose by concatenation).
+func (in Intent) Merge(other Intent) Intent {
+	out := make(Intent, len(in)+len(other))
+	for d, c := range in {
+		out[d] = c.Clone()
+	}
+	for d, c := range other {
+		if prev, ok := out[d]; ok {
+			out[d] = prev.Merge(c)
+		} else {
+			out[d] = c.Clone()
+		}
+	}
+	return out
+}
+
+// Devices returns the intent's target devices, sorted.
+func (in Intent) Devices() []topo.DeviceID {
+	out := make([]topo.DeviceID, 0, len(in))
+	for d := range in {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Validate checks every per-device config.
+func (in Intent) Validate() error {
+	for d, cfg := range in {
+		if err := cfg.Validate(); err != nil {
+			return fmt.Errorf("controller: intent for %s: %w", d, err)
+		}
+	}
+	return nil
+}
+
+// TotalLOC sums the generated RPA line counts (the Table 3 "RPA LOC"
+// metric).
+func (in Intent) TotalLOC() int {
+	total := 0
+	for _, cfg := range in {
+		total += cfg.LOC()
+	}
+	return total
+}
+
+// HealthCheck is one pre- or post-deployment verification step.
+type HealthCheck struct {
+	Name  string
+	Check func() error
+}
+
+// DeployFunc pushes one device's config; the full stack routes this through
+// the Switch Agent, experiments bind it straight to the fabric.
+type DeployFunc func(device topo.DeviceID, cfg *core.Config) error
+
+// Controller coordinates RPA rollouts across the fleet.
+type Controller struct {
+	Topo *topo.Topology
+	// DB is optional; when set, intended/current state is tracked in NSDB
+	// and straggler detection is available.
+	DB     *nsdb.Cluster
+	Deploy DeployFunc
+
+	// Settle, when set, runs between deployment waves (layers) to let the
+	// distributed control plane converge before the next layer changes —
+	// the gating of Section 5.3.2. Experiments bind it to Converge.
+	Settle func()
+
+	// BackendUpdatesCurrent marks the deployment backend as responsible
+	// for publishing current state into NSDB (the Switch Agent does this
+	// after a successful RPC). When false, Run publishes current itself —
+	// which makes straggler detection a formality. Only with a
+	// truth-reporting backend do the slow-roll gate and the final
+	// consistency check detect real stragglers.
+	BackendUpdatesCurrent bool
+
+	deployments int
+}
+
+// Deployments counts per-device deployments performed.
+func (c *Controller) Deployments() int { return c.deployments }
+
+// Rollout is one coordinated deployment of an intent.
+type Rollout struct {
+	Intent Intent
+
+	// OriginAltitude is the altitude of the layer originating the affected
+	// routes (5 for backbone-originated prefixes). Deployment order is
+	// farthest-from-origin first; removal is closest-first (Section 5.3.2).
+	OriginAltitude int
+
+	// Removal marks this rollout as removing RPAs (reverses the order).
+	Removal bool
+
+	// SettlePerDevice runs the Settle hook after every device rather than
+	// after every wave — the realistic cadence when devices pick up an RPA
+	// one at a time. With correct sequencing this is safe because each
+	// wave's downstream layers already carry the RPA (Section 5.3.2); the
+	// Figure 10 experiment uses it to expose the uncoordinated hazard.
+	SettlePerDevice bool
+
+	// MaxStragglerFraction, when positive, implements the Section 5.1
+	// slow roll: after each wave, if more than this fraction of the
+	// devices deployed so far are out-of-sync (current != intended in
+	// NSDB), the rollout aborts instead of pushing further. Requires a
+	// DB-attached controller with a truth-reporting backend.
+	MaxStragglerFraction float64
+
+	// Pre and Post health checks (Section 5: controller functions 1 and 4).
+	Pre, Post []HealthCheck
+}
+
+// Waves returns the deployment batches in order: devices grouped by layer,
+// ordered by distance from the origin altitude (descending for deployment,
+// ascending for removal), with deterministic order within a wave.
+func (c *Controller) Waves(r Rollout) [][]topo.DeviceID {
+	byDist := make(map[int][]topo.DeviceID)
+	for _, d := range r.Intent.Devices() {
+		dev := c.Topo.Device(d)
+		if dev == nil {
+			continue
+		}
+		dist := dev.Layer.Altitude() - r.OriginAltitude
+		if dist < 0 {
+			dist = -dist
+		}
+		byDist[dist] = append(byDist[dist], d)
+	}
+	dists := make([]int, 0, len(byDist))
+	for d := range byDist {
+		dists = append(dists, d)
+	}
+	sort.Ints(dists)
+	if !r.Removal {
+		// Deployment: farthest first.
+		for i, j := 0, len(dists)-1; i < j; i, j = i+1, j-1 {
+			dists[i], dists[j] = dists[j], dists[i]
+		}
+	}
+	waves := make([][]topo.DeviceID, 0, len(dists))
+	for _, d := range dists {
+		waves = append(waves, byDist[d])
+	}
+	return waves
+}
+
+// Run executes the rollout: pre-checks, intent publication, wave-ordered
+// deployment with settling between waves, then post-checks including
+// straggler detection when NSDB is attached. The first error aborts.
+func (c *Controller) Run(r Rollout) error {
+	if c.Deploy == nil {
+		return fmt.Errorf("controller: no deployment backend")
+	}
+	if err := r.Intent.Validate(); err != nil {
+		return err
+	}
+	for _, hc := range r.Pre {
+		if err := hc.Check(); err != nil {
+			return fmt.Errorf("controller: pre-deployment check %q failed: %w", hc.Name, err)
+		}
+	}
+	// Publish intent so the consistency loop can detect stragglers.
+	if c.DB != nil {
+		for dev, cfg := range r.Intent {
+			c.DB.Publish(nsdb.Intended, nsdb.DevicePath(string(dev), "rpa"), cfg.Clone())
+		}
+	}
+	var deployedSoFar []topo.DeviceID
+	for _, wave := range c.Waves(r) {
+		for _, dev := range wave {
+			if err := c.Deploy(dev, r.Intent[dev]); err != nil {
+				return fmt.Errorf("controller: deploy to %s: %w", dev, err)
+			}
+			c.deployments++
+			deployedSoFar = append(deployedSoFar, dev)
+			if c.DB != nil && !c.BackendUpdatesCurrent {
+				c.DB.Publish(nsdb.Current, nsdb.DevicePath(string(dev), "rpa"), r.Intent[dev].Clone())
+			}
+			if r.SettlePerDevice && c.Settle != nil {
+				c.Settle()
+			}
+		}
+		if c.Settle != nil {
+			c.Settle()
+		}
+		if r.MaxStragglerFraction > 0 && c.DB != nil {
+			if frac, stragglers := c.stragglerFraction(r.Intent, deployedSoFar); frac > r.MaxStragglerFraction {
+				return fmt.Errorf("controller: slow-roll gate tripped: %.0f%% of deployed devices out-of-sync (%v)",
+					frac*100, stragglers)
+			}
+		}
+	}
+	for _, hc := range r.Post {
+		if err := hc.Check(); err != nil {
+			return fmt.Errorf("controller: post-deployment check %q failed: %w", hc.Name, err)
+		}
+	}
+	if c.DB != nil {
+		if stragglers := c.Stragglers(); len(stragglers) > 0 {
+			return fmt.Errorf("controller: %d stragglers after rollout: %v", len(stragglers), stragglers)
+		}
+	}
+	return nil
+}
+
+// stragglerFraction computes the out-of-sync fraction among the devices
+// deployed so far (the slow-roll gate's input).
+func (c *Controller) stragglerFraction(intent Intent, deployed []topo.DeviceID) (float64, []topo.DeviceID) {
+	if len(deployed) == 0 {
+		return 0, nil
+	}
+	leader := c.DB.Leader()
+	if leader == nil {
+		return 1, deployed // no NSDB view at all: assume the worst
+	}
+	var stragglers []topo.DeviceID
+	for _, dev := range deployed {
+		path := nsdb.DevicePath(string(dev), "rpa")
+		cur, ok := leader.Store.Get(nsdb.Current, path)
+		if !ok {
+			stragglers = append(stragglers, dev)
+			continue
+		}
+		want, _ := leader.Store.Get(nsdb.Intended, path)
+		if !jsonEqual(cur, want) {
+			stragglers = append(stragglers, dev)
+		}
+	}
+	return float64(len(stragglers)) / float64(len(deployed)), stragglers
+}
+
+func jsonEqual(a, b any) bool {
+	da, errA := json.Marshal(a)
+	db, errB := json.Marshal(b)
+	return errA == nil && errB == nil && string(da) == string(db)
+}
+
+// Stragglers returns devices whose current RPA differs from intended — the
+// continuous consistency guarantee of Section 5.1. Empty without NSDB.
+func (c *Controller) Stragglers() []string {
+	if c.DB == nil {
+		return nil
+	}
+	leader := c.DB.Leader()
+	if leader == nil {
+		return nil
+	}
+	var out []string
+	for _, path := range leader.Store.OutOfSync("/devices/*/rpa") {
+		out = append(out, path)
+	}
+	return out
+}

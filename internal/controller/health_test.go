@@ -1,0 +1,82 @@
+package controller
+
+import (
+	"strings"
+	"testing"
+
+	"centralium/internal/core"
+	"centralium/internal/openr"
+	"centralium/internal/topo"
+)
+
+func TestMgmtReachabilityCheck(t *testing.T) {
+	tp := topo.BuildMesh(topo.MeshParams{Planes: 2, Grids: 2, PerGroup: 2})
+	dom := openr.New(tp)
+	// The controller attaches at an RSW-adjacent point; use an FSW here.
+	source := topo.FSWID(0, 0)
+	targets := []topo.DeviceID{topo.SSWID(0, 0), topo.SSWID(1, 1)}
+
+	hc := MgmtReachabilityCheck(dom, source, targets)
+	if hc.Name != "mgmt-reachability" {
+		t.Fatalf("Name = %q", hc.Name)
+	}
+	if err := hc.Check(); err != nil {
+		t.Fatalf("healthy fleet failed check: %v", err)
+	}
+	// Kill a target: the check must fail and name it.
+	dom.SetNodeUp(topo.SSWID(0, 0), false)
+	err := hc.Check()
+	if err == nil || !strings.Contains(err.Error(), string(topo.SSWID(0, 0))) {
+		t.Fatalf("err = %v, want named unreachable device", err)
+	}
+}
+
+func TestMgmtCheckGatesRollout(t *testing.T) {
+	tp := topo.BuildMesh(topo.MeshParams{Planes: 2, Grids: 2, PerGroup: 2})
+	dom := openr.New(tp)
+	dom.SetNodeUp(topo.SSWID(0, 1), false)
+
+	deployed := 0
+	c := &Controller{
+		Topo:   tp,
+		Deploy: func(topo.DeviceID, *core.Config) error { deployed++; return nil },
+	}
+	intent := CapacityProtectionIntent([]topo.DeviceID{topo.SSWID(0, 1)}, "X", 75, false, 2)
+	err := c.Run(Rollout{
+		Intent: intent,
+		Pre:    []HealthCheck{MgmtReachabilityCheck(dom, topo.FSWID(0, 0), intent.Devices())},
+	})
+	if err == nil || deployed != 0 {
+		t.Fatalf("rollout proceeded to unreachable device: err=%v deployed=%d", err, deployed)
+	}
+}
+
+func TestDeviceFailureAlerts(t *testing.T) {
+	tp := topo.BuildMesh(topo.MeshParams{Planes: 2, Grids: 2, PerGroup: 2})
+	dom := openr.New(tp)
+	drained := topo.FADUID(0, 0)
+	crashed := topo.FADUID(1, 1)
+	dom.SetNodeUp(drained, false)
+	dom.SetNodeUp(crashed, false)
+
+	expected, unexpected := DeviceFailureAlerts(dom, topo.FSWID(0, 0),
+		map[topo.DeviceID]bool{drained: true})
+	if len(expected) != 1 || expected[0] != drained {
+		t.Fatalf("expected = %v", expected)
+	}
+	if len(unexpected) != 1 || unexpected[0] != crashed {
+		t.Fatalf("unexpected = %v, want the crashed device alerted", unexpected)
+	}
+}
+
+func TestExpectationCheck(t *testing.T) {
+	ok := ExpectationCheck("new-paths-selected", func() (bool, string) { return true, "" })
+	if err := ok.Check(); err != nil {
+		t.Fatal(err)
+	}
+	bad := ExpectationCheck("rib-state", func() (bool, string) { return false, "only 1 path selected" })
+	err := bad.Check()
+	if err == nil || !strings.Contains(err.Error(), "only 1 path") {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -1,0 +1,48 @@
+package controller
+
+import "fmt"
+
+// OrchestratedChange implements the Section 7.1 "unified routing change
+// orchestration": RPAs identify routes through attributes that the *base*
+// BGP policy sets (e.g. the community attached at origination), so the two
+// must deploy in a coordinated order — base policy first, verified, then
+// the RPA that depends on it; removal in reverse. Uncoordinated deployment
+// "can lead to unexpected routing behavior": an RPA whose destination
+// community does not exist yet silently matches nothing.
+type OrchestratedChange struct {
+	// Name for error messages.
+	Name string
+
+	// ApplyBasePolicy performs the base BGP policy change (community
+	// tagging, origination changes). It must be idempotent.
+	ApplyBasePolicy func() error
+
+	// VerifyBasePolicy confirms the base change took effect fleet-wide
+	// before the dependent RPA deploys (the paper's pre-deployment
+	// verification); nil skips verification.
+	VerifyBasePolicy func() error
+
+	// Rollout is the dependent RPA deployment.
+	Rollout Rollout
+}
+
+// Execute runs the change in the safe order on the controller.
+func (c *Controller) Execute(oc OrchestratedChange) error {
+	if oc.ApplyBasePolicy != nil {
+		if err := oc.ApplyBasePolicy(); err != nil {
+			return fmt.Errorf("controller: %s: base policy: %w", oc.Name, err)
+		}
+	}
+	if c.Settle != nil {
+		c.Settle()
+	}
+	if oc.VerifyBasePolicy != nil {
+		if err := oc.VerifyBasePolicy(); err != nil {
+			return fmt.Errorf("controller: %s: base policy verification: %w", oc.Name, err)
+		}
+	}
+	if err := c.Run(oc.Rollout); err != nil {
+		return fmt.Errorf("controller: %s: %w", oc.Name, err)
+	}
+	return nil
+}

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"net/netip"
+	"testing"
+	"testing/quick"
+)
+
+func mkRoute(prefix string, asPath []uint32, comms ...string) RouteAttrs {
+	return RouteAttrs{
+		Prefix:      netip.MustParsePrefix(prefix),
+		ASPath:      asPath,
+		Communities: comms,
+		LocalPref:   100,
+	}
+}
+
+func TestASPathString(t *testing.T) {
+	tests := []struct {
+		path []uint32
+		want string
+	}{
+		{nil, ""},
+		{[]uint32{65001}, "65001"},
+		{[]uint32{65001, 65002, 4200000000}, "65001 65002 4200000000"},
+	}
+	for _, tt := range tests {
+		r := RouteAttrs{ASPath: tt.path}
+		if got := r.ASPathString(); got != tt.want {
+			t.Errorf("ASPathString(%v) = %q, want %q", tt.path, got, tt.want)
+		}
+	}
+}
+
+func TestHasCommunityAndOriginASN(t *testing.T) {
+	r := mkRoute("10.0.0.0/8", []uint32{1, 2, 3}, "A", "B")
+	if !r.HasCommunity("A") || !r.HasCommunity("B") || r.HasCommunity("C") {
+		t.Error("HasCommunity wrong")
+	}
+	if got := r.OriginASN(); got != 3 {
+		t.Errorf("OriginASN = %d, want 3", got)
+	}
+	empty := mkRoute("10.0.0.0/8", nil)
+	if got := empty.OriginASN(); got != 0 {
+		t.Errorf("OriginASN of empty path = %d, want 0", got)
+	}
+}
+
+func TestOriginString(t *testing.T) {
+	if OriginIGP.String() != "igp" || OriginEGP.String() != "egp" || OriginIncomplete.String() != "incomplete" {
+		t.Error("Origin.String wrong")
+	}
+}
+
+func TestFingerprintStability(t *testing.T) {
+	a := mkRoute("10.0.0.0/8", []uint32{1, 2}, "X")
+	b := mkRoute("10.0.0.0/8", []uint32{1, 2}, "X")
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Error("identical routes have different fingerprints")
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	base := mkRoute("10.0.0.0/8", []uint32{1, 2}, "X")
+	variants := []RouteAttrs{
+		mkRoute("10.0.0.0/9", []uint32{1, 2}, "X"),
+		mkRoute("10.0.0.0/8", []uint32{1, 3}, "X"),
+		mkRoute("10.0.0.0/8", []uint32{1, 2}, "Y"),
+		mkRoute("10.0.0.0/8", []uint32{1, 2}),
+	}
+	variants[3].NextHop = "nh1"
+	for i, v := range variants {
+		if v.Fingerprint() == base.Fingerprint() {
+			t.Errorf("variant %d collides with base", i)
+		}
+	}
+	// Field-boundary confusion: ASPath [12] vs [1,2] must differ.
+	p1 := mkRoute("10.0.0.0/8", []uint32{12})
+	p2 := mkRoute("10.0.0.0/8", []uint32{1, 2})
+	if p1.Fingerprint() == p2.Fingerprint() {
+		t.Error("AS path [12] and [1 2] collide")
+	}
+}
+
+func TestFingerprintQuick(t *testing.T) {
+	// Property: fingerprint is a pure function of attributes.
+	f := func(lp, med uint32, asn1, asn2 uint32) bool {
+		r1 := RouteAttrs{Prefix: netip.MustParsePrefix("10.0.0.0/8"),
+			ASPath: []uint32{asn1, asn2}, LocalPref: lp, MED: med}
+		r2 := RouteAttrs{Prefix: netip.MustParsePrefix("10.0.0.0/8"),
+			ASPath: []uint32{asn1, asn2}, LocalPref: lp, MED: med}
+		return r1.Fingerprint() == r2.Fingerprint()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

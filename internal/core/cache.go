@@ -1,0 +1,77 @@
+package core
+
+// CacheKey identifies one (statement, path set, route) match computation.
+type CacheKey struct {
+	Statement string
+	Set       int
+	Route     uint64 // RouteAttrs.Fingerprint
+}
+
+// defaultCacheSize bounds the match cache. Production switches hold on the
+// order of 10k-100k routes; the cap keeps worst-case memory predictable.
+const defaultCacheSize = 1 << 16
+
+// Cache memoizes signature match results per route fingerprint. "Once
+// evaluated, the matched RPA statement is cached so future re-evaluation on
+// the same route is much faster" (Section 6.2, Table 2). Eviction is
+// wholesale clear on overflow — simple, and re-warming is cheap relative to
+// convergence timescales.
+type Cache struct {
+	max     int
+	entries map[CacheKey]bool
+	hits    uint64
+	misses  uint64
+	enabled bool
+}
+
+// NewCache returns a cache bounded to max entries (values <= 0 get the
+// default bound).
+func NewCache(max int) *Cache {
+	if max <= 0 {
+		max = defaultCacheSize
+	}
+	return &Cache{max: max, entries: make(map[CacheKey]bool), enabled: true}
+}
+
+// SetEnabled toggles the cache (the Table 2 "w/o cache" row disables it).
+func (c *Cache) SetEnabled(on bool) {
+	c.enabled = on
+	if !on {
+		c.Clear()
+	}
+}
+
+// Get returns the cached match result.
+func (c *Cache) Get(k CacheKey) (v, ok bool) {
+	if !c.enabled {
+		c.misses++
+		return false, false
+	}
+	v, ok = c.entries[k]
+	if ok {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	return v, ok
+}
+
+// Put stores a match result.
+func (c *Cache) Put(k CacheKey, v bool) {
+	if !c.enabled {
+		return
+	}
+	if len(c.entries) >= c.max {
+		c.entries = make(map[CacheKey]bool, c.max/4)
+	}
+	c.entries[k] = v
+}
+
+// Clear drops all entries but keeps hit/miss counters.
+func (c *Cache) Clear() { c.entries = make(map[CacheKey]bool) }
+
+// Len reports the number of cached results.
+func (c *Cache) Len() int { return len(c.entries) }
+
+// Stats returns cumulative hit and miss counts.
+func (c *Cache) Stats() (hits, misses uint64) { return c.hits, c.misses }

@@ -1,0 +1,68 @@
+package core
+
+// Explanation tooling for Section 7.2's debuggability needs: operators must
+// be able to see, for a given route, which statement governs it, which path
+// set finally matched, and why the earlier sets did not.
+
+// SetExplanation reports one path set's evaluation.
+type SetExplanation struct {
+	Name             string
+	MatchedRoutes    []int // candidate indices the signature matched
+	DistinctNextHops int
+	RequiredNextHops int
+	Satisfied        bool
+}
+
+// Explanation reports a full Path Selection evaluation for one prefix.
+type Explanation struct {
+	// Statement names the governing statement; empty when no statement's
+	// destination matches (pure native selection).
+	Statement string
+	// Baseline is the effective full-health next-hop count used for
+	// percentage thresholds.
+	Baseline int
+	// Sets explains every path set walked, in priority order.
+	Sets []SetExplanation
+	// ChosenSet names the set that won; empty on native fallback.
+	ChosenSet string
+	// UsedNative is true when selection fell back to native BGP.
+	UsedNative bool
+	// Native describes the native-fallback constraint, if any.
+	Native NativeConstraint
+}
+
+// ExplainSelection runs the same walk as SelectPaths but records every
+// intermediate decision. It does not touch the cache (debug reads must not
+// perturb measured state).
+func (e *Evaluator) ExplainSelection(candidates []RouteAttrs, baseline int) Explanation {
+	out := Explanation{UsedNative: true, Baseline: baseline}
+	if len(candidates) == 0 {
+		return out
+	}
+	es := e.findStatement(&candidates[0])
+	if es == nil {
+		return out
+	}
+	out.Statement = es.src.Name
+	if es.src.ExpectedNextHops > 0 {
+		out.Baseline = es.src.ExpectedNextHops
+	}
+	out.Native = e.NativeConstraintFor(&candidates[0])
+	for si, cs := range es.sets {
+		se := SetExplanation{Name: setName(es.src.PathSets[si], si)}
+		for ri := range candidates {
+			if cs.matches(&candidates[ri]) {
+				se.MatchedRoutes = append(se.MatchedRoutes, ri)
+			}
+		}
+		se.DistinctNextHops = distinctNextHops(candidates, se.MatchedRoutes)
+		se.RequiredNextHops = es.src.PathSets[si].MinNextHop.Required(out.Baseline)
+		se.Satisfied = len(se.MatchedRoutes) > 0 && se.DistinctNextHops >= se.RequiredNextHops
+		out.Sets = append(out.Sets, se)
+		if se.Satisfied && out.ChosenSet == "" {
+			out.ChosenSet = se.Name
+			out.UsedNative = false
+		}
+	}
+	return out
+}

@@ -1,0 +1,79 @@
+package core
+
+import "testing"
+
+func TestExplainSelectionChoosesSet(t *testing.T) {
+	e := evaluator(t, &Config{PathSelection: []PathSelectionStatement{{
+		Name:        "stmt",
+		Destination: Destination{Community: "D"},
+		PathSets: []PathSet{
+			{Name: "first", Signature: PathSignature{NextHopRegex: "^never"}},
+			{Name: "second", Signature: PathSignature{NextHopRegex: "^fadu"}, MinNextHop: MinNextHop{Count: 2}},
+		},
+	}}})
+	r := func(nh string) RouteAttrs {
+		x := mkRoute("10.0.0.0/8", []uint32{1}, "D")
+		x.NextHop = nh
+		return x
+	}
+	ex := e.ExplainSelection([]RouteAttrs{r("fadu.0"), r("fadu.1"), r("eb.0")}, 3)
+	if ex.Statement != "stmt" || ex.UsedNative {
+		t.Fatalf("explanation = %+v", ex)
+	}
+	if len(ex.Sets) != 2 {
+		t.Fatalf("sets = %+v", ex.Sets)
+	}
+	if ex.Sets[0].Satisfied || len(ex.Sets[0].MatchedRoutes) != 0 {
+		t.Errorf("set 0 = %+v, want unsatisfied", ex.Sets[0])
+	}
+	if !ex.Sets[1].Satisfied || len(ex.Sets[1].MatchedRoutes) != 2 || ex.Sets[1].DistinctNextHops != 2 {
+		t.Errorf("set 1 = %+v", ex.Sets[1])
+	}
+	if ex.ChosenSet != "second" {
+		t.Errorf("ChosenSet = %q", ex.ChosenSet)
+	}
+	// Explanation must agree with the actual selection.
+	d := e.SelectPaths([]RouteAttrs{r("fadu.0"), r("fadu.1"), r("eb.0")}, 3)
+	if d.MatchedSet != ex.ChosenSet {
+		t.Errorf("SelectPaths chose %q, ExplainSelection %q", d.MatchedSet, ex.ChosenSet)
+	}
+}
+
+func TestExplainSelectionNativeAndEmpty(t *testing.T) {
+	e := evaluator(t, &Config{PathSelection: []PathSelectionStatement{{
+		Name:                "protect",
+		Destination:         Destination{Community: "D"},
+		BgpNativeMinNextHop: MinNextHop{Percent: 75},
+		ExpectedNextHops:    8,
+	}}})
+	r := mkRoute("10.0.0.0/8", []uint32{1}, "D")
+	ex := e.ExplainSelection([]RouteAttrs{r}, 2)
+	if !ex.UsedNative || ex.Statement != "protect" {
+		t.Fatalf("explanation = %+v", ex)
+	}
+	if ex.Baseline != 8 {
+		t.Errorf("Baseline = %d, want ExpectedNextHops 8", ex.Baseline)
+	}
+	if !ex.Native.Present || ex.Native.MinNextHop.Percent != 75 {
+		t.Errorf("Native = %+v", ex.Native)
+	}
+	// No candidates / no matching statement.
+	if ex := e.ExplainSelection(nil, 1); !ex.UsedNative || ex.Statement != "" {
+		t.Errorf("empty explanation = %+v", ex)
+	}
+	other := mkRoute("10.0.0.0/8", []uint32{1}, "X")
+	if ex := e.ExplainSelection([]RouteAttrs{other}, 1); ex.Statement != "" {
+		t.Errorf("unmatched explanation = %+v", ex)
+	}
+}
+
+func TestNativeConstraintBaseline(t *testing.T) {
+	nc := NativeConstraint{Expected: 4}
+	if nc.Baseline(7) != 4 {
+		t.Error("Expected should override observed")
+	}
+	nc.Expected = 0
+	if nc.Baseline(7) != 7 {
+		t.Error("observed should be used without Expected")
+	}
+}

@@ -1,0 +1,120 @@
+package core
+
+import "testing"
+
+func TestAssignWeightsBasic(t *testing.T) {
+	e := evaluator(t, &Config{RouteAttribute: []RouteAttributeStatement{{
+		Name:        "te-weights",
+		Destination: Destination{Community: "D"},
+		NextHopWeights: []NextHopWeight{
+			{Signature: PathSignature{NextHopRegex: "^eb\\.0"}, Weight: 3},
+			{Signature: PathSignature{NextHopRegex: "^eb\\.1"}, Weight: 1},
+		},
+	}}})
+	a := mkRoute("10.0.0.0/8", []uint32{1}, "D")
+	a.NextHop = "eb.0"
+	b := mkRoute("10.0.0.0/8", []uint32{2}, "D")
+	b.NextHop = "eb.1"
+	c := mkRoute("10.0.0.0/8", []uint32{3}, "D")
+	c.NextHop = "eb.2" // unmatched -> default weight 1
+
+	d := e.AssignWeights([]RouteAttrs{a, b, c}, 0)
+	if !d.Applied {
+		t.Fatal("statement did not apply")
+	}
+	want := []int{3, 1, 1}
+	for i, w := range want {
+		if d.Weights[i] != w {
+			t.Errorf("weight[%d] = %d, want %d", i, d.Weights[i], w)
+		}
+	}
+	if d.Statement != "te-weights" {
+		t.Errorf("Statement = %q", d.Statement)
+	}
+}
+
+func TestAssignWeightsFirstMatchingSignatureWins(t *testing.T) {
+	e := evaluator(t, &Config{RouteAttribute: []RouteAttributeStatement{{
+		Name:        "overlap",
+		Destination: Destination{Community: "D"},
+		NextHopWeights: []NextHopWeight{
+			{Signature: PathSignature{NextHopRegex: "^eb"}, Weight: 5},
+			{Signature: PathSignature{NextHopRegex: "^eb\\.1"}, Weight: 9},
+		},
+	}}})
+	r := mkRoute("10.0.0.0/8", []uint32{1}, "D")
+	r.NextHop = "eb.1"
+	d := e.AssignWeights([]RouteAttrs{r}, 0)
+	if !d.Applied || d.Weights[0] != 5 {
+		t.Fatalf("want first entry's weight 5, got %+v", d)
+	}
+}
+
+func TestAssignWeightsExpiration(t *testing.T) {
+	e := evaluator(t, &Config{RouteAttribute: []RouteAttributeStatement{{
+		Name:           "expiring",
+		Destination:    Destination{Community: "D"},
+		NextHopWeights: []NextHopWeight{{Signature: PathSignature{}, Weight: 7}},
+		ExpiresAt:      1000,
+	}}})
+	r := mkRoute("10.0.0.0/8", []uint32{1}, "D")
+	if d := e.AssignWeights([]RouteAttrs{r}, 999); !d.Applied {
+		t.Fatal("statement should apply before expiry")
+	}
+	if d := e.AssignWeights([]RouteAttrs{r}, 1000); d.Applied {
+		t.Fatal("statement should be invalid at expiry time")
+	}
+}
+
+func TestAssignWeightsNoMatch(t *testing.T) {
+	e := evaluator(t, &Config{RouteAttribute: []RouteAttributeStatement{{
+		Name:           "narrow",
+		Destination:    Destination{Community: "NOPE"},
+		NextHopWeights: []NextHopWeight{{Signature: PathSignature{}, Weight: 2}},
+	}}})
+	r := mkRoute("10.0.0.0/8", []uint32{1}, "D")
+	if d := e.AssignWeights([]RouteAttrs{r}, 0); d.Applied {
+		t.Fatalf("unexpected apply: %+v", d)
+	}
+	if d := e.AssignWeights(nil, 0); d.Applied {
+		t.Fatal("empty input must not apply")
+	}
+}
+
+func TestAssignWeightsDefaultWeight(t *testing.T) {
+	e := evaluator(t, &Config{RouteAttribute: []RouteAttributeStatement{{
+		Name:          "def",
+		Destination:   Destination{Community: "D"},
+		DefaultWeight: 4,
+		NextHopWeights: []NextHopWeight{
+			{Signature: PathSignature{NextHopRegex: "^special"}, Weight: 10},
+		},
+	}}})
+	a := mkRoute("10.0.0.0/8", []uint32{1}, "D")
+	a.NextHop = "special.0"
+	b := mkRoute("10.0.0.0/8", []uint32{2}, "D")
+	b.NextHop = "plain.0"
+	d := e.AssignWeights([]RouteAttrs{a, b}, 0)
+	if d.Weights[0] != 10 || d.Weights[1] != 4 {
+		t.Fatalf("weights = %v, want [10 4]", d.Weights)
+	}
+}
+
+func TestAssignWeightsZeroWeightDrainsPath(t *testing.T) {
+	// Weight 0 is the drain idiom: path selected but carries no traffic.
+	e := evaluator(t, &Config{RouteAttribute: []RouteAttributeStatement{{
+		Name:        "drain-eb0",
+		Destination: Destination{Community: "D"},
+		NextHopWeights: []NextHopWeight{
+			{Signature: PathSignature{NextHopRegex: "^eb\\.0"}, Weight: 0},
+		},
+	}}})
+	a := mkRoute("10.0.0.0/8", []uint32{1}, "D")
+	a.NextHop = "eb.0"
+	b := mkRoute("10.0.0.0/8", []uint32{2}, "D")
+	b.NextHop = "eb.1"
+	d := e.AssignWeights([]RouteAttrs{a, b}, 0)
+	if d.Weights[0] != 0 || d.Weights[1] != 1 {
+		t.Fatalf("weights = %v, want [0 1]", d.Weights)
+	}
+}

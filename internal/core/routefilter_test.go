@@ -1,0 +1,126 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAllowRouteIngressAllowList(t *testing.T) {
+	e := evaluator(t, &Config{RouteFilter: []RouteFilterStatement{{
+		Name:          "dc-boundary",
+		PeerSignature: "^eb\\.",
+		Ingress: &PrefixFilter{Rules: []PrefixRule{
+			{Prefix: "0.0.0.0/0"}, // exactly the default route
+			{Prefix: "10.0.0.0/8", MinMaskLength: 8, MaxMaskLength: 24}, // aggregates only
+		}},
+	}}})
+
+	def := mkRoute("0.0.0.0/0", []uint32{1})
+	agg := mkRoute("10.1.0.0/16", []uint32{1})
+	tooSpecific := mkRoute("10.1.2.0/25", []uint32{1})
+	outside := mkRoute("192.168.0.0/16", []uint32{1})
+
+	if !e.AllowRoute(&def, "eb.0", Ingress) {
+		t.Error("default route denied")
+	}
+	if !e.AllowRoute(&agg, "eb.0", Ingress) {
+		t.Error("aggregate denied")
+	}
+	if e.AllowRoute(&tooSpecific, "eb.0", Ingress) {
+		t.Error("more-specific /25 leaked through max mask 24")
+	}
+	if e.AllowRoute(&outside, "eb.0", Ingress) {
+		t.Error("out-of-range prefix allowed")
+	}
+	// Filter only applies to eb.* peers.
+	if !e.AllowRoute(&outside, "fsw.0", Ingress) {
+		t.Error("filter applied to non-matching peer")
+	}
+	// Egress unconstrained by this statement.
+	if !e.AllowRoute(&outside, "eb.0", Egress) {
+		t.Error("egress constrained without an egress filter")
+	}
+}
+
+func TestAllowRouteEgress(t *testing.T) {
+	e := evaluator(t, &Config{RouteFilter: []RouteFilterStatement{{
+		Name: "egress-only",
+		Egress: &PrefixFilter{Rules: []PrefixRule{
+			{Prefix: "10.0.0.0/8", MinMaskLength: 8, MaxMaskLength: 16},
+		}},
+	}}})
+	ok := mkRoute("10.5.0.0/16", []uint32{1})
+	bad := mkRoute("10.5.1.0/24", []uint32{1})
+	if !e.AllowRoute(&ok, "anyone", Egress) {
+		t.Error("/16 denied")
+	}
+	if e.AllowRoute(&bad, "anyone", Egress) {
+		t.Error("/24 allowed beyond max mask")
+	}
+}
+
+func TestAllowRouteNoStatements(t *testing.T) {
+	e := evaluator(t, &Config{})
+	r := mkRoute("10.0.0.0/8", []uint32{1})
+	if !e.AllowRoute(&r, "x", Ingress) || !e.AllowRoute(&r, "x", Egress) {
+		t.Error("no statements must allow everything")
+	}
+}
+
+func TestAllowRouteEmptyRuleListDeniesAll(t *testing.T) {
+	e := evaluator(t, &Config{RouteFilter: []RouteFilterStatement{{
+		Name:    "deny-all-in",
+		Ingress: &PrefixFilter{},
+	}}})
+	r := mkRoute("10.0.0.0/8", []uint32{1})
+	if e.AllowRoute(&r, "x", Ingress) {
+		t.Error("empty allow list must deny")
+	}
+}
+
+func TestFilterValidation(t *testing.T) {
+	bad := []Config{
+		{RouteFilter: []RouteFilterStatement{{Name: "b1", PeerSignature: "("}}},
+		{RouteFilter: []RouteFilterStatement{{Name: "b2", Ingress: &PrefixFilter{Rules: []PrefixRule{{Prefix: "not-a-prefix"}}}}}},
+		{RouteFilter: []RouteFilterStatement{{Name: "b3", Ingress: &PrefixFilter{Rules: []PrefixRule{{Prefix: "10.0.0.0/8", MinMaskLength: 20, MaxMaskLength: 16}}}}}},
+		{RouteFilter: []RouteFilterStatement{{Name: "b4", Ingress: &PrefixFilter{Rules: []PrefixRule{{Prefix: "10.0.0.0/8", MinMaskLength: 4, MaxMaskLength: 16}}}}}},
+	}
+	for i, cfg := range bad {
+		if _, err := NewEvaluator(&cfg); err == nil {
+			t.Errorf("config %d: expected validation error", i)
+		}
+	}
+}
+
+func TestDirectionString(t *testing.T) {
+	if Ingress.String() != "ingress" || Egress.String() != "egress" {
+		t.Error("Direction.String wrong")
+	}
+}
+
+func TestMultipleFilterStatementsAllApply(t *testing.T) {
+	// Two statements both matching a peer: a route must pass both.
+	e := evaluator(t, &Config{RouteFilter: []RouteFilterStatement{
+		{Name: "f1", Ingress: &PrefixFilter{Rules: []PrefixRule{{Prefix: "10.0.0.0/8", MinMaskLength: 8, MaxMaskLength: 24}}}},
+		{Name: "f2", Ingress: &PrefixFilter{Rules: []PrefixRule{{Prefix: "10.0.0.0/8", MinMaskLength: 8, MaxMaskLength: 16}}}},
+	}})
+	r16 := mkRoute("10.1.0.0/16", []uint32{1})
+	r20 := mkRoute("10.1.16.0/20", []uint32{1})
+	if !e.AllowRoute(&r16, "p", Ingress) {
+		t.Error("/16 should pass both filters")
+	}
+	if e.AllowRoute(&r20, "p", Ingress) {
+		t.Error("/20 passes f1 but must fail f2")
+	}
+}
+
+func TestFilterErrorMessagesName(t *testing.T) {
+	cfg := Config{RouteFilter: []RouteFilterStatement{{
+		Name:    "my-filter",
+		Ingress: &PrefixFilter{Rules: []PrefixRule{{Prefix: "bogus"}}},
+	}}}
+	_, err := NewEvaluator(&cfg)
+	if err == nil || !strings.Contains(err.Error(), "my-filter") {
+		t.Errorf("error should name the statement: %v", err)
+	}
+}

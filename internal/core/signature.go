@@ -1,0 +1,131 @@
+package core
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// PathSignature identifies a path set: "a unique combination of standard BGP
+// transitive attributes" (Section 4.3). All non-empty criteria must match.
+// Attribute match criteria can be regular expressions, e.g.
+// ASPathRegex "^12345" matches AS paths starting with ASN 12345 regardless
+// of length, which equalizes paths of varying lengths from the same origin.
+type PathSignature struct {
+	// ASPathRegex matches against the space-separated AS path string
+	// ("4200000000 4200000007"). Empty means any path.
+	ASPathRegex string `json:"as_path_regex,omitempty"`
+
+	// Communities that must all be present on the route.
+	Communities []string `json:"communities,omitempty"`
+
+	// PeerRegex matches the peer the route was learned from.
+	PeerRegex string `json:"peer_regex,omitempty"`
+
+	// NextHopRegex matches the route's next hop.
+	NextHopRegex string `json:"next_hop_regex,omitempty"`
+
+	// OriginASN, when non-zero, requires the route's originating ASN.
+	OriginASN uint32 `json:"origin_asn,omitempty"`
+}
+
+// IsZero reports whether every criterion is empty (a zero signature matches
+// every route).
+func (s *PathSignature) IsZero() bool {
+	return s.ASPathRegex == "" && len(s.Communities) == 0 &&
+		s.PeerRegex == "" && s.NextHopRegex == "" && s.OriginASN == 0
+}
+
+// Key returns a canonical string identity for the signature, used for cache
+// fingerprinting and debugging output.
+func (s *PathSignature) Key() string {
+	comms := append([]string(nil), s.Communities...)
+	sort.Strings(comms)
+	return fmt.Sprintf("aspath=%q comms=%q peer=%q nh=%q oasn=%d",
+		s.ASPathRegex, strings.Join(comms, ","), s.PeerRegex, s.NextHopRegex, s.OriginASN)
+}
+
+// compiledSignature caches the compiled regexes of a PathSignature.
+type compiledSignature struct {
+	src     PathSignature
+	asPath  *regexp.Regexp // nil when unset
+	peer    *regexp.Regexp
+	nextHop *regexp.Regexp
+}
+
+func compileSignature(s PathSignature) (*compiledSignature, error) {
+	cs := &compiledSignature{src: s}
+	var err error
+	if s.ASPathRegex != "" {
+		if cs.asPath, err = regexp.Compile(s.ASPathRegex); err != nil {
+			return nil, fmt.Errorf("core: bad as_path_regex %q: %w", s.ASPathRegex, err)
+		}
+	}
+	if s.PeerRegex != "" {
+		if cs.peer, err = regexp.Compile(s.PeerRegex); err != nil {
+			return nil, fmt.Errorf("core: bad peer_regex %q: %w", s.PeerRegex, err)
+		}
+	}
+	if s.NextHopRegex != "" {
+		if cs.nextHop, err = regexp.Compile(s.NextHopRegex); err != nil {
+			return nil, fmt.Errorf("core: bad next_hop_regex %q: %w", s.NextHopRegex, err)
+		}
+	}
+	return cs, nil
+}
+
+// matches reports whether the route satisfies every criterion.
+func (cs *compiledSignature) matches(r *RouteAttrs) bool {
+	if cs.asPath != nil && !cs.asPath.MatchString(r.ASPathString()) {
+		return false
+	}
+	for _, c := range cs.src.Communities {
+		if !r.HasCommunity(c) {
+			return false
+		}
+	}
+	if cs.peer != nil && !cs.peer.MatchString(r.Peer) {
+		return false
+	}
+	if cs.nextHop != nil && !cs.nextHop.MatchString(r.NextHop) {
+		return false
+	}
+	if cs.src.OriginASN != 0 && r.OriginASN() != cs.src.OriginASN {
+		return false
+	}
+	return true
+}
+
+// Destination selects which prefixes a statement applies to. In production
+// the common form is a community attached at the point of origin (Section
+// 4.4, e.g. "BACKBONE_DEFAULT_ROUTE"); explicit prefixes are also supported.
+type Destination struct {
+	// Community selects all routes tagged with this community.
+	Community string `json:"community,omitempty"`
+
+	// Prefixes selects routes whose prefix equals one of these (string form
+	// of netip.Prefix, e.g. "10.0.0.0/8").
+	Prefixes []string `json:"prefixes,omitempty"`
+}
+
+// IsZero reports whether the destination selects nothing explicitly. A zero
+// destination matches every route (an explicit "all" statement).
+func (d *Destination) IsZero() bool { return d.Community == "" && len(d.Prefixes) == 0 }
+
+// Matches reports whether a route falls under this destination.
+func (d *Destination) Matches(r *RouteAttrs) bool {
+	if d.IsZero() {
+		return true
+	}
+	if d.Community != "" && r.HasCommunity(d.Community) {
+		return true
+	}
+	p := r.Prefix.String()
+	for _, want := range d.Prefixes {
+		if p == want {
+			return true
+		}
+	}
+	return false
+}

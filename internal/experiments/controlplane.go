@@ -1,0 +1,271 @@
+package experiments
+
+import (
+	"fmt"
+	"net"
+	"net/netip"
+	"strings"
+	"time"
+
+	"centralium/internal/agent"
+	"centralium/internal/controller"
+	"centralium/internal/core"
+	"centralium/internal/fabric"
+	"centralium/internal/metrics"
+	"centralium/internal/migrate"
+	"centralium/internal/nsdb"
+	"centralium/internal/topo"
+)
+
+func init() {
+	register("fig11", "Figure 11: Controller CPU and memory across NSDB and Switch Agent tasks", func(seed int64) (string, error) {
+		return Fig11(Fig11Params{Seed: seed})
+	})
+	register("fig12", "Figure 12: CDF of RPA deployment time (ms)", func(seed int64) (string, error) {
+		return Fig12(Fig12Params{Seed: seed})
+	})
+	register("table2", "Table 2: RPA evaluation time per route (ms)", func(seed int64) (string, error) {
+		return Table2(seed), nil
+	})
+}
+
+// buildManagedFabric stands up a converged fabric with routes, an RPC
+// endpoint, and the device list, shared by the Figure 11/12 experiments.
+func buildManagedFabric(seed int64, params topo.FabricParams) (*fabric.Network, *agent.FabricHandler, []string) {
+	tp := topo.BuildFabric(params)
+	n := fabric.New(tp, fabric.Options{Seed: seed})
+	for _, eb := range tp.ByLayer(topo.LayerEB) {
+		n.OriginateAt(eb.ID, migrate.DefaultRoute, []string{migrate.BackboneCommunity}, 0)
+	}
+	n.Converge()
+	h := &agent.FabricHandler{Net: n}
+	var devices []string
+	for _, d := range tp.Devices() {
+		if d.Layer != topo.LayerEB {
+			devices = append(devices, string(d.ID))
+		}
+	}
+	return n, h, devices
+}
+
+// Fig11Params sizes the controller-footprint experiment.
+type Fig11Params struct {
+	Seed         int64
+	Agents       int // Switch Agent tasks
+	NSDBTasks    int // NSDB replica tasks
+	Rounds       int // reconcile+collect rounds
+	IdlePerRound time.Duration
+}
+
+// Fig11 deploys a fleet-wide RPA wave through sharded Switch Agents over a
+// replicated NSDB while metering each task's CPU (single-core-equivalent
+// percent) and attributed memory, then prints both CDFs.
+func Fig11(p Fig11Params) (string, error) {
+	if p.Agents == 0 {
+		p.Agents = 8
+	}
+	if p.NSDBTasks == 0 {
+		p.NSDBTasks = 4
+	}
+	if p.Rounds == 0 {
+		p.Rounds = 6
+	}
+	if p.IdlePerRound == 0 {
+		p.IdlePerRound = 120 * time.Millisecond
+	}
+	n, h, devices := buildManagedFabric(p.Seed, topo.FabricParams{
+		Pods: 8, RSWsPerPod: 12, FSWsPerPod: 4, Planes: 4,
+		SSWsPerPlane: 8, Grids: 4, FADUsPerGrid: 4, FAUUsPerGrid: 4, EBs: 4,
+	})
+	db := nsdb.NewCluster(p.NSDBTasks)
+	var meters []*metrics.TaskMeter
+	for i, r := range db.Replicas() {
+		m := metrics.NewTaskMeter(fmt.Sprintf("nsdb-%d", i))
+		r.Store.SetMeter(m)
+		meters = append(meters, m)
+	}
+
+	// Shard devices over agents, each with its own RPC connection.
+	agents := make([]*agent.Agent, p.Agents)
+	for i := range agents {
+		cli, srv := net.Pipe()
+		go (&agent.Server{H: h}).Serve(srv)
+		m := metrics.NewTaskMeter(fmt.Sprintf("switch-agent-%d", i))
+		agents[i] = &agent.Agent{
+			Name:   m.Name(),
+			DB:     db,
+			Client: agent.NewClient(cli),
+			Meter:  m,
+		}
+		meters = append(meters, m)
+		defer agents[i].Client.Close()
+	}
+	for i, dev := range devices {
+		a := agents[i%p.Agents]
+		a.Devices = append(a.Devices, dev)
+	}
+
+	// Publish a fleet-wide equalization intent, then run reconcile/collect
+	// rounds with idle gaps (the agents poll on an interval in production).
+	intent := controller.PathEqualizationIntent(n.Topo,
+		[]topo.Layer{topo.LayerFSW, topo.LayerSSW}, migrate.BackboneCommunity)
+	for dev, cfg := range intent {
+		agent.SetIntendedRPA(db, string(dev), cfg)
+	}
+	for round := 0; round < p.Rounds; round++ {
+		for _, a := range agents {
+			if _, err := a.ReconcileOnce(); err != nil {
+				return "", err
+			}
+			if err := a.CollectOnce(); err != nil {
+				return "", err
+			}
+		}
+		h.Lock()
+		n.Converge()
+		h.Unlock()
+		time.Sleep(p.IdlePerRound)
+	}
+
+	var cpu, mem metrics.Sample
+	for _, m := range meters {
+		cpu.Add(m.CPUPercent())
+		mem.Add(float64(m.HeapBytes()) / (1 << 20)) // MiB
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "fleet: %d managed switches, %d NSDB tasks, %d Switch Agent tasks, %d rounds\n\n",
+		len(devices), p.NSDBTasks, p.Agents, p.Rounds)
+	b.WriteString(metrics.FormatCDF("(a) CPU single-core-equivalent %", cpu.CDF(10)))
+	b.WriteString("\n")
+	b.WriteString(metrics.FormatCDF("(b) attributed memory (MiB)", mem.CDF(10)))
+	fmt.Fprintf(&b, "\npeak CPU %.2f%%, peak memory %.2f MiB (paper: <25%% CPU, <3 GB across tasks)\n",
+		cpu.Max(), mem.Max())
+	return b.String(), nil
+}
+
+// Fig12Params sizes the deployment-latency experiment.
+type Fig12Params struct {
+	Seed   int64
+	Pushes int
+}
+
+// Fig12 measures RPA deployment time — the RPC round trip updating RPAs in
+// BGP — for the FAUU layer (the devices farthest from where Centralium
+// runs), and prints the CDF in milliseconds.
+func Fig12(p Fig12Params) (string, error) {
+	if p.Pushes == 0 {
+		p.Pushes = 1000
+	}
+	n, h, _ := buildManagedFabric(p.Seed, topo.FabricParams{
+		Pods: 2, RSWsPerPod: 4, FSWsPerPod: 4, Planes: 4,
+		SSWsPerPlane: 4, Grids: 4, FADUsPerGrid: 4, FAUUsPerGrid: 4, EBs: 4,
+	})
+	cli, srv := net.Pipe()
+	go (&agent.Server{H: h}).Serve(srv)
+	db := nsdb.NewCluster(2)
+	lat := metrics.NewSample(p.Pushes)
+	a := &agent.Agent{Name: "sa-fig12", DB: db, Client: agent.NewClient(cli), DeployLatencies: lat}
+	defer a.Client.Close()
+
+	fauus := n.Topo.ByLayer(topo.LayerFAUU)
+	for _, d := range fauus {
+		a.Devices = append(a.Devices, string(d.ID))
+	}
+	// Repeatedly push version-bumped TE-style weight updates, the
+	// latency-sensitive use case called out in Section 6.2.
+	for i := 0; len(lat.Values()) < p.Pushes; i++ {
+		dev := fauus[i%len(fauus)]
+		cfg := &core.Config{
+			Version: int64(i + 1),
+			RouteAttribute: []core.RouteAttributeStatement{{
+				Name:        "te-weights",
+				Destination: core.Destination{Community: migrate.BackboneCommunity},
+				NextHopWeights: []core.NextHopWeight{
+					{Signature: core.PathSignature{NextHopRegex: "^eb\\.[01]$"}, Weight: 2 + i%3},
+					{Signature: core.PathSignature{NextHopRegex: "^eb\\."}, Weight: 1},
+				},
+			}},
+		}
+		agent.SetIntendedRPA(db, string(dev.ID), cfg)
+		if _, err := a.ReconcileOnce(); err != nil {
+			return "", err
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d RPA deployments to the FAUU layer over the agent RPC channel\n\n", lat.Len())
+	b.WriteString(metrics.FormatCDF("RPA deployment time (ms)", lat.CDF(12)))
+	sm := lat.Summarize()
+	fmt.Fprintf(&b, "\np50=%.3fms p99=%.3fms max=%.3fms (paper: most updates complete within 1 ms)\n",
+		sm.P50, sm.P99, sm.Max)
+	return b.String(), nil
+}
+
+// Table2 measures per-route Path Selection RPA evaluation latency with the
+// statement cache cold (miss) and warm (hit), reporting p50/p95/p99 in
+// milliseconds as the paper does.
+func Table2(seed int64) string {
+	const routes = 10000
+	cfg := &core.Config{PathSelection: []core.PathSelectionStatement{{
+		Name:        "bench",
+		Destination: core.Destination{Community: "D"},
+		PathSets: []core.PathSet{
+			{Signature: core.PathSignature{ASPathRegex: "^(4200000001|4200000002) "}},
+			{Signature: core.PathSignature{NextHopRegex: "^fadu\\.g[0-3]\\."}},
+			{Signature: core.PathSignature{Communities: []string{"D", "EXTRA"}}},
+			{Signature: core.PathSignature{ASPathRegex: "64512$"}},
+		},
+	}}}
+	ev, err := core.NewEvaluator(cfg)
+	if err != nil {
+		panic(err)
+	}
+	candidates := make([][]core.RouteAttrs, routes)
+	for i := range candidates {
+		prefix := netip.MustParsePrefix(fmt.Sprintf("10.%d.%d.0/24", (i/256)%256, i%256))
+		set := make([]core.RouteAttrs, 4)
+		for j := range set {
+			set[j] = core.RouteAttrs{
+				Prefix:      prefix,
+				ASPath:      []uint32{4200000000 + uint32((i+j)%8), 4200000100 + uint32(i%16), 64512},
+				Communities: []string{"D"},
+				NextHop:     fmt.Sprintf("fadu.g%d.%d", j%4, i%4),
+				Peer:        fmt.Sprintf("fadu.g%d.%d", j%4, i%4),
+				LocalPref:   100,
+			}
+		}
+		candidates[i] = set
+	}
+
+	measure := func() *metrics.Sample {
+		s := metrics.NewSample(routes)
+		for _, set := range candidates {
+			start := time.Now()
+			ev.SelectPaths(set, 4)
+			s.AddDuration(time.Since(start))
+		}
+		return s
+	}
+	ev.Cache().SetEnabled(false)
+	miss := measure()
+	ev.Cache().SetEnabled(true)
+	measure() // warm the cache
+	hit := measure()
+	hits, misses := ev.Cache().Stats()
+
+	fmtMS := func(v float64) string {
+		if v < 1 {
+			return "<1"
+		}
+		return fmt.Sprintf("%.0f", v)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d routes x 4 candidate paths, 4-set priority list (seed %d)\n\n", routes, seed)
+	fmt.Fprintf(&b, "%-12s %6s %6s %6s %14s\n", "", "p50", "p95", "p99", "raw p99 (ms)")
+	fmt.Fprintf(&b, "%-12s %6s %6s %6s %14.6f\n", "w/o cache",
+		fmtMS(miss.Percentile(50)), fmtMS(miss.Percentile(95)), fmtMS(miss.Percentile(99)), miss.Percentile(99))
+	fmt.Fprintf(&b, "%-12s %6s %6s %6s %14.6f\n", "w/ cache",
+		fmtMS(hit.Percentile(50)), fmtMS(hit.Percentile(95)), fmtMS(hit.Percentile(99)), hit.Percentile(99))
+	fmt.Fprintf(&b, "\ncache hits=%d misses=%d; speedup at p99: %.1fx\n",
+		hits, misses, miss.Percentile(99)/hit.Percentile(99))
+	return b.String()
+}

@@ -1,0 +1,126 @@
+// Package fabric emulates a data center fleet: every topology device gets a
+// bgp.Speaker, every link a BGP session, and all interaction flows through a
+// deterministic discrete-event engine. Per-session message latency includes
+// seeded jitter — the asynchrony that produces the paper's Section 3
+// transients (first/last-router funneling, WCMP next-hop-group explosion) —
+// while keeping every run exactly reproducible.
+//
+// This package is the substitute for Meta's production fleet (see
+// DESIGN.md, substitution table).
+package fabric
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// event is one scheduled callback.
+type event struct {
+	at  int64 // virtual nanoseconds
+	seq int64 // tie-break for equal timestamps: FIFO
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// engine is the virtual clock and event queue.
+type engine struct {
+	now   int64
+	seq   int64
+	queue eventHeap
+	rng   *rand.Rand
+
+	processed int64
+	hooks     []func(now int64)
+}
+
+func newEngine(seed int64) *engine {
+	return &engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// schedule enqueues fn at the given absolute virtual time (clamped to now).
+func (e *engine) schedule(at int64, fn func()) {
+	if at < e.now {
+		at = e.now
+	}
+	e.seq++
+	heap.Push(&e.queue, &event{at: at, seq: e.seq, fn: fn})
+}
+
+// after enqueues fn delay nanoseconds from now.
+func (e *engine) after(delay int64, fn func()) { e.schedule(e.now+delay, fn) }
+
+// DefaultMaxEvents bounds a single Run call; hitting it indicates a
+// non-converging protocol bug rather than a big workload.
+const DefaultMaxEvents = 5_000_000
+
+// run processes events until the queue is empty or maxEvents is hit; it
+// returns the number processed and whether the queue drained.
+func (e *engine) run(maxEvents int64) (int64, bool) {
+	if maxEvents <= 0 {
+		maxEvents = DefaultMaxEvents
+	}
+	var n int64
+	for len(e.queue) > 0 && n < maxEvents {
+		ev := heap.Pop(&e.queue).(*event)
+		e.now = ev.at
+		ev.fn()
+		n++
+		e.processed++
+		for _, h := range e.hooks {
+			h(e.now)
+		}
+	}
+	return n, len(e.queue) == 0
+}
+
+// runUntil processes events with timestamps <= deadline.
+func (e *engine) runUntil(deadline int64, maxEvents int64) int64 {
+	if maxEvents <= 0 {
+		maxEvents = DefaultMaxEvents
+	}
+	var n int64
+	for len(e.queue) > 0 && n < maxEvents && e.queue[0].at <= deadline {
+		ev := heap.Pop(&e.queue).(*event)
+		e.now = ev.at
+		ev.fn()
+		n++
+		e.processed++
+		for _, h := range e.hooks {
+			h(e.now)
+		}
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+	return n
+}
+
+// Duration helpers: the virtual clock counts nanoseconds.
+func ns(d time.Duration) int64 { return int64(d) }
+
+// String renders the clock for debug output.
+func (e *engine) String() string {
+	return fmt.Sprintf("t=%s queued=%d processed=%d",
+		time.Duration(e.now), len(e.queue), e.processed)
+}

@@ -1,0 +1,383 @@
+package fabric
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"time"
+
+	"centralium/internal/bgp"
+	"centralium/internal/core"
+	"centralium/internal/fib"
+	"centralium/internal/topo"
+)
+
+// Options configures the emulation.
+type Options struct {
+	// Seed drives all randomness (message jitter). Same seed, same run.
+	Seed int64
+
+	// BaseLatency is the fixed per-message propagation delay
+	// (default 1ms).
+	BaseLatency time.Duration
+
+	// Jitter is the maximum extra random delay per message (default 5ms).
+	// This asynchrony is what creates the transient orderings of §3.
+	Jitter time.Duration
+
+	// SpeakerConfig customizes per-device speaker configuration; ID and
+	// ASN are filled in from the device regardless. Nil gets the default:
+	// multipath on, ECMP, least-favorable advertisement.
+	SpeakerConfig func(d *topo.Device) bgp.Config
+}
+
+func (o *Options) setDefaults() {
+	if o.BaseLatency == 0 {
+		o.BaseLatency = time.Millisecond
+	}
+	if o.Jitter == 0 {
+		o.Jitter = 5 * time.Millisecond
+	}
+	if o.SpeakerConfig == nil {
+		o.SpeakerConfig = func(*topo.Device) bgp.Config {
+			return bgp.Config{Multipath: true}
+		}
+	}
+}
+
+// session is one emulated BGP session (one topology link).
+type session struct {
+	id   bgp.SessionID
+	a, b topo.DeviceID
+	gbps float64
+	up   bool
+}
+
+// Node is one emulated switch: the device record plus its BGP speaker.
+type Node struct {
+	Device  *topo.Device
+	Speaker *bgp.Speaker
+	up      bool
+}
+
+// Up reports whether the device is administratively up.
+func (n *Node) Up() bool { return n.up }
+
+// Network is the emulated fleet.
+type Network struct {
+	Topo *topo.Topology
+
+	opts     Options
+	eng      *engine
+	nodes    map[topo.DeviceID]*Node
+	sessions map[bgp.SessionID]*session
+	// fifo tracks the last scheduled delivery time per (session, receiver)
+	// so messages on one session stay ordered, as over TCP.
+	fifo map[string]int64
+}
+
+// New builds the emulation: one speaker per device, one session per link.
+// All devices start up and all sessions established.
+func New(t *topo.Topology, opts Options) *Network {
+	opts.setDefaults()
+	n := &Network{
+		Topo:     t,
+		opts:     opts,
+		eng:      newEngine(opts.Seed),
+		nodes:    make(map[topo.DeviceID]*Node),
+		sessions: make(map[bgp.SessionID]*session),
+		fifo:     make(map[string]int64),
+	}
+	for _, d := range t.Devices() {
+		cfg := opts.SpeakerConfig(d)
+		cfg.ID = string(d.ID)
+		cfg.ASN = d.ASN
+		n.nodes[d.ID] = &Node{
+			Device:  d,
+			Speaker: bgp.NewSpeaker(cfg, func() int64 { return n.eng.now }),
+			up:      true,
+		}
+	}
+	for li, l := range t.Links() {
+		s := &session{
+			id:   sessionIDFor(li, l),
+			a:    l.A,
+			b:    l.B,
+			gbps: l.CapacityGbps,
+		}
+		n.sessions[s.id] = s
+		n.establish(s)
+	}
+	return n
+}
+
+func sessionIDFor(li int, l topo.Link) bgp.SessionID {
+	return bgp.SessionID(fmt.Sprintf("s%04d:%s--%s", li, l.A, l.B))
+}
+
+// establish brings a session up on both speakers.
+func (n *Network) establish(s *session) {
+	if s.up {
+		return
+	}
+	s.up = true
+	na, nb := n.nodes[s.a], n.nodes[s.b]
+	na.Speaker.AddPeer(s.id, string(s.b), nb.Device.ASN, s.gbps)
+	n.flush(s.a)
+	nb.Speaker.AddPeer(s.id, string(s.a), na.Device.ASN, s.gbps)
+	n.flush(s.b)
+}
+
+// teardown brings a session down on both speakers.
+func (n *Network) teardown(s *session) {
+	if !s.up {
+		return
+	}
+	s.up = false
+	n.nodes[s.a].Speaker.RemovePeer(s.id)
+	n.flush(s.a)
+	n.nodes[s.b].Speaker.RemovePeer(s.id)
+	n.flush(s.b)
+}
+
+// flush drains one speaker's outbox, scheduling deliveries with base
+// latency plus seeded jitter, preserving per-session FIFO order.
+func (n *Network) flush(dev topo.DeviceID) {
+	node := n.nodes[dev]
+	for _, m := range node.Speaker.TakeOutbox() {
+		s := n.sessions[m.Session]
+		if s == nil || !s.up {
+			continue
+		}
+		target := s.a
+		if target == dev {
+			target = s.b
+		}
+		delay := int64(n.opts.BaseLatency)
+		if j := int64(n.opts.Jitter); j > 0 {
+			delay += n.eng.rng.Int63n(j)
+		}
+		at := n.eng.now + delay
+		key := string(m.Session) + ">" + string(target)
+		if last := n.fifo[key]; at <= last {
+			at = last + 1
+		}
+		n.fifo[key] = at
+		u, sess, tgt := m.Update, m.Session, target
+		n.eng.schedule(at, func() {
+			tn := n.nodes[tgt]
+			if tn == nil || !tn.up {
+				return
+			}
+			if cur := n.sessions[sess]; cur == nil || !cur.up {
+				return // session went down while in flight
+			}
+			tn.Speaker.HandleUpdate(sess, u)
+			n.flush(tgt)
+		})
+	}
+}
+
+// Node returns the node for a device (nil if unknown).
+func (n *Network) Node(id topo.DeviceID) *Node { return n.nodes[id] }
+
+// Speaker returns the BGP speaker of a device.
+func (n *Network) Speaker(id topo.DeviceID) *bgp.Speaker { return n.nodes[id].Speaker }
+
+// Now returns the virtual clock in nanoseconds.
+func (n *Network) Now() int64 { return n.eng.now }
+
+// EventsProcessed returns the total events processed so far.
+func (n *Network) EventsProcessed() int64 { return n.eng.processed }
+
+// OnEvent registers a hook invoked after every processed event — the
+// sampling point for transient metrics (funneling, NHG occupancy).
+func (n *Network) OnEvent(h func(now int64)) { n.eng.hooks = append(n.eng.hooks, h) }
+
+// Converge processes events until the network quiesces. It panics if the
+// event budget is exhausted, which indicates a protocol bug (persistent
+// update churn), not a large workload.
+func (n *Network) Converge() int64 {
+	processed, done := n.eng.run(0)
+	if !done {
+		panic("fabric: event budget exhausted before convergence")
+	}
+	return processed
+}
+
+// RunFor processes events within the next d of virtual time, then advances
+// the clock to that point even if idle.
+func (n *Network) RunFor(d time.Duration) int64 {
+	return n.eng.runUntil(n.eng.now+ns(d), 0)
+}
+
+// After schedules fn at now+d, flushing nothing by itself — fn is
+// responsible for flushing any speakers it touches (the helpers below all
+// do).
+func (n *Network) After(d time.Duration, fn func()) { n.eng.after(ns(d), fn) }
+
+// OriginateAt injects a locally originated prefix at a device, now.
+func (n *Network) OriginateAt(dev topo.DeviceID, p netip.Prefix, communities []string, bwGbps float64) {
+	n.nodes[dev].Speaker.Originate(p, communities, core.OriginIGP, bwGbps)
+	n.flush(dev)
+}
+
+// OriginateAggregateAt injects an advertised-on-behalf aggregate at a
+// device: the prefix is advertised to peers but no local delivery entry is
+// installed (see bgp.Speaker.OriginateEx).
+func (n *Network) OriginateAggregateAt(dev topo.DeviceID, p netip.Prefix, communities []string, bwGbps float64) {
+	n.nodes[dev].Speaker.OriginateEx(p, communities, core.OriginIGP, bwGbps, false)
+	n.flush(dev)
+}
+
+// WithdrawAt retracts a locally originated prefix.
+func (n *Network) WithdrawAt(dev topo.DeviceID, p netip.Prefix) {
+	n.nodes[dev].Speaker.WithdrawOrigin(p)
+	n.flush(dev)
+}
+
+// DeployRPA installs an RPA config on a device, now. Returns the speaker's
+// validation error, if any.
+func (n *Network) DeployRPA(dev topo.DeviceID, cfg *core.Config) error {
+	if err := n.nodes[dev].Speaker.SetRPA(cfg); err != nil {
+		return err
+	}
+	n.flush(dev)
+	return nil
+}
+
+// SetDrained drains or undrains a device.
+func (n *Network) SetDrained(dev topo.DeviceID, drained bool) {
+	n.nodes[dev].Speaker.SetDrained(drained)
+	n.flush(dev)
+}
+
+// SetPrependAll applies an export prepend on all of a device's sessions
+// (maintenance policy).
+func (n *Network) SetPrependAll(dev topo.DeviceID, count int) {
+	n.nodes[dev].Speaker.SetAllPeersPrepend(count)
+	n.flush(dev)
+}
+
+// SetPrependToward applies an export prepend on dev's sessions toward one
+// neighbor only (a per-peer export policy).
+func (n *Network) SetPrependToward(dev, neighbor topo.DeviceID, count int) {
+	n.nodes[dev].Speaker.SetPeerPrepend(string(neighbor), count)
+	n.flush(dev)
+}
+
+// SetDeviceUp activates or deactivates a device: down tears down all its
+// sessions, up re-establishes them. Used for incremental deployment
+// (Figure 2's FAv2 activation) and decommissioning.
+func (n *Network) SetDeviceUp(dev topo.DeviceID, up bool) {
+	node := n.nodes[dev]
+	if node.up == up {
+		return
+	}
+	node.up = up
+	ids := n.sessionsOf(dev)
+	for _, sid := range ids {
+		s := n.sessions[sid]
+		other := s.a
+		if other == dev {
+			other = s.b
+		}
+		if up {
+			if n.nodes[other].up {
+				n.establish(s)
+			}
+		} else {
+			n.teardown(s)
+		}
+	}
+}
+
+// SetLinkUp fails or restores every session between two devices (failure
+// injection). Restoring only re-establishes sessions whose endpoints are
+// both up.
+func (n *Network) SetLinkUp(a, b topo.DeviceID, up bool) {
+	ids := n.sessionsOf(a)
+	for _, sid := range ids {
+		s := n.sessions[sid]
+		if !(s.a == a && s.b == b) && !(s.a == b && s.b == a) {
+			continue
+		}
+		if up {
+			if n.nodes[s.a].up && n.nodes[s.b].up {
+				n.establish(s)
+			}
+		} else {
+			n.teardown(s)
+		}
+	}
+}
+
+// sessionsOf returns the session IDs incident to a device, sorted.
+func (n *Network) sessionsOf(dev topo.DeviceID) []bgp.SessionID {
+	var out []bgp.SessionID
+	for id, s := range n.sessions {
+		if s.a == dev || s.b == dev {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// SessionPeer resolves a session ID to the device on the far side from
+// `from`. It reports false for unknown sessions.
+func (n *Network) SessionPeer(from topo.DeviceID, sess bgp.SessionID) (topo.DeviceID, bool) {
+	s := n.sessions[sess]
+	if s == nil {
+		return "", false
+	}
+	if s.a == from {
+		return s.b, true
+	}
+	if s.b == from {
+		return s.a, true
+	}
+	return "", false
+}
+
+// NextHopWeights resolves a device's FIB entry for a prefix (exact match)
+// into (neighbor device, weight) pairs, merging parallel sessions to the
+// same neighbor. A local delivery entry yields {dev, weight} itself.
+func (n *Network) NextHopWeights(dev topo.DeviceID, p netip.Prefix) map[topo.DeviceID]int {
+	return n.resolveHops(dev, n.nodes[dev].Speaker.FIB().Lookup(p))
+}
+
+// NextHopWeightsAddr is NextHopWeights with longest-prefix-match semantics
+// — the lookup a data-plane pipeline actually performs per packet.
+func (n *Network) NextHopWeightsAddr(dev topo.DeviceID, addr netip.Addr) map[topo.DeviceID]int {
+	return n.resolveHops(dev, n.nodes[dev].Speaker.FIB().LookupLPM(addr))
+}
+
+func (n *Network) resolveHops(dev topo.DeviceID, hops []fib.NextHop) map[topo.DeviceID]int {
+	if hops == nil {
+		return nil
+	}
+	out := make(map[topo.DeviceID]int, len(hops))
+	for _, h := range hops {
+		if h.ID == bgp.LocalNextHop {
+			out[dev] += h.Weight
+			continue
+		}
+		if peer, ok := n.SessionPeer(dev, bgp.SessionID(h.ID)); ok {
+			out[peer] += h.Weight
+		}
+	}
+	return out
+}
+
+// UpDevices returns the IDs of administratively-up devices, sorted.
+func (n *Network) UpDevices() []topo.DeviceID {
+	var out []topo.DeviceID
+	for id, node := range n.nodes {
+		if node.up {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

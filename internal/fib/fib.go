@@ -1,0 +1,241 @@
+// Package fib models a switch's forwarding information base and, crucially,
+// its next-hop-group (NHG) table: the on-chip structure that Section 3.4
+// shows can be exhausted by transient convergence states. Prefixes mapping
+// to the same weighted next-hop set share one NHG object, exactly as in
+// merchant-silicon forwarding pipelines; the table tracks live occupancy,
+// the peak reached, and overflow events against a hardware capacity limit.
+package fib
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"strings"
+)
+
+// NextHop is one weighted forwarding adjacency. ID is a session or device
+// identifier in the emulation (an interface/IP in real hardware).
+type NextHop struct {
+	ID     string
+	Weight int
+}
+
+// DefaultGroupLimit approximates the NHG capacity of the paper's DU
+// hardware class; Section 3.4 notes 4^8 = 65536 possible transient groups
+// "far exceeds the maximum number supported".
+const DefaultGroupLimit = 4096
+
+// group is one reference-counted NHG object.
+type group struct {
+	key  string
+	hops []NextHop
+	refs int
+}
+
+// Table is the FIB of one switch. The zero value is not usable; construct
+// with New. Not safe for concurrent use (a switch's FIB writer is a single
+// pipeline).
+type Table struct {
+	limit   int
+	entries map[netip.Prefix]*group
+	groups  map[string]*group
+
+	peakGroups  int
+	overflows   int
+	groupChurn  int                   // total NHG object creations
+	writes      int                   // total prefix installs/updates
+	warmEntries map[netip.Prefix]bool // kept despite withdrawal (KeepFibWarm)
+}
+
+// New returns an empty FIB with the given NHG capacity (values <= 0 get
+// DefaultGroupLimit).
+func New(groupLimit int) *Table {
+	if groupLimit <= 0 {
+		groupLimit = DefaultGroupLimit
+	}
+	return &Table{
+		limit:       groupLimit,
+		entries:     make(map[netip.Prefix]*group),
+		groups:      make(map[string]*group),
+		warmEntries: make(map[netip.Prefix]bool),
+	}
+}
+
+// groupKey canonicalizes a next-hop set: sorted by ID, weights normalized by
+// their GCD so {a:2,b:2} and {a:1,b:1} share one group, as hardware ECMP
+// groups do.
+func groupKey(hops []NextHop) string {
+	sorted := append([]NextHop(nil), hops...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].ID < sorted[j].ID })
+	g := 0
+	for _, h := range sorted {
+		g = gcd(g, h.Weight)
+	}
+	if g == 0 {
+		g = 1
+	}
+	var b strings.Builder
+	for _, h := range sorted {
+		fmt.Fprintf(&b, "%s=%d;", h.ID, h.Weight/g)
+	}
+	return b.String()
+}
+
+func gcd(a, b int) int {
+	if a < 0 {
+		a = -a
+	}
+	if b < 0 {
+		b = -b
+	}
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// Install points the prefix at the weighted next-hop set, creating or
+// sharing an NHG object. Installing an empty set removes the entry.
+func (t *Table) Install(p netip.Prefix, hops []NextHop) {
+	t.writes++
+	delete(t.warmEntries, p)
+	if len(hops) == 0 {
+		t.Remove(p)
+		return
+	}
+	key := groupKey(hops)
+	if old := t.entries[p]; old != nil {
+		if old.key == key {
+			return // no-op rewrite
+		}
+		t.release(old)
+	}
+	g := t.groups[key]
+	if g == nil {
+		g = &group{key: key, hops: normalizeHops(hops)}
+		t.groups[key] = g
+		t.groupChurn++
+		if len(t.groups) > t.limit {
+			t.overflows++
+		}
+		if len(t.groups) > t.peakGroups {
+			t.peakGroups = len(t.groups)
+		}
+	}
+	g.refs++
+	t.entries[p] = g
+}
+
+func normalizeHops(hops []NextHop) []NextHop {
+	sorted := append([]NextHop(nil), hops...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].ID < sorted[j].ID })
+	g := 0
+	for _, h := range sorted {
+		g = gcd(g, h.Weight)
+	}
+	if g == 0 {
+		g = 1
+	}
+	for i := range sorted {
+		sorted[i].Weight /= g
+	}
+	return sorted
+}
+
+// MarkWarm flags the prefix's current entry as "kept warm": the route was
+// withdrawn from peers but forwarding state is retained
+// (KeepFibWarmIfMnhViolated). A later Install or Remove clears the flag.
+func (t *Table) MarkWarm(p netip.Prefix) {
+	if _, ok := t.entries[p]; ok {
+		t.warmEntries[p] = true
+	}
+}
+
+// IsWarm reports whether the prefix entry is retained only as warm state.
+func (t *Table) IsWarm(p netip.Prefix) bool { return t.warmEntries[p] }
+
+// Remove deletes the prefix's entry and releases its NHG reference.
+func (t *Table) Remove(p netip.Prefix) {
+	g := t.entries[p]
+	if g == nil {
+		return
+	}
+	delete(t.entries, p)
+	delete(t.warmEntries, p)
+	t.release(g)
+}
+
+func (t *Table) release(g *group) {
+	g.refs--
+	if g.refs <= 0 {
+		delete(t.groups, g.key)
+	}
+}
+
+// Lookup returns the next-hop set for the prefix (exact match), or nil.
+// Callers must not modify the returned slice.
+func (t *Table) Lookup(p netip.Prefix) []NextHop {
+	if g := t.entries[p]; g != nil {
+		return g.hops
+	}
+	return nil
+}
+
+// LookupLPM returns the longest-prefix-match entry for the address, or nil.
+func (t *Table) LookupLPM(addr netip.Addr) []NextHop {
+	var best *group
+	bestBits := -1
+	for p, g := range t.entries {
+		if p.Contains(addr) && p.Bits() > bestBits {
+			best, bestBits = g, p.Bits()
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	return best.hops
+}
+
+// Prefixes returns all installed prefixes, sorted, for deterministic
+// inspection.
+func (t *Table) Prefixes() []netip.Prefix {
+	out := make([]netip.Prefix, 0, len(t.entries))
+	for p := range t.entries {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out
+}
+
+// Stats snapshots the table's counters.
+type Stats struct {
+	Entries    int // prefixes installed
+	Groups     int // live NHG objects
+	PeakGroups int // high-water NHG occupancy
+	Overflows  int // installs that pushed occupancy past the limit
+	GroupChurn int // total NHG creations
+	Writes     int // total prefix writes
+	Limit      int
+}
+
+// Stats returns a snapshot of the counters.
+func (t *Table) Stats() Stats {
+	return Stats{
+		Entries:    len(t.entries),
+		Groups:     len(t.groups),
+		PeakGroups: t.peakGroups,
+		Overflows:  t.overflows,
+		GroupChurn: t.groupChurn,
+		Writes:     t.writes,
+		Limit:      t.limit,
+	}
+}
+
+// ResetStats clears peak/churn/overflow counters (not the entries), so an
+// experiment can measure a specific convergence window.
+func (t *Table) ResetStats() {
+	t.peakGroups = len(t.groups)
+	t.overflows = 0
+	t.groupChurn = 0
+	t.writes = 0
+}

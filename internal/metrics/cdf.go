@@ -1,0 +1,76 @@
+package metrics
+
+import (
+	"fmt"
+	"strings"
+)
+
+// CDFPoint is one (value, cumulative-fraction) point of an empirical CDF.
+type CDFPoint struct {
+	Value    float64
+	Fraction float64 // in (0, 1]
+}
+
+// CDF computes the empirical CDF of the sample, downsampled to at most
+// maxPoints evenly spaced points (by rank). The last point always has
+// Fraction == 1. It returns nil for an empty sample.
+func (s *Sample) CDF(maxPoints int) []CDFPoint {
+	n := s.Len()
+	if n == 0 {
+		return nil
+	}
+	if maxPoints <= 0 || maxPoints > n {
+		maxPoints = n
+	}
+	vals := s.Values()
+	points := make([]CDFPoint, 0, maxPoints)
+	for i := 0; i < maxPoints; i++ {
+		// Pick the rank at the end of the i-th bucket so the final point is
+		// the max observation at fraction 1.
+		rank := (i+1)*n/maxPoints - 1
+		points = append(points, CDFPoint{
+			Value:    vals[rank],
+			Fraction: float64(rank+1) / float64(n),
+		})
+	}
+	return points
+}
+
+// FormatCDF renders CDF points as aligned "value fraction" rows, one per
+// line, with the given label header. The output is the series the paper's
+// CDF figures plot.
+func FormatCDF(label string, points []CDFPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# CDF: %s (%d points)\n", label, len(points))
+	fmt.Fprintf(&b, "%-14s %s\n", "value", "fraction")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%-14.4f %.4f\n", p.Value, p.Fraction)
+	}
+	return b.String()
+}
+
+// AsciiCDF renders a coarse terminal plot of the CDF: rows are fraction
+// deciles, columns scale to the value range. Useful for eyeballing shapes
+// in example programs without a plotting stack.
+func AsciiCDF(label string, s *Sample, width int) string {
+	if s.Len() == 0 {
+		return fmt.Sprintf("# %s: empty\n", label)
+	}
+	if width < 10 {
+		width = 10
+	}
+	lo, hi := s.Min(), s.Max()
+	span := hi - lo
+	if span == 0 {
+		span = 1
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s  [min=%.3f max=%.3f]\n", label, lo, hi)
+	for f := 10; f <= 100; f += 10 {
+		v := s.Percentile(float64(f))
+		bar := int((v - lo) / span * float64(width))
+		fmt.Fprintf(&b, "%3d%% |%s%s| %.3f\n", f,
+			strings.Repeat("#", bar), strings.Repeat(" ", width-bar), v)
+	}
+	return b.String()
+}

@@ -1,0 +1,279 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestPercentileEmpty(t *testing.T) {
+	var s Sample
+	if !math.IsNaN(s.Percentile(50)) {
+		t.Fatalf("empty sample percentile = %v, want NaN", s.Percentile(50))
+	}
+	if !math.IsNaN(s.Mean()) || !math.IsNaN(s.Min()) || !math.IsNaN(s.Max()) {
+		t.Fatal("empty sample stats should be NaN")
+	}
+}
+
+func TestPercentileSingle(t *testing.T) {
+	var s Sample
+	s.Add(42)
+	for _, p := range []float64{0, 50, 99, 100} {
+		if got := s.Percentile(p); got != 42 {
+			t.Errorf("Percentile(%v) = %v, want 42", p, got)
+		}
+	}
+}
+
+func TestPercentileKnown(t *testing.T) {
+	var s Sample
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	tests := []struct {
+		p, want float64
+	}{
+		{0, 1},
+		{100, 100},
+		{50, 50.5},
+		{25, 25.75},
+		{99, 99.01},
+	}
+	for _, tt := range tests {
+		if got := s.Percentile(tt.p); math.Abs(got-tt.want) > 1e-9 {
+			t.Errorf("Percentile(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+}
+
+func TestPercentileClamps(t *testing.T) {
+	var s Sample
+	s.Add(3)
+	s.Add(1)
+	s.Add(2)
+	if got := s.Percentile(-10); got != 1 {
+		t.Errorf("Percentile(-10) = %v, want 1", got)
+	}
+	if got := s.Percentile(200); got != 3 {
+		t.Errorf("Percentile(200) = %v, want 3", got)
+	}
+}
+
+func TestPercentileMonotone(t *testing.T) {
+	// Property: for any sample, percentile is non-decreasing in p.
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var s Sample
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				v = 0
+			}
+			s.Add(v)
+		}
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 100; p += 7 {
+			cur := s.Percentile(p)
+			if cur < prev {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPercentileWithinRange(t *testing.T) {
+	// Property: percentile always lies within [min, max].
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var s Sample
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				v = 1
+			}
+			s.Add(v)
+		}
+		for p := 0.0; p <= 100; p += 13 {
+			v := s.Percentile(p)
+			if v < s.Min() || v > s.Max() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddDuration(t *testing.T) {
+	var s Sample
+	s.AddDuration(1500 * time.Microsecond)
+	if got := s.Percentile(50); math.Abs(got-1.5) > 1e-9 {
+		t.Fatalf("AddDuration stored %v ms, want 1.5", got)
+	}
+}
+
+func TestMeanMinMax(t *testing.T) {
+	var s Sample
+	for _, v := range []float64{4, 1, 7, 2} {
+		s.Add(v)
+	}
+	if got := s.Mean(); got != 3.5 {
+		t.Errorf("Mean = %v, want 3.5", got)
+	}
+	if got := s.Min(); got != 1 {
+		t.Errorf("Min = %v, want 1", got)
+	}
+	if got := s.Max(); got != 7 {
+		t.Errorf("Max = %v, want 7", got)
+	}
+}
+
+func TestSummary(t *testing.T) {
+	var s Sample
+	for i := 0; i < 1000; i++ {
+		s.Add(float64(i))
+	}
+	sm := s.Summarize()
+	if sm.Count != 1000 {
+		t.Errorf("Count = %d, want 1000", sm.Count)
+	}
+	if sm.P50 < 490 || sm.P50 > 510 {
+		t.Errorf("P50 = %v, want ~500", sm.P50)
+	}
+	if !strings.Contains(sm.String(), "n=1000") {
+		t.Errorf("Summary.String missing count: %q", sm.String())
+	}
+}
+
+func TestCDFProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var s Sample
+	for i := 0; i < 500; i++ {
+		s.Add(rng.NormFloat64())
+	}
+	points := s.CDF(50)
+	if len(points) != 50 {
+		t.Fatalf("CDF returned %d points, want 50", len(points))
+	}
+	// Fractions strictly increase and end at 1; values are non-decreasing.
+	for i := 1; i < len(points); i++ {
+		if points[i].Fraction <= points[i-1].Fraction {
+			t.Fatalf("fractions not increasing at %d: %v <= %v", i, points[i].Fraction, points[i-1].Fraction)
+		}
+		if points[i].Value < points[i-1].Value {
+			t.Fatalf("values decreasing at %d", i)
+		}
+	}
+	if points[len(points)-1].Fraction != 1 {
+		t.Fatalf("last fraction = %v, want 1", points[len(points)-1].Fraction)
+	}
+	if points[len(points)-1].Value != s.Max() {
+		t.Fatalf("last value = %v, want max %v", points[len(points)-1].Value, s.Max())
+	}
+}
+
+func TestCDFEmptyAndSmall(t *testing.T) {
+	var s Sample
+	if got := s.CDF(10); got != nil {
+		t.Fatalf("empty CDF = %v, want nil", got)
+	}
+	s.Add(5)
+	points := s.CDF(10)
+	if len(points) != 1 || points[0].Value != 5 || points[0].Fraction != 1 {
+		t.Fatalf("single-point CDF = %+v", points)
+	}
+}
+
+func TestCDFDownsampleCoversAllRanks(t *testing.T) {
+	var s Sample
+	vals := []float64{9, 3, 7, 1, 5}
+	for _, v := range vals {
+		s.Add(v)
+	}
+	points := s.CDF(0) // maxPoints <= 0 means all points
+	if len(points) != len(vals) {
+		t.Fatalf("got %d points, want %d", len(points), len(vals))
+	}
+	sorted := append([]float64(nil), vals...)
+	sort.Float64s(sorted)
+	for i, p := range points {
+		if p.Value != sorted[i] {
+			t.Errorf("point %d value = %v, want %v", i, p.Value, sorted[i])
+		}
+	}
+}
+
+func TestFormatCDF(t *testing.T) {
+	out := FormatCDF("x", []CDFPoint{{Value: 1, Fraction: 0.5}, {Value: 2, Fraction: 1}})
+	if !strings.Contains(out, "# CDF: x (2 points)") {
+		t.Errorf("missing header: %q", out)
+	}
+	if !strings.Contains(out, "1.0000") || !strings.Contains(out, "0.5000") {
+		t.Errorf("missing rows: %q", out)
+	}
+}
+
+func TestAsciiCDF(t *testing.T) {
+	var s Sample
+	for i := 0; i < 100; i++ {
+		s.Add(float64(i))
+	}
+	out := AsciiCDF("lat", &s, 20)
+	if !strings.Contains(out, "100%") || !strings.Contains(out, "lat") {
+		t.Errorf("unexpected ascii cdf: %q", out)
+	}
+	if got := AsciiCDF("empty", &Sample{}, 20); !strings.Contains(got, "empty") {
+		t.Errorf("empty ascii cdf: %q", got)
+	}
+}
+
+func TestTaskMeter(t *testing.T) {
+	m := NewTaskMeter("nsdb-0")
+	if m.Name() != "nsdb-0" {
+		t.Fatalf("Name = %q", m.Name())
+	}
+	m.Section(func() { time.Sleep(5 * time.Millisecond) })
+	m.AddBusy(10 * time.Millisecond)
+	if m.CPUPercent() <= 0 {
+		t.Errorf("CPUPercent = %v, want > 0", m.CPUPercent())
+	}
+	m.SetHeapBytes(1 << 20)
+	if m.HeapBytes() != 1<<20 {
+		t.Errorf("HeapBytes = %d", m.HeapBytes())
+	}
+	if ProcessHeapBytes() <= 0 {
+		t.Error("ProcessHeapBytes <= 0")
+	}
+}
+
+func TestTaskMeterConcurrent(t *testing.T) {
+	m := NewTaskMeter("agent-0")
+	done := make(chan struct{})
+	for i := 0; i < 8; i++ {
+		go func() {
+			for j := 0; j < 100; j++ {
+				m.AddBusy(time.Microsecond)
+				m.SetHeapBytes(int64(j))
+				_ = m.CPUPercent()
+			}
+			done <- struct{}{}
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		<-done
+	}
+}

@@ -1,0 +1,135 @@
+// Package metrics provides the small statistical toolkit used by the
+// experiment harnesses: percentile estimation, empirical CDFs, histograms,
+// and lightweight process resource sampling.
+//
+// Everything here is allocation-conscious but favors clarity: the experiment
+// harnesses call these functions once per run, never on a hot path.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Sample accumulates float64 observations and answers order-statistics
+// queries. The zero value is ready to use.
+type Sample struct {
+	values []float64
+	sorted bool
+}
+
+// NewSample returns a Sample pre-sized for n observations.
+func NewSample(n int) *Sample {
+	return &Sample{values: make([]float64, 0, n)}
+}
+
+// Add records one observation.
+func (s *Sample) Add(v float64) {
+	s.values = append(s.values, v)
+	s.sorted = false
+}
+
+// AddDuration records a duration observation in milliseconds.
+func (s *Sample) AddDuration(d time.Duration) {
+	s.Add(float64(d) / float64(time.Millisecond))
+}
+
+// Len reports the number of observations recorded.
+func (s *Sample) Len() int { return len(s.values) }
+
+// Values returns the recorded observations in sorted order. The returned
+// slice is owned by the Sample and must not be modified.
+func (s *Sample) Values() []float64 {
+	s.sort()
+	return s.values
+}
+
+func (s *Sample) sort() {
+	if !s.sorted {
+		sort.Float64s(s.values)
+		s.sorted = true
+	}
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) using linear
+// interpolation between closest ranks. It returns NaN for an empty sample.
+func (s *Sample) Percentile(p float64) float64 {
+	if len(s.values) == 0 {
+		return math.NaN()
+	}
+	s.sort()
+	if p <= 0 {
+		return s.values[0]
+	}
+	if p >= 100 {
+		return s.values[len(s.values)-1]
+	}
+	rank := p / 100 * float64(len(s.values)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s.values[lo]
+	}
+	frac := rank - float64(lo)
+	return s.values[lo]*(1-frac) + s.values[hi]*frac
+}
+
+// Mean returns the arithmetic mean, or NaN for an empty sample.
+func (s *Sample) Mean() float64 {
+	if len(s.values) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, v := range s.values {
+		sum += v
+	}
+	return sum / float64(len(s.values))
+}
+
+// Max returns the largest observation, or NaN for an empty sample.
+func (s *Sample) Max() float64 {
+	if len(s.values) == 0 {
+		return math.NaN()
+	}
+	s.sort()
+	return s.values[len(s.values)-1]
+}
+
+// Min returns the smallest observation, or NaN for an empty sample.
+func (s *Sample) Min() float64 {
+	if len(s.values) == 0 {
+		return math.NaN()
+	}
+	s.sort()
+	return s.values[0]
+}
+
+// Summary holds the headline order statistics of a sample.
+type Summary struct {
+	Count              int
+	Mean               float64
+	Min, Max           float64
+	P50, P75, P95, P99 float64
+}
+
+// Summarize computes a Summary of the sample.
+func (s *Sample) Summarize() Summary {
+	return Summary{
+		Count: s.Len(),
+		Mean:  s.Mean(),
+		Min:   s.Min(),
+		Max:   s.Max(),
+		P50:   s.Percentile(50),
+		P75:   s.Percentile(75),
+		P95:   s.Percentile(95),
+		P99:   s.Percentile(99),
+	}
+}
+
+// String renders the summary on one line, suitable for experiment output.
+func (sm Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.3f min=%.3f p50=%.3f p75=%.3f p95=%.3f p99=%.3f max=%.3f",
+		sm.Count, sm.Mean, sm.Min, sm.P50, sm.P75, sm.P95, sm.P99, sm.Max)
+}

@@ -1,0 +1,84 @@
+package metrics
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// TaskMeter measures the CPU and memory footprint attributable to one
+// logical "task" (a controller micro-service replica in the paper's Twine
+// deployment). Because all tasks share one Go process in the emulation, CPU
+// is accounted cooperatively: task code wraps its work in Start/Stop
+// sections, and utilization is busy-time divided by wall-time, expressed in
+// single-core-equivalent percent exactly as Figure 11(a) reports it.
+type TaskMeter struct {
+	mu        sync.Mutex
+	name      string
+	busy      time.Duration
+	started   time.Time // zero when not in a section
+	createdAt time.Time
+
+	// heapBytes is a caller-attributed live-bytes figure; services report
+	// the size of the state they hold (see nsdb.Store.SizeBytes).
+	heapBytes int64
+}
+
+// NewTaskMeter returns a meter for the named task, with the wall clock
+// started now.
+func NewTaskMeter(name string) *TaskMeter {
+	return &TaskMeter{name: name, createdAt: time.Now()}
+}
+
+// Name returns the task name the meter was created with.
+func (m *TaskMeter) Name() string { return m.name }
+
+// Section runs fn with busy-time accounting.
+func (m *TaskMeter) Section(fn func()) {
+	start := time.Now()
+	fn()
+	m.mu.Lock()
+	m.busy += time.Since(start)
+	m.mu.Unlock()
+}
+
+// AddBusy directly credits busy CPU time to the task.
+func (m *TaskMeter) AddBusy(d time.Duration) {
+	m.mu.Lock()
+	m.busy += d
+	m.mu.Unlock()
+}
+
+// SetHeapBytes records the task's attributed live memory.
+func (m *TaskMeter) SetHeapBytes(n int64) {
+	m.mu.Lock()
+	m.heapBytes = n
+	m.mu.Unlock()
+}
+
+// CPUPercent returns single-core-equivalent utilization in percent since
+// the meter was created.
+func (m *TaskMeter) CPUPercent() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	wall := time.Since(m.createdAt)
+	if wall <= 0 {
+		return 0
+	}
+	return float64(m.busy) / float64(wall) * 100
+}
+
+// HeapBytes returns the task's attributed live memory in bytes.
+func (m *TaskMeter) HeapBytes() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.heapBytes
+}
+
+// ProcessHeapBytes returns the Go process's current live heap, used as an
+// upper bound sanity check in the Figure 11 experiment.
+func ProcessHeapBytes() int64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return int64(ms.HeapAlloc)
+}

@@ -1,0 +1,162 @@
+package migrate
+
+import (
+	"math/rand"
+
+	"centralium/internal/topo"
+)
+
+// This file generates the synthetic migration catalog behind Figure 3
+// (average number of switches involved per layer, per category). The paper
+// observes that migration scale grows toward lower layers — a direct
+// consequence of Clos fan-out: an intent touching one aggregation device
+// implicates every fabric and rack switch beneath it — and that maintenance
+// drains are orders of magnitude smaller than the other categories.
+
+// FleetProfile is the per-layer device population of a reference region.
+// Defaults approximate the relative layer sizes of a Meta-scale region
+// (exact counts are proprietary; only the ratios matter for the shape).
+type FleetProfile struct {
+	RSWs, FSWs, SSWs, FADUs, FAUUs int
+}
+
+// DefaultFleet returns the reference region used by the Figure 3
+// experiment.
+func DefaultFleet() FleetProfile {
+	return FleetProfile{RSWs: 36000, FSWs: 6000, SSWs: 1800, FADUs: 480, FAUUs: 480}
+}
+
+func (f FleetProfile) count(l topo.Layer) int {
+	switch l {
+	case topo.LayerRSW:
+		return f.RSWs
+	case topo.LayerFSW:
+		return f.FSWs
+	case topo.LayerSSW:
+		return f.SSWs
+	case topo.LayerFADU:
+		return f.FADUs
+	case topo.LayerFAUU:
+		return f.FAUUs
+	default:
+		return 0
+	}
+}
+
+// CatalogLayers are the layers Figure 3 reports, bottom to top.
+var CatalogLayers = []topo.Layer{
+	topo.LayerRSW, topo.LayerFSW, topo.LayerSSW, topo.LayerFADU, topo.LayerFAUU,
+}
+
+// involvementFraction returns the mean fraction of a layer's devices a
+// migration of the category touches. The fractions encode the paper's two
+// observations: lower layers are involved more heavily (fan-out), and
+// maintenance drains touch only hundreds of devices.
+func involvementFraction(c Category, l topo.Layer) float64 {
+	base := map[topo.Layer]float64{
+		topo.LayerRSW:  0.9,
+		topo.LayerFSW:  0.8,
+		topo.LayerSSW:  0.7,
+		topo.LayerFADU: 0.6,
+		topo.LayerFAUU: 0.5,
+	}[l]
+	switch c {
+	case RoutingSystemEvolution:
+		return base // fleet-wide policy change
+	case IncrementalCapacityScaling:
+		return base * 0.7 // the expanding portion of the fleet
+	case DifferentialTrafficDistribution:
+		return base * 0.35 // sub-DC scope
+	case RoutingPolicyTransitions:
+		return base * 0.55
+	case TrafficDrainForMaintenance:
+		// Hundreds of switches regardless of layer population.
+		return 0 // handled specially below
+	default:
+		return 0
+	}
+}
+
+// drainInvolvement is the mean switches per layer for a maintenance drain.
+func drainInvolvement(l topo.Layer) float64 {
+	switch l {
+	case topo.LayerRSW:
+		return 300
+	case topo.LayerFSW:
+		return 150
+	case topo.LayerSSW:
+		return 80
+	case topo.LayerFADU:
+		return 40
+	case topo.LayerFAUU:
+		return 40
+	default:
+		return 0
+	}
+}
+
+// Migration is one synthetic catalog entry.
+type Migration struct {
+	Category Category
+	// SwitchesPerLayer is the number of devices involved per layer.
+	SwitchesPerLayer map[topo.Layer]int
+}
+
+// Total returns the total switches involved.
+func (m Migration) Total() int {
+	t := 0
+	for _, n := range m.SwitchesPerLayer {
+		t += n
+	}
+	return t
+}
+
+// GenerateCatalog produces perCategory migrations for every category over
+// the fleet, with +-25% lognormal-ish jitter, deterministically from seed.
+func GenerateCatalog(fleet FleetProfile, perCategory int, seed int64) []Migration {
+	rng := rand.New(rand.NewSource(seed))
+	var out []Migration
+	for _, c := range Categories() {
+		for i := 0; i < perCategory; i++ {
+			m := Migration{Category: c, SwitchesPerLayer: make(map[topo.Layer]int)}
+			for _, l := range CatalogLayers {
+				var mean float64
+				if c == TrafficDrainForMaintenance {
+					mean = drainInvolvement(l)
+				} else {
+					mean = involvementFraction(c, l) * float64(fleet.count(l))
+				}
+				jitter := 1 + (rng.Float64()-0.5)*0.5 // 0.75 .. 1.25
+				n := int(mean * jitter)
+				if n < 0 {
+					n = 0
+				}
+				m.SwitchesPerLayer[l] = n
+			}
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// AverageByLayer aggregates a catalog into the Figure 3 series: for each
+// category, the mean switches involved per layer.
+func AverageByLayer(catalog []Migration) map[Category]map[topo.Layer]float64 {
+	sums := make(map[Category]map[topo.Layer]float64)
+	counts := make(map[Category]int)
+	for _, m := range catalog {
+		if sums[m.Category] == nil {
+			sums[m.Category] = make(map[topo.Layer]float64)
+		}
+		counts[m.Category]++
+		for l, n := range m.SwitchesPerLayer {
+			sums[m.Category][l] += float64(n)
+		}
+	}
+	for c, layers := range sums {
+		for l := range layers {
+			layers[l] /= float64(counts[c])
+		}
+	}
+	return sums
+}

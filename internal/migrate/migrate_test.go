@@ -1,0 +1,240 @@
+package migrate
+
+import (
+	"math"
+	"testing"
+
+	"centralium/internal/topo"
+)
+
+func TestTaxonomyTable1(t *testing.T) {
+	if len(Categories()) != 5 {
+		t.Fatal("want 5 categories")
+	}
+	labels := map[Category]string{
+		RoutingSystemEvolution:          "(a)",
+		IncrementalCapacityScaling:      "(b)",
+		DifferentialTrafficDistribution: "(c)",
+		RoutingPolicyTransitions:        "(d)",
+		TrafficDrainForMaintenance:      "(e)",
+	}
+	for c, want := range labels {
+		if c.Label() != want {
+			t.Errorf("%v label = %s, want %s", c, c.Label(), want)
+		}
+		p := ProfileOf(c)
+		if p.Frequency == "" || p.Scope == "" || p.Duration == "" {
+			t.Errorf("%v profile incomplete: %+v", c, p)
+		}
+	}
+	if Category(99).String() != "Unknown" {
+		t.Error("unknown category name")
+	}
+	// Maintenance is daily and sub-day; capacity scaling is the longest.
+	if ProfileOf(TrafficDrainForMaintenance).DurationDays >= 1 {
+		t.Error("drain should be sub-day")
+	}
+	if ProfileOf(IncrementalCapacityScaling).DurationDays != 180 {
+		t.Error("capacity scaling should be ~6 months")
+	}
+}
+
+func TestCatalogShape(t *testing.T) {
+	catalog := GenerateCatalog(DefaultFleet(), 50, 1)
+	if len(catalog) != 250 {
+		t.Fatalf("catalog size = %d", len(catalog))
+	}
+	avg := AverageByLayer(catalog)
+
+	for _, c := range Categories() {
+		layers := avg[c]
+		if c == TrafficDrainForMaintenance {
+			// Hundreds of switches, not tens of thousands.
+			if layers[topo.LayerRSW] > 1000 {
+				t.Errorf("drain touches %v RSWs, want hundreds", layers[topo.LayerRSW])
+			}
+			continue
+		}
+		// More switches at lower layers (Figure 3's shape).
+		if layers[topo.LayerRSW] <= layers[topo.LayerFSW] ||
+			layers[topo.LayerFSW] <= layers[topo.LayerSSW] ||
+			layers[topo.LayerSSW] <= layers[topo.LayerFADU] {
+			t.Errorf("%v: per-layer involvement not decreasing upward: %v", c, layers)
+		}
+		// Tens of thousands of devices in total.
+		if layers[topo.LayerRSW] < 5000 {
+			t.Errorf("%v involves only %v RSWs", c, layers[topo.LayerRSW])
+		}
+	}
+	// Determinism.
+	again := AverageByLayer(GenerateCatalog(DefaultFleet(), 50, 1))
+	if again[RoutingSystemEvolution][topo.LayerRSW] != avg[RoutingSystemEvolution][topo.LayerRSW] {
+		t.Error("catalog not deterministic for fixed seed")
+	}
+	if m := catalog[0].Total(); m <= 0 {
+		t.Error("migration total = 0")
+	}
+}
+
+func TestPlansMatchTable3Counts(t *testing.T) {
+	// The paper's step counts (Table 3).
+	want := map[Category][2]int{ // {without, with}
+		RoutingSystemEvolution:          {2, 1},
+		IncrementalCapacityScaling:      {9, 3},
+		DifferentialTrafficDistribution: {3, 1},
+		RoutingPolicyTransitions:        {5, 3},
+		TrafficDrainForMaintenance:      {3, 1},
+	}
+	for c, counts := range want {
+		if got := PlanFor(c, false).NumSteps(); got != counts[0] {
+			t.Errorf("%v w/o RPA steps = %d, want %d", c, got, counts[0])
+		}
+		if got := PlanFor(c, true).NumSteps(); got != counts[1] {
+			t.Errorf("%v w RPA steps = %d, want %d", c, got, counts[1])
+		}
+	}
+	// Days: without RPA = pushes * cadence.
+	wantDays := map[Category]float64{
+		RoutingSystemEvolution:          42,
+		IncrementalCapacityScaling:      189,
+		DifferentialTrafficDistribution: 63,
+		RoutingPolicyTransitions:        105,
+	}
+	for c, days := range wantDays {
+		if got := PlanFor(c, false).Days(); math.Abs(got-days) > 1e-9 {
+			t.Errorf("%v w/o RPA days = %v, want %v", c, got, days)
+		}
+	}
+	// With RPA: (a) and (e) under a day, (b) and (d) one cadence, (c) a week.
+	if d := PlanFor(RoutingSystemEvolution, true).Days(); d >= 1 {
+		t.Errorf("(a) with RPA = %v days, want <1", d)
+	}
+	if d := PlanFor(TrafficDrainForMaintenance, true).Days(); d >= 1 {
+		t.Errorf("(e) with RPA = %v days, want <1", d)
+	}
+	if d := PlanFor(IncrementalCapacityScaling, true).Days(); math.Abs(d-21) > 1 {
+		t.Errorf("(b) with RPA = %v days, want ~21", d)
+	}
+	if d := PlanFor(DifferentialTrafficDistribution, true).Days(); math.Abs(d-7) > 1 {
+		t.Errorf("(c) with RPA = %v days, want ~7", d)
+	}
+	if d := PlanFor(RoutingPolicyTransitions, true).Days(); math.Abs(d-21) > 1 {
+		t.Errorf("(d) with RPA = %v days, want ~21", d)
+	}
+	// Drain steps are sub-day even without RPA.
+	if d := PlanFor(TrafficDrainForMaintenance, false).Days(); d >= 1 {
+		t.Errorf("(e) w/o RPA = %v days, want <1", d)
+	}
+}
+
+func TestTable3RPALOCShape(t *testing.T) {
+	tp := topo.BuildFabric(topo.FabricParams{Pods: 2, Planes: 4, FSWsPerPod: 4, SSWsPerPlane: 2, Grids: 2})
+	rows := Table3(tp)
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	loc := map[Category]int{}
+	for _, r := range rows {
+		loc[r.Category] = r.RPALOC
+		if r.RPALOC <= 0 {
+			t.Errorf("%v RPA LOC = %d", r.Category, r.RPALOC)
+		}
+		if r.StepsWith >= r.StepsWithout {
+			t.Errorf("%v: RPA did not reduce steps (%d vs %d)", r.Category, r.StepsWith, r.StepsWithout)
+		}
+		if r.DaysWith >= r.DaysWithout && r.Category != TrafficDrainForMaintenance {
+			t.Errorf("%v: RPA did not reduce days (%v vs %v)", r.Category, r.DaysWith, r.DaysWithout)
+		}
+	}
+	// Table 3's LOC ordering: (a) is the biggest, (e) the smallest.
+	if loc[RoutingSystemEvolution] <= loc[TrafficDrainForMaintenance] {
+		t.Errorf("LOC ordering: (a)=%d should exceed (e)=%d",
+			loc[RoutingSystemEvolution], loc[TrafficDrainForMaintenance])
+	}
+	if loc[RoutingSystemEvolution] <= loc[IncrementalCapacityScaling] {
+		t.Errorf("LOC ordering: (a)=%d should exceed (b)=%d",
+			loc[RoutingSystemEvolution], loc[IncrementalCapacityScaling])
+	}
+}
+
+func TestScenario1FirstRouter(t *testing.T) {
+	native := RunScenario1(Scenario1Params{Seed: 7, UseRPA: false})
+	rpa := RunScenario1(Scenario1Params{Seed: 7, UseRPA: true})
+
+	// Without RPA the first activated FAv2 funnels (essentially) all
+	// northbound traffic.
+	if native.PeakShare < 0.95 {
+		t.Errorf("native peak share = %v, want ~1.0 (first-router funnel)", native.PeakShare)
+	}
+	// With the equalization RPA traffic stays spread: peak stays near the
+	// fair share across live aggregation devices.
+	if rpa.PeakShare > 2.5*rpa.FairShare {
+		t.Errorf("RPA peak share = %v, fair = %v: still funneling", rpa.PeakShare, rpa.FairShare)
+	}
+	if rpa.PeakShare >= native.PeakShare/2 {
+		t.Errorf("RPA (%v) should be far below native (%v)", rpa.PeakShare, native.PeakShare)
+	}
+	if native.Events == 0 || rpa.Events == 0 {
+		t.Error("no events processed")
+	}
+}
+
+func TestScenario2LastRouter(t *testing.T) {
+	native := RunScenario2(Scenario2Params{Seed: 3, UseRPA: false})
+	rpa := RunScenario2(Scenario2Params{Seed: 3, UseRPA: true, KeepFibWarm: true})
+
+	// Without protection, the last live FADU of the decommissioned number
+	// attracts far more than its fair share.
+	if native.PeakFADUShare < 2*native.FairShare {
+		t.Errorf("native peak FADU share = %v (fair %v): no funnel observed",
+			native.PeakFADUShare, native.FairShare)
+	}
+	// The RPA caps the funnel well below native.
+	if rpa.PeakFADUShare >= native.PeakFADUShare {
+		t.Errorf("RPA peak %v did not improve on native %v", rpa.PeakFADUShare, native.PeakFADUShare)
+	}
+	// Keep-FIB-warm avoids black-holing entirely.
+	if rpa.PeakBlackholed > 0.01 {
+		t.Errorf("RPA with warm FIB blackholed %v", rpa.PeakBlackholed)
+	}
+}
+
+func TestScenario3NHGExplosion(t *testing.T) {
+	params := Scenario3Params{Prefixes: 64, Seed: 5}
+	native := RunScenario3(params)
+	paramsRPA := params
+	paramsRPA.UseRPA = true
+	rpa := RunScenario3(paramsRPA)
+
+	// Native distributed WCMP: transient groups far above steady state.
+	if native.PeakNHG < 8 {
+		t.Errorf("native peak NHG = %d, want a transient explosion", native.PeakNHG)
+	}
+	// RPA-prescribed weights: constant group table.
+	if rpa.PeakNHG > 2 {
+		t.Errorf("RPA peak NHG = %d, want <= 2", rpa.PeakNHG)
+	}
+	if native.PeakNHG < 4*rpa.PeakNHG {
+		t.Errorf("native (%d) vs RPA (%d): explosion factor too small", native.PeakNHG, rpa.PeakNHG)
+	}
+	// Both converge to a small steady state.
+	if native.SteadyNHG > 4 || rpa.SteadyNHG > 2 {
+		t.Errorf("steady NHG: native %d rpa %d", native.SteadyNHG, rpa.SteadyNHG)
+	}
+}
+
+func TestScenario2VendorKnobBaseline(t *testing.T) {
+	native := RunScenario2(Scenario2Params{Seed: 3})
+	vendor := RunScenario2(Scenario2Params{Seed: 3, UseVendorKnob: true})
+	// The vendor knob caps funneling like the RPA does...
+	if vendor.PeakFADUShare >= native.PeakFADUShare {
+		t.Errorf("vendor knob did not reduce funneling: %v vs %v",
+			vendor.PeakFADUShare, native.PeakFADUShare)
+	}
+	// ...but unlike the RPA-with-warm-FIB it cannot suppress drops: the
+	// withdrawal clears the FIB entirely.
+	rpa := RunScenario2(Scenario2Params{Seed: 3, UseRPA: true, KeepFibWarm: true})
+	if rpa.PeakBlackholed > 0.01 {
+		t.Errorf("RPA arm lost traffic: %v", rpa.PeakBlackholed)
+	}
+}

@@ -1,0 +1,240 @@
+package migrate
+
+import (
+	"centralium/internal/controller"
+	"centralium/internal/core"
+	"centralium/internal/topo"
+)
+
+// This file is the step planner behind Table 3: for each migration
+// category it builds the critical-path step sequence with and without
+// (Path Selection) RPA, derives calendar time from the production push
+// cadence, and sizes the RPA configuration the migration needs by actually
+// generating it with the controller's applications.
+
+// PushCadenceDays is the average cadence of a fleet-wide BGP policy or
+// binary push ("our average push cadence of three weeks", Section 6.3).
+const PushCadenceDays = 21.0
+
+// StepKind classifies a migration step by what gates its completion.
+type StepKind int
+
+// Step kinds.
+const (
+	// ConfigPush is a fleet-wide BGP configuration/binary change; each one
+	// costs a full push cadence on the critical path.
+	ConfigPush StepKind = iota
+	// RPAOp is an RPA deployment or removal through Centralium: minutes,
+	// rounded to under a day.
+	RPAOp
+	// DrainOp is an operational drain/undrain command: also sub-day.
+	DrainOp
+	// StagedRollout is a gradual, monitored rollout with an explicit
+	// duration (e.g. shifting anycast traffic over a week).
+	StagedRollout
+)
+
+// Step is one critical-path (strictly in-order) migration step.
+type Step struct {
+	Name string
+	Kind StepKind
+	// Days applies to StagedRollout; other kinds derive duration from kind.
+	Days float64
+}
+
+// Duration returns the step's calendar cost in days.
+func (s Step) Duration() float64 {
+	switch s.Kind {
+	case ConfigPush:
+		return PushCadenceDays
+	case RPAOp, DrainOp:
+		return 0.04 // ~1 hour
+	case StagedRollout:
+		return s.Days
+	default:
+		return 0
+	}
+}
+
+// Plan is a migration's critical path.
+type Plan struct {
+	Category Category
+	WithRPA  bool
+	Steps    []Step
+}
+
+// NumSteps returns the number of critical-path steps.
+func (p Plan) NumSteps() int { return len(p.Steps) }
+
+// Days returns the calendar length of the critical path.
+func (p Plan) Days() float64 {
+	total := 0.0
+	for _, s := range p.Steps {
+		total += s.Duration()
+	}
+	return total
+}
+
+// PlanFor returns the critical path for a category, with or without RPA.
+// The step sequences encode the operational procedures described in
+// Sections 3 and 4 (e.g. the AS-path padding dance of Section 3.2 versus
+// the single equalization RPA of Section 4.4.1).
+func PlanFor(c Category, withRPA bool) Plan {
+	p := Plan{Category: c, WithRPA: withRPA}
+	switch c {
+	case RoutingSystemEvolution: // (a): 2 steps -> 1
+		if withRPA {
+			p.Steps = []Step{
+				{Name: "deploy origin-pinning + selection RPAs fleet-wide", Kind: RPAOp},
+			}
+		} else {
+			p.Steps = []Step{
+				{Name: "push new routing policy alongside legacy", Kind: ConfigPush},
+				{Name: "push removal of legacy policy", Kind: ConfigPush},
+			}
+		}
+	case IncrementalCapacityScaling: // (b): 9 steps -> 3
+		if withRPA {
+			p.Steps = []Step{
+				{Name: "deploy path-equalization RPA (bottom-up)", Kind: RPAOp},
+				{Name: "push base policy enabling the new layer", Kind: ConfigPush},
+				{Name: "remove equalization RPA (top-down)", Kind: RPAOp},
+			}
+		} else {
+			p.Steps = []Step{
+				{Name: "push AS-path padding toward new layer", Kind: ConfigPush},
+				{Name: "push activation of first new-node batch", Kind: ConfigPush},
+				{Name: "push activation of second batch", Kind: ConfigPush},
+				{Name: "push activation of final batch", Kind: ConfigPush},
+				{Name: "push pad adjustment to balance old/new", Kind: ConfigPush},
+				{Name: "push drain policy for old layer (stage 1)", Kind: ConfigPush},
+				{Name: "push drain policy for old layer (stage 2)", Kind: ConfigPush},
+				{Name: "push removal of AS-path padding", Kind: ConfigPush},
+				{Name: "push cleanup of transition policy", Kind: ConfigPush},
+			}
+		}
+	case DifferentialTrafficDistribution: // (c): 3 steps -> 1
+		if withRPA {
+			p.Steps = []Step{
+				{Name: "staged anycast-stability RPA rollout", Kind: StagedRollout, Days: 7},
+			}
+		} else {
+			p.Steps = []Step{
+				{Name: "push per-service preference policy", Kind: ConfigPush},
+				{Name: "push traffic-class remapping", Kind: ConfigPush},
+				{Name: "push cleanup of interim preferences", Kind: ConfigPush},
+			}
+		}
+	case RoutingPolicyTransitions: // (d): 5 steps -> 3
+		if withRPA {
+			p.Steps = []Step{
+				{Name: "deploy primary/backup selection RPA", Kind: RPAOp},
+				{Name: "push final policy intent", Kind: ConfigPush},
+				{Name: "remove transition RPA", Kind: RPAOp},
+			}
+		} else {
+			p.Steps = []Step{
+				{Name: "push compatibility shim policy", Kind: ConfigPush},
+				{Name: "push new policy to canary tier", Kind: ConfigPush},
+				{Name: "push new policy fleet-wide", Kind: ConfigPush},
+				{Name: "push old-policy deprecation", Kind: ConfigPush},
+				{Name: "push shim removal", Kind: ConfigPush},
+			}
+		}
+	case TrafficDrainForMaintenance: // (e): 3 steps -> 1
+		if withRPA {
+			p.Steps = []Step{
+				{Name: "deploy drain-weight RPA", Kind: RPAOp},
+			}
+		} else {
+			p.Steps = []Step{
+				{Name: "apply drain policy exceptions", Kind: DrainOp},
+				{Name: "verify and adjust min-ECMP knobs", Kind: DrainOp},
+				{Name: "remove policy exceptions post-maintenance", Kind: DrainOp},
+			}
+		}
+	}
+	return p
+}
+
+// RPAIntentFor generates the actual RPA intent a category's migration
+// deploys on a reference fabric, so Table 3's "RPA LOC" column is measured
+// from real generated configuration rather than asserted.
+func RPAIntentFor(c Category, t *topo.Topology) controller.Intent {
+	switch c {
+	case RoutingSystemEvolution:
+		// Fleet-wide origin pinning while two origination schemes coexist.
+		var targets []topo.DeviceID
+		for _, l := range []topo.Layer{topo.LayerFSW, topo.LayerSSW, topo.LayerFADU, topo.LayerFAUU} {
+			for _, d := range t.ByLayer(l) {
+				targets = append(targets, d.ID)
+			}
+		}
+		origins := []uint32{}
+		for _, d := range t.ByLayer(topo.LayerEB) {
+			origins = append(origins, d.ASN)
+		}
+		pin := controller.OriginPinningIntent(targets, core.Destination{Community: "BACKBONE_DEFAULT_ROUTE"}, origins)
+		eq := controller.PathEqualizationIntent(t, []topo.Layer{topo.LayerFSW, topo.LayerSSW}, "BACKBONE_DEFAULT_ROUTE")
+		return pin.Merge(eq)
+	case IncrementalCapacityScaling:
+		return controller.PathEqualizationIntent(t,
+			[]topo.Layer{topo.LayerFSW, topo.LayerSSW}, "BACKBONE_DEFAULT_ROUTE")
+	case DifferentialTrafficDistribution:
+		var ssws []topo.DeviceID
+		for _, d := range t.ByLayer(topo.LayerSSW) {
+			ssws = append(ssws, d.ID)
+		}
+		return controller.AnycastStabilityIntent(ssws, "ANYCAST_VIP", 2)
+	case RoutingPolicyTransitions:
+		var ssws []topo.DeviceID
+		for _, d := range t.ByLayer(topo.LayerSSW) {
+			ssws = append(ssws, d.ID)
+		}
+		return controller.PrimaryBackupIntent(ssws, core.Destination{Community: "SVC"}, "^fadu\\.g0", "^fadu\\.g1")
+	case TrafficDrainForMaintenance:
+		// Drain one FADU: weight-0 on its SSW peers.
+		target := t.ByLayer(topo.LayerFADU)
+		if len(target) == 0 {
+			return controller.Intent{}
+		}
+		var peers []topo.DeviceID
+		for _, nb := range t.Neighbors(target[0].ID) {
+			if t.Device(nb).Layer == topo.LayerSSW {
+				peers = append(peers, nb)
+			}
+		}
+		return controller.DrainWeightIntent(peers, core.Destination{Community: "BACKBONE_DEFAULT_ROUTE"},
+			controller.DeviceRegex(target[0].ID))
+	default:
+		return controller.Intent{}
+	}
+}
+
+// Table3Row is one row of the reproduced Table 3.
+type Table3Row struct {
+	Category     Category
+	StepsWithout int
+	StepsWith    int
+	DaysWithout  float64
+	DaysWith     float64
+	RPALOC       int
+}
+
+// Table3 computes all rows over a reference fabric.
+func Table3(t *topo.Topology) []Table3Row {
+	var rows []Table3Row
+	for _, c := range Categories() {
+		without := PlanFor(c, false)
+		with := PlanFor(c, true)
+		rows = append(rows, Table3Row{
+			Category:     c,
+			StepsWithout: without.NumSteps(),
+			StepsWith:    with.NumSteps(),
+			DaysWithout:  without.Days(),
+			DaysWith:     with.Days(),
+			RPALOC:       RPAIntentFor(c, t).TotalLOC(),
+		})
+	}
+	return rows
+}

@@ -1,0 +1,80 @@
+// Package migrate implements the paper's migration machinery: the
+// five-category taxonomy of Table 1, the synthetic migration catalog behind
+// Figure 3, the step planner that quantifies Table 3's with/without-RPA
+// comparison, and executable versions of the three motivating scenarios
+// (Sections 3.2–3.4) on the emulated fabric.
+package migrate
+
+// Category is one of the five migration categories of Table 1.
+type Category int
+
+// The migration categories, in Table 1 order.
+const (
+	RoutingSystemEvolution          Category = iota // (a)
+	IncrementalCapacityScaling                      // (b)
+	DifferentialTrafficDistribution                 // (c)
+	RoutingPolicyTransitions                        // (d)
+	TrafficDrainForMaintenance                      // (e)
+)
+
+// Categories lists all categories in order.
+func Categories() []Category {
+	return []Category{
+		RoutingSystemEvolution,
+		IncrementalCapacityScaling,
+		DifferentialTrafficDistribution,
+		RoutingPolicyTransitions,
+		TrafficDrainForMaintenance,
+	}
+}
+
+// String returns the Table 1 name.
+func (c Category) String() string {
+	switch c {
+	case RoutingSystemEvolution:
+		return "Routing System Evolution"
+	case IncrementalCapacityScaling:
+		return "Incremental Capacity Scaling"
+	case DifferentialTrafficDistribution:
+		return "Differential Traffic Distribution"
+	case RoutingPolicyTransitions:
+		return "Routing Policy Transitions"
+	case TrafficDrainForMaintenance:
+		return "Traffic Drain For Maintenance"
+	default:
+		return "Unknown"
+	}
+}
+
+// Label returns the Table 1 row letter, "(a)".."(e)".
+func (c Category) Label() string {
+	return "(" + string(rune('a'+int(c))) + ")"
+}
+
+// Profile is the Table 1 characterization of a category.
+type Profile struct {
+	Category  Category
+	Frequency string // operation frequency
+	Scope     string // change scope
+	Duration  string // typical duration
+	// DurationDays is the numeric typical duration used by the planner.
+	DurationDays float64
+}
+
+// ProfileOf returns a category's Table 1 row.
+func ProfileOf(c Category) Profile {
+	switch c {
+	case RoutingSystemEvolution:
+		return Profile{c, "10+/year", "Multi-DC", "~1.5 months", 45}
+	case IncrementalCapacityScaling:
+		return Profile{c, "10+/year", "Multi-DC", "~6 months", 180}
+	case DifferentialTrafficDistribution:
+		return Profile{c, "10+/year", "Sub-DC", "~2 months", 60}
+	case RoutingPolicyTransitions:
+		return Profile{c, "10+/year", "Multi-DC", "~3 months", 90}
+	case TrafficDrainForMaintenance:
+		return Profile{c, "Daily", "Multi-DC", "<1 hour", 0.04}
+	default:
+		return Profile{Category: c}
+	}
+}

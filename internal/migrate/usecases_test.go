@@ -1,0 +1,41 @@
+package migrate
+
+import "testing"
+
+func TestAnycastScenarioStability(t *testing.T) {
+	native := RunAnycastScenario(9, false)
+	rpa := RunAnycastScenario(9, true)
+
+	// Both end on the remote site's two paths.
+	if native.FinalPaths != 2 || rpa.FinalPaths != 2 {
+		t.Fatalf("final paths: native %d rpa %d, want 2/2", native.FinalPaths, rpa.FinalPaths)
+	}
+	// Native dribbles through a single-path state; the RPA flips wholesale
+	// when the local set drops below its MinNextHop of 2.
+	if native.MinConcurrentPaths > 1 {
+		t.Errorf("native min paths = %d, want a 1-path window", native.MinConcurrentPaths)
+	}
+	if rpa.MinConcurrentPaths < 2 {
+		t.Errorf("RPA min paths = %d, want >= 2 throughout", rpa.MinConcurrentPaths)
+	}
+	// The RPA needs fewer forwarding rewrites (fewer flow rehashes).
+	if rpa.FIBChanges > native.FIBChanges {
+		t.Errorf("RPA rewrites %d > native %d", rpa.FIBChanges, native.FIBChanges)
+	}
+}
+
+func TestEvolutionScenarioCutover(t *testing.T) {
+	r := RunEvolutionScenario(4)
+	// While both schemes coexist, all traffic stays on the validated
+	// legacy origin (no accidental 50/50 split across schemes).
+	if r.ShareOldBefore < 0.99 || r.ShareNewBefore > 0.01 {
+		t.Errorf("pre-cutover split = %.2f/%.2f, want 1/0", r.ShareOldBefore, r.ShareNewBefore)
+	}
+	// The cutover is one RPA update and moves everything.
+	if r.CutoverSteps != 1 {
+		t.Errorf("cutover steps = %d, want 1", r.CutoverSteps)
+	}
+	if r.ShareNewAfter < 0.99 || r.ShareOldAfter > 0.01 {
+		t.Errorf("post-cutover split = %.2f/%.2f, want 0/1", r.ShareOldAfter, r.ShareNewAfter)
+	}
+}

@@ -1,0 +1,193 @@
+package nsdb
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Replica is one NSDB task (the paper runs two identical replicas per job
+// with leader election).
+type Replica struct {
+	ID    int
+	Store *Store
+	alive bool
+}
+
+// Cluster is a small replicated NSDB: writes fan out to every live replica,
+// reads go to the elected leader, and a failed leader is replaced by the
+// next live replica automatically (Section 5.2, "Service Failures").
+type Cluster struct {
+	mu        sync.Mutex
+	replicas  []*Replica
+	term      int
+	elections int
+}
+
+// NewCluster creates n live replicas (n >= 1).
+func NewCluster(n int) *Cluster {
+	if n < 1 {
+		n = 1
+	}
+	c := &Cluster{}
+	for i := 0; i < n; i++ {
+		c.replicas = append(c.replicas, &Replica{ID: i, Store: NewStore(), alive: true})
+	}
+	return c
+}
+
+// Leader returns the elected leader: the lowest-ID live replica. It returns
+// nil when every replica is down.
+func (c *Cluster) Leader() *Replica {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.leaderLocked()
+}
+
+func (c *Cluster) leaderLocked() *Replica {
+	for _, r := range c.replicas {
+		if r.alive {
+			return r
+		}
+	}
+	return nil
+}
+
+// Term returns the current election term.
+func (c *Cluster) Term() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.term
+}
+
+// Elections returns how many leader changes have occurred.
+func (c *Cluster) Elections() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.elections
+}
+
+// Publish fans a write out to every live replica (the paper's
+// eventual-consistency write path).
+func (c *Cluster) Publish(v View, path string, value any) {
+	c.mu.Lock()
+	targets := c.liveLocked()
+	c.mu.Unlock()
+	for _, r := range targets {
+		r.Store.Set(v, path, value)
+	}
+}
+
+// PublishDelete fans a deletion out to every live replica.
+func (c *Cluster) PublishDelete(v View, path string) {
+	c.mu.Lock()
+	targets := c.liveLocked()
+	c.mu.Unlock()
+	for _, r := range targets {
+		r.Store.Delete(v, path)
+	}
+}
+
+func (c *Cluster) liveLocked() []*Replica {
+	var out []*Replica
+	for _, r := range c.replicas {
+		if r.alive {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Read serves a leader read.
+func (c *Cluster) Read(v View, path string) (any, bool, error) {
+	l := c.Leader()
+	if l == nil {
+		return nil, false, ErrNoLeader
+	}
+	val, ok := l.Store.Get(v, path)
+	return val, ok, nil
+}
+
+// ReadMatch serves a wildcard leader read.
+func (c *Cluster) ReadMatch(v View, pattern string) (map[string]any, error) {
+	l := c.Leader()
+	if l == nil {
+		return nil, ErrNoLeader
+	}
+	return l.Store.GetMatch(v, pattern), nil
+}
+
+// Fail marks a replica down; if it was the leader, the next live replica is
+// elected (term bumps).
+func (c *Cluster) Fail(id int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r := c.findLocked(id)
+	if r == nil {
+		return fmt.Errorf("nsdb: no replica %d", id)
+	}
+	if !r.alive {
+		return nil
+	}
+	wasLeader := c.leaderLocked() == r
+	r.alive = false
+	if wasLeader && c.leaderLocked() != nil {
+		c.term++
+		c.elections++
+	}
+	return nil
+}
+
+// Recover brings a replica back, catching its store up from the current
+// leader before it rejoins (eventual consistency restored).
+func (c *Cluster) Recover(id int) error {
+	c.mu.Lock()
+	r := c.findLocked(id)
+	if r == nil {
+		c.mu.Unlock()
+		return fmt.Errorf("nsdb: no replica %d", id)
+	}
+	if r.alive {
+		c.mu.Unlock()
+		return nil
+	}
+	leader := c.leaderLocked()
+	c.mu.Unlock()
+
+	if leader != nil {
+		r.Store.LoadSnapshot(leader.Store.Snapshot())
+	}
+
+	c.mu.Lock()
+	wasLeaderless := c.leaderLocked() == nil
+	r.alive = true
+	if wasLeaderless || c.leaderLocked() == r {
+		c.term++
+		c.elections++
+	}
+	c.mu.Unlock()
+	return nil
+}
+
+// Replicas returns all replicas (live and dead) for inspection.
+func (c *Cluster) Replicas() []*Replica {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]*Replica(nil), c.replicas...)
+}
+
+// Alive reports whether replica id is live.
+func (c *Cluster) Alive(id int) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r := c.findLocked(id)
+	return r != nil && r.alive
+}
+
+func (c *Cluster) findLocked(id int) *Replica {
+	for _, r := range c.replicas {
+		if r.ID == id {
+			return r
+		}
+	}
+	return nil
+}

@@ -1,0 +1,320 @@
+package nsdb
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestTreeSetGetDelete(t *testing.T) {
+	var tr tree
+	tr.set("/devices/ssw0/rpa", "v1")
+	if v, ok := tr.get("devices/ssw0/rpa/"); !ok || v != "v1" {
+		t.Fatalf("get = %v,%v", v, ok)
+	}
+	if _, ok := tr.get("/devices/ssw0"); ok {
+		t.Fatal("intermediate vertex has a value")
+	}
+	if _, ok := tr.get("/devices/missing"); ok {
+		t.Fatal("missing path returned value")
+	}
+	if !tr.del("/devices/ssw0/rpa") {
+		t.Fatal("delete reported false")
+	}
+	if tr.del("/devices/ssw0/rpa") {
+		t.Fatal("double delete reported true")
+	}
+	// Children survive parent value deletion.
+	tr.set("/a", 1)
+	tr.set("/a/b", 2)
+	tr.del("/a")
+	if v, ok := tr.get("/a/b"); !ok || v != 2 {
+		t.Fatalf("child lost: %v,%v", v, ok)
+	}
+}
+
+func TestTreeWildcards(t *testing.T) {
+	var tr tree
+	tr.set("/devices/ssw0/rpa", 1)
+	tr.set("/devices/ssw1/rpa", 2)
+	tr.set("/devices/ssw1/health", 3)
+	tr.set("/jobs/x", 4)
+
+	m := tr.match("/devices/*/rpa")
+	if len(m) != 2 || m["/devices/ssw0/rpa"] != 1 || m["/devices/ssw1/rpa"] != 2 {
+		t.Fatalf("match = %v", m)
+	}
+	m = tr.match("/devices/**")
+	if len(m) != 3 {
+		t.Fatalf("match ** = %v", m)
+	}
+	m = tr.match("/**")
+	if len(m) != 4 {
+		t.Fatalf("match all = %v", m)
+	}
+	m = tr.match("/devices/ssw1/health")
+	if len(m) != 1 {
+		t.Fatalf("exact match = %v", m)
+	}
+	if got := tr.match("/nothing/*"); len(got) != 0 {
+		t.Fatalf("empty match = %v", got)
+	}
+}
+
+func TestMatchPath(t *testing.T) {
+	tests := []struct {
+		pattern, path string
+		want          bool
+	}{
+		{"/a/b", "/a/b", true},
+		{"/a/b", "/a/c", false},
+		{"/a/*", "/a/b", true},
+		{"/a/*", "/a/b/c", false},
+		{"/a/**", "/a/b/c", true},
+		{"/a/**", "/a", true},
+		{"/**", "/anything/at/all", true},
+		{"/a/b/c", "/a/b", false},
+		{"/a", "/a/b", false},
+	}
+	for _, tt := range tests {
+		if got := matchPath(tt.pattern, tt.path); got != tt.want {
+			t.Errorf("matchPath(%q, %q) = %v, want %v", tt.pattern, tt.path, got, tt.want)
+		}
+	}
+}
+
+func TestStoreSetGetViews(t *testing.T) {
+	s := NewStore()
+	s.Set(Intended, "/devices/x/rpa", "want")
+	s.Set(Current, "/devices/x/rpa", "have")
+	if v, _ := s.Get(Intended, "/devices/x/rpa"); v != "want" {
+		t.Fatalf("intended = %v", v)
+	}
+	if v, _ := s.Get(Current, "/devices/x/rpa"); v != "have" {
+		t.Fatalf("current = %v", v)
+	}
+	if Intended.String() != "intended" || Current.String() != "current" {
+		t.Error("View.String wrong")
+	}
+	if s.Writes() != 2 {
+		t.Errorf("Writes = %d", s.Writes())
+	}
+}
+
+func TestStoreSubscribe(t *testing.T) {
+	s := NewStore()
+	ch, cancel := s.Subscribe(Intended, "/devices/*/rpa", 8)
+	defer cancel()
+
+	s.Set(Intended, "/devices/x/rpa", 1)
+	s.Set(Current, "/devices/x/rpa", 2)    // wrong view: no event
+	s.Set(Intended, "/devices/x/other", 3) // wrong path: no event
+	s.Delete(Intended, "/devices/x/rpa")
+	s.Delete(Intended, "/devices/x/rpa") // second delete: no event
+
+	ev := <-ch
+	if ev.Path != "/devices/x/rpa" || ev.Value != 1 || ev.Deleted {
+		t.Fatalf("event = %+v", ev)
+	}
+	ev = <-ch
+	if !ev.Deleted {
+		t.Fatalf("event = %+v, want deletion", ev)
+	}
+	select {
+	case ev := <-ch:
+		t.Fatalf("unexpected extra event %+v", ev)
+	default:
+	}
+	cancel()
+	cancel() // double cancel must not panic
+	if _, ok := <-ch; ok {
+		t.Fatal("channel not closed after cancel")
+	}
+}
+
+func TestStoreSlowSubscriberDrops(t *testing.T) {
+	s := NewStore()
+	_, cancel := s.Subscribe(Intended, "/**", 1)
+	defer cancel()
+	// Two writes into a 1-buffer channel: second is dropped, not blocking.
+	done := make(chan struct{})
+	go func() {
+		s.Set(Intended, "/a", 1)
+		s.Set(Intended, "/b", 2)
+		close(done)
+	}()
+	<-done // must not deadlock
+}
+
+func TestStoreGetMatchAndKeys(t *testing.T) {
+	s := NewStore()
+	s.Set(Current, "/devices/a/health", "ok")
+	s.Set(Current, "/devices/b/health", "bad")
+	keys := s.Keys(Current, "/devices/*/health")
+	if len(keys) != 2 || keys[0] != "/devices/a/health" {
+		t.Fatalf("Keys = %v", keys)
+	}
+}
+
+func TestOutOfSync(t *testing.T) {
+	s := NewStore()
+	s.Set(Intended, "/devices/a/rpa", map[string]any{"v": 1})
+	s.Set(Current, "/devices/a/rpa", map[string]any{"v": 1})
+	s.Set(Intended, "/devices/b/rpa", map[string]any{"v": 2})
+	s.Set(Current, "/devices/b/rpa", map[string]any{"v": 99}) // straggler
+	s.Set(Intended, "/devices/c/rpa", map[string]any{"v": 3}) // not yet deployed
+	s.Set(Current, "/devices/d/rpa", map[string]any{"v": 4})  // unexpected extra
+
+	diff := s.OutOfSync("/devices/*/rpa")
+	want := []string{"/devices/b/rpa", "/devices/c/rpa", "/devices/d/rpa"}
+	if len(diff) != len(want) {
+		t.Fatalf("OutOfSync = %v, want %v", diff, want)
+	}
+	for i := range want {
+		if diff[i] != want[i] {
+			t.Fatalf("OutOfSync = %v, want %v", diff, want)
+		}
+	}
+}
+
+func TestSizeBytesAndSnapshot(t *testing.T) {
+	s := NewStore()
+	if s.SizeBytes() != 0 {
+		t.Fatal("empty store has size")
+	}
+	s.Set(Intended, "/a", map[string]any{"k": "0123456789"})
+	if s.SizeBytes() <= 0 {
+		t.Fatal("SizeBytes = 0 after write")
+	}
+	snap := s.Snapshot()
+	s2 := NewStore()
+	s2.LoadSnapshot(snap)
+	if v, ok := s2.Get(Intended, "/a"); !ok {
+		t.Fatalf("snapshot lost value: %v", v)
+	}
+}
+
+func TestDevicePath(t *testing.T) {
+	if got := DevicePath("ssw0", "rpa", "intended"); got != "/devices/ssw0/rpa/intended" {
+		t.Fatalf("DevicePath = %q", got)
+	}
+	if got := DevicePath("x"); got != "/devices/x" {
+		t.Fatalf("DevicePath = %q", got)
+	}
+}
+
+func TestClusterLeaderElection(t *testing.T) {
+	c := NewCluster(3)
+	if l := c.Leader(); l == nil || l.ID != 0 {
+		t.Fatalf("initial leader = %+v", l)
+	}
+	c.Publish(Intended, "/x", 1)
+	// All replicas got the write.
+	for _, r := range c.Replicas() {
+		if v, ok := r.Store.Get(Intended, "/x"); !ok || v != 1 {
+			t.Fatalf("replica %d missing write", r.ID)
+		}
+	}
+	// Leader fails: next replica takes over, term bumps.
+	if err := c.Fail(0); err != nil {
+		t.Fatal(err)
+	}
+	if l := c.Leader(); l.ID != 1 {
+		t.Fatalf("leader after failure = %d, want 1", l.ID)
+	}
+	if c.Term() != 1 || c.Elections() != 1 {
+		t.Fatalf("term/elections = %d/%d", c.Term(), c.Elections())
+	}
+	// Reads re-route automatically.
+	if v, ok, err := c.Read(Intended, "/x"); err != nil || !ok || v != 1 {
+		t.Fatalf("read after failover = %v,%v,%v", v, ok, err)
+	}
+	// Non-leader failure does not bump the term.
+	c.Fail(2)
+	if c.Term() != 1 {
+		t.Fatalf("term after non-leader failure = %d", c.Term())
+	}
+	c.Fail(2) // repeated failure is a no-op
+}
+
+func TestClusterWritesSkipDeadCatchUpOnRecover(t *testing.T) {
+	c := NewCluster(2)
+	c.Fail(1)
+	c.Publish(Intended, "/x", "v")
+	c.PublishDelete(Intended, "/never-there")
+	if _, ok := c.Replicas()[1].Store.Get(Intended, "/x"); ok {
+		t.Fatal("dead replica received write")
+	}
+	if err := c.Recover(1); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := c.Replicas()[1].Store.Get(Intended, "/x"); !ok || v != "v" {
+		t.Fatal("recovered replica did not catch up")
+	}
+	if !c.Alive(1) {
+		t.Fatal("Alive wrong")
+	}
+	if err := c.Recover(1); err != nil { // already alive: no-op
+		t.Fatal(err)
+	}
+}
+
+func TestClusterAllDown(t *testing.T) {
+	c := NewCluster(1)
+	c.Fail(0)
+	if _, _, err := c.Read(Intended, "/x"); err != ErrNoLeader {
+		t.Fatalf("err = %v, want ErrNoLeader", err)
+	}
+	if _, err := c.ReadMatch(Intended, "/**"); err != ErrNoLeader {
+		t.Fatalf("err = %v, want ErrNoLeader", err)
+	}
+	c.Publish(Intended, "/x", 1) // writes to nobody; must not panic
+	// Recovery without any leader: replica keeps (empty) state, becomes
+	// leader, term bumps.
+	if err := c.Recover(0); err != nil {
+		t.Fatal(err)
+	}
+	if l := c.Leader(); l == nil || l.ID != 0 {
+		t.Fatal("no leader after recovery")
+	}
+	if err := c.Fail(99); err == nil {
+		t.Fatal("Fail(unknown) did not error")
+	}
+	if err := c.Recover(99); err == nil {
+		t.Fatal("Recover(unknown) did not error")
+	}
+}
+
+func TestStoreConcurrentAccess(t *testing.T) {
+	s := NewStore()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				path := fmt.Sprintf("/devices/d%d/val", g)
+				s.Set(Current, path, i)
+				s.Get(Current, path)
+				s.GetMatch(Current, "/devices/*/val")
+				s.OutOfSync("/devices/**")
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestTreeRoundTripProperty(t *testing.T) {
+	// Property: set then get returns the value for arbitrary simple paths.
+	f := func(a, b uint8, val int) bool {
+		path := fmt.Sprintf("/seg%d/seg%d", a%8, b%8)
+		var tr tree
+		tr.set(path, val)
+		got, ok := tr.get(path)
+		return ok && got == val
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

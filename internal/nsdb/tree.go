@@ -1,0 +1,159 @@
+// Package nsdb implements Centralium's Network State Database (Section 5.1):
+// a tree-shaped store rooted at a device map, addressed by path strings,
+// holding two contrasting views of the network — the intended state
+// (what applications want) and the current state (ground truth collected
+// from switches). Generic get/set/publish/subscribe APIs with wildcard
+// matching make every service data-agnostic, and a small replica cluster
+// with leader election provides the availability model of Section 5.2.
+// (The paper's Thrift encapsulation is replaced by stdlib JSON.)
+package nsdb
+
+import (
+	"sort"
+	"strings"
+)
+
+// node is one tree vertex. A vertex can hold a value and children at once.
+type node struct {
+	children map[string]*node
+	value    any
+	hasValue bool
+}
+
+// tree is a path-addressed hierarchical store. Paths are "/"-separated;
+// leading and trailing slashes are ignored ("/devices/x/rpa" == "devices/x/rpa/").
+type tree struct {
+	root node
+}
+
+// splitPath normalizes a path into segments.
+func splitPath(p string) []string {
+	var out []string
+	for _, seg := range strings.Split(p, "/") {
+		if seg != "" {
+			out = append(out, seg)
+		}
+	}
+	return out
+}
+
+// set stores a value at the path, creating intermediate vertices.
+func (t *tree) set(path string, v any) {
+	n := &t.root
+	for _, seg := range splitPath(path) {
+		if n.children == nil {
+			n.children = make(map[string]*node)
+		}
+		child := n.children[seg]
+		if child == nil {
+			child = &node{}
+			n.children[seg] = child
+		}
+		n = child
+	}
+	n.value = v
+	n.hasValue = true
+}
+
+// get retrieves the value at the path.
+func (t *tree) get(path string) (any, bool) {
+	n := &t.root
+	for _, seg := range splitPath(path) {
+		n = n.children[seg]
+		if n == nil {
+			return nil, false
+		}
+	}
+	if !n.hasValue {
+		return nil, false
+	}
+	return n.value, true
+}
+
+// del removes the value at the path (children survive). It reports whether
+// a value was present.
+func (t *tree) del(path string) bool {
+	segs := splitPath(path)
+	n := &t.root
+	for _, seg := range segs {
+		n = n.children[seg]
+		if n == nil {
+			return false
+		}
+	}
+	had := n.hasValue
+	n.hasValue = false
+	n.value = nil
+	return had
+}
+
+// match returns path->value for every stored value whose path matches the
+// pattern. Pattern segments: literal, "*" (any one segment), or a trailing
+// "**" (any remaining segments, including none).
+func (t *tree) match(pattern string) map[string]any {
+	out := make(map[string]any)
+	segs := splitPath(pattern)
+	t.walk(&t.root, nil, segs, out)
+	return out
+}
+
+func (t *tree) walk(n *node, prefix []string, pat []string, out map[string]any) {
+	if len(pat) == 0 {
+		if n.hasValue {
+			out["/"+strings.Join(prefix, "/")] = n.value
+		}
+		return
+	}
+	if pat[0] == "**" {
+		// Matches zero or more segments: collect this whole subtree.
+		t.collect(n, prefix, out)
+		return
+	}
+	if pat[0] == "*" {
+		keys := sortedKeys(n.children)
+		for _, k := range keys {
+			t.walk(n.children[k], append(prefix, k), pat[1:], out)
+		}
+		return
+	}
+	if child := n.children[pat[0]]; child != nil {
+		t.walk(child, append(prefix, pat[0]), pat[1:], out)
+	}
+}
+
+func (t *tree) collect(n *node, prefix []string, out map[string]any) {
+	if n.hasValue {
+		out["/"+strings.Join(prefix, "/")] = n.value
+	}
+	for _, k := range sortedKeys(n.children) {
+		t.collect(n.children[k], append(prefix, k), out)
+	}
+}
+
+func sortedKeys(m map[string]*node) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// matchPath reports whether a concrete path matches a pattern (same syntax
+// as match); used for subscription filtering.
+func matchPath(pattern, path string) bool {
+	pat, segs := splitPath(pattern), splitPath(path)
+	i := 0
+	for ; i < len(pat); i++ {
+		if pat[i] == "**" {
+			return true
+		}
+		if i >= len(segs) {
+			return false
+		}
+		if pat[i] != "*" && pat[i] != segs[i] {
+			return false
+		}
+	}
+	return i == len(segs)
+}

@@ -1,0 +1,374 @@
+// Package openr implements the management substrate the paper's Centralium
+// rides on: an Open/R-inspired link-state protocol (Section A.2) providing
+// a resilient out-of-band network between the controller and every switch.
+// Each node floods sequence-numbered adjacency LSAs and runs SPF over its
+// own link-state database, so management reachability survives failures on
+// any path that still exists — and the controller's device-failure
+// detection (Section 5.2) can distinguish "device down" from "path down".
+//
+// The implementation is a deterministic message-passing simulation over the
+// same topology the BGP fabric uses: flooding exchanges explicit messages
+// (counted), and every node's view is exactly its own LSDB — a partitioned
+// node keeps a stale view, as real link-state protocols do.
+package openr
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"centralium/internal/topo"
+)
+
+// LSA is one node's adjacency advertisement.
+type LSA struct {
+	Origin    topo.DeviceID
+	Seq       uint64
+	Neighbors []topo.DeviceID // live adjacencies at flood time
+}
+
+// linkKey canonicalizes an undirected pair.
+type linkKey struct{ a, b topo.DeviceID }
+
+func keyOf(a, b topo.DeviceID) linkKey {
+	if a > b {
+		a, b = b, a
+	}
+	return linkKey{a, b}
+}
+
+// node is the per-device protocol state.
+type node struct {
+	id   topo.DeviceID
+	lsdb map[topo.DeviceID]LSA
+	seq  uint64
+}
+
+// message is one flooded LSA in flight.
+type message struct {
+	from, to topo.DeviceID
+	lsa      LSA
+}
+
+// Domain is one link-state routing domain over a topology.
+type Domain struct {
+	topo     *topo.Topology
+	nodes    map[topo.DeviceID]*node
+	linkDown map[linkKey]bool
+	nodeDown map[topo.DeviceID]bool
+
+	queue    []message
+	messages int64 // cumulative flood messages delivered
+}
+
+// New builds a domain with every device and link up, fully converged.
+func New(t *topo.Topology) *Domain {
+	d := &Domain{
+		topo:     t,
+		nodes:    make(map[topo.DeviceID]*node),
+		linkDown: make(map[linkKey]bool),
+		nodeDown: make(map[topo.DeviceID]bool),
+	}
+	for _, dev := range t.Devices() {
+		d.nodes[dev.ID] = &node{id: dev.ID, lsdb: make(map[topo.DeviceID]LSA)}
+	}
+	for _, dev := range t.Devices() {
+		d.originate(dev.ID)
+	}
+	d.Converge()
+	return d
+}
+
+// liveNeighbors returns a node's up adjacencies under the current failure
+// set, deduplicated and sorted.
+func (d *Domain) liveNeighbors(id topo.DeviceID) []topo.DeviceID {
+	if d.nodeDown[id] {
+		return nil
+	}
+	seen := make(map[topo.DeviceID]bool)
+	var out []topo.DeviceID
+	for _, nb := range d.topo.Neighbors(id) {
+		if seen[nb] || d.nodeDown[nb] || d.linkDown[keyOf(id, nb)] {
+			continue
+		}
+		seen[nb] = true
+		out = append(out, nb)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// originate bumps a node's own LSA and queues it toward its live neighbors.
+func (d *Domain) originate(id topo.DeviceID) {
+	n := d.nodes[id]
+	if n == nil || d.nodeDown[id] {
+		return
+	}
+	n.seq++
+	lsa := LSA{Origin: id, Seq: n.seq, Neighbors: d.liveNeighbors(id)}
+	n.lsdb[id] = lsa
+	for _, nb := range lsa.Neighbors {
+		d.queue = append(d.queue, message{from: id, to: nb, lsa: lsa})
+	}
+}
+
+// Converge processes the flood queue to quiescence and returns the number
+// of messages delivered.
+func (d *Domain) Converge() int64 {
+	var delivered int64
+	for len(d.queue) > 0 {
+		m := d.queue[0]
+		d.queue = d.queue[1:]
+		// A message only arrives if the link and endpoints are still up.
+		if d.nodeDown[m.to] || d.nodeDown[m.from] || d.linkDown[keyOf(m.from, m.to)] {
+			continue
+		}
+		delivered++
+		d.messages++
+		n := d.nodes[m.to]
+		if cur, ok := n.lsdb[m.lsa.Origin]; ok && cur.Seq >= m.lsa.Seq {
+			continue // stale or duplicate
+		}
+		n.lsdb[m.lsa.Origin] = m.lsa
+		// Re-flood to all live neighbors except the sender.
+		for _, nb := range d.liveNeighbors(m.to) {
+			if nb == m.from {
+				continue
+			}
+			d.queue = append(d.queue, message{from: m.to, to: nb, lsa: m.lsa})
+		}
+	}
+	return delivered
+}
+
+// Messages returns cumulative flood messages delivered.
+func (d *Domain) Messages() int64 { return d.messages }
+
+// SetLinkUp fails or restores all links between a and b, refloods the
+// affected LSAs, and converges. A restored adjacency performs a full
+// database exchange, as link-state protocols do on adjacency formation.
+func (d *Domain) SetLinkUp(a, b topo.DeviceID, up bool) {
+	d.linkDown[keyOf(a, b)] = !up
+	d.originate(a)
+	d.originate(b)
+	if up {
+		d.syncAdjacency(a, b)
+	}
+	d.Converge()
+}
+
+// syncAdjacency queues both endpoints' complete LSDBs toward each other —
+// the database-exchange step of adjacency establishment. Without it a
+// recovering node would only ever learn LSAs that happen to be re-flooded.
+func (d *Domain) syncAdjacency(a, b topo.DeviceID) {
+	if d.nodeDown[a] || d.nodeDown[b] || d.linkDown[keyOf(a, b)] {
+		return
+	}
+	for _, pair := range [2][2]topo.DeviceID{{a, b}, {b, a}} {
+		from, to := pair[0], pair[1]
+		n := d.nodes[from]
+		for _, lsa := range n.lsdb {
+			d.queue = append(d.queue, message{from: from, to: to, lsa: lsa})
+		}
+	}
+}
+
+// SetNodeUp fails or restores a device. A recovering node comes back with
+// an empty LSDB and relearns the domain (its neighbors reflood on
+// adjacency change).
+func (d *Domain) SetNodeUp(id topo.DeviceID, up bool) {
+	if d.nodeDown[id] == !up {
+		return
+	}
+	d.nodeDown[id] = !up
+	if up {
+		// Fresh restart: wipe state, keep the monotonically increasing seq
+		// (real implementations persist it to beat stale copies).
+		n := d.nodes[id]
+		n.lsdb = make(map[topo.DeviceID]LSA)
+		d.originate(id)
+	}
+	for _, nb := range d.topo.Neighbors(id) {
+		d.originate(nb)
+		if up {
+			d.syncAdjacency(id, nb)
+		}
+	}
+	d.Converge()
+}
+
+// spfEntry is one SPF result row.
+type spfEntry struct {
+	dist    int
+	nextHop topo.DeviceID
+}
+
+// pqItem is a Dijkstra frontier entry.
+type pqItem struct {
+	id   topo.DeviceID
+	dist int
+}
+type pq []pqItem
+
+func (p pq) Len() int { return len(p) }
+func (p pq) Less(i, j int) bool {
+	if p[i].dist != p[j].dist {
+		return p[i].dist < p[j].dist
+	}
+	return p[i].id < p[j].id
+}
+func (p pq) Swap(i, j int)       { p[i], p[j] = p[j], p[i] }
+func (p *pq) Push(x interface{}) { *p = append(*p, x.(pqItem)) }
+func (p *pq) Pop() interface{} {
+	old := *p
+	n := len(old)
+	it := old[n-1]
+	*p = old[:n-1]
+	return it
+}
+
+// spf runs Dijkstra over one node's LSDB. An edge exists only if BOTH
+// endpoints advertise it (bidirectional check, as Open/R requires).
+func (d *Domain) spf(from topo.DeviceID) map[topo.DeviceID]spfEntry {
+	n := d.nodes[from]
+	if n == nil || d.nodeDown[from] {
+		return nil
+	}
+	adj := func(id topo.DeviceID) []topo.DeviceID {
+		lsa, ok := n.lsdb[id]
+		if !ok {
+			return nil
+		}
+		var out []topo.DeviceID
+		for _, nb := range lsa.Neighbors {
+			peer, ok := n.lsdb[nb]
+			if !ok {
+				continue
+			}
+			for _, back := range peer.Neighbors {
+				if back == id {
+					out = append(out, nb)
+					break
+				}
+			}
+		}
+		return out
+	}
+	dist := map[topo.DeviceID]spfEntry{from: {dist: 0}}
+	frontier := &pq{{id: from, dist: 0}}
+	for frontier.Len() > 0 {
+		cur := heap.Pop(frontier).(pqItem)
+		if cur.dist > dist[cur.id].dist {
+			continue
+		}
+		for _, nb := range adj(cur.id) {
+			nd := cur.dist + 1
+			if e, ok := dist[nb]; ok && e.dist <= nd {
+				continue
+			}
+			nh := dist[cur.id].nextHop
+			if cur.id == from {
+				nh = nb // first hop
+			}
+			dist[nb] = spfEntry{dist: nd, nextHop: nh}
+			heap.Push(frontier, pqItem{id: nb, dist: nd})
+		}
+	}
+	return dist
+}
+
+// Reachable reports whether `from`'s LSDB believes `to` is reachable. A
+// stale LSDB can believe wrongly — use Probe for ground truth.
+func (d *Domain) Reachable(from, to topo.DeviceID) bool {
+	_, ok := d.spf(from)[to]
+	return ok
+}
+
+// NextHop returns `from`'s computed next hop toward `to`.
+func (d *Domain) NextHop(from, to topo.DeviceID) (topo.DeviceID, bool) {
+	e, ok := d.spf(from)[to]
+	if !ok || from == to {
+		return "", from == to
+	}
+	return e.nextHop, true
+}
+
+// Path returns the hop sequence from -> to per `from`'s LSDB (inclusive),
+// or nil when unreachable.
+func (d *Domain) Path(from, to topo.DeviceID) []topo.DeviceID {
+	if from == to {
+		return []topo.DeviceID{from}
+	}
+	path := []topo.DeviceID{from}
+	cur := from
+	for steps := 0; steps <= d.topo.NumDevices(); steps++ {
+		nh, ok := d.NextHop(cur, to)
+		if !ok || nh == "" {
+			return nil
+		}
+		path = append(path, nh)
+		if nh == to {
+			return path
+		}
+		cur = nh
+	}
+	return nil
+}
+
+// Probe walks the hop-by-hop forwarding decision against ground truth:
+// it reports whether a management packet from -> to actually gets through
+// the current failure set. This is what the controller's device-failure
+// detection uses: Reachable(false) means the fleet view says down;
+// Reachable(true) && Probe(false) means the view is stale (converging).
+func (d *Domain) Probe(from, to topo.DeviceID) bool {
+	if d.nodeDown[from] || d.nodeDown[to] {
+		return false
+	}
+	if from == to {
+		return true
+	}
+	cur := from
+	for steps := 0; steps <= d.topo.NumDevices(); steps++ {
+		nh, ok := d.NextHop(cur, to)
+		if !ok || nh == "" {
+			return false
+		}
+		// Ground truth: the hop must actually be up.
+		if d.nodeDown[nh] || d.linkDown[keyOf(cur, nh)] {
+			return false
+		}
+		if nh == to {
+			return true
+		}
+		cur = nh
+	}
+	return false
+}
+
+// UnreachableFrom lists devices a management source cannot actually reach —
+// the input to "alerting network operators of unexpected device
+// unavailability" (Section 5.2).
+func (d *Domain) UnreachableFrom(source topo.DeviceID) []topo.DeviceID {
+	var out []topo.DeviceID
+	for _, dev := range d.topo.Devices() {
+		if dev.ID == source {
+			continue
+		}
+		if !d.Probe(source, dev.ID) {
+			out = append(out, dev.ID)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// String summarizes the domain for debugging.
+func (d *Domain) String() string {
+	down := 0
+	for _, v := range d.nodeDown {
+		if v {
+			down++
+		}
+	}
+	return fmt.Sprintf("openr: %d nodes (%d down), %d flood messages", len(d.nodes), down, d.messages)
+}

@@ -1,0 +1,194 @@
+package openr
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"centralium/internal/topo"
+)
+
+// square builds a 4-cycle a-b-c-d-a.
+func square() *topo.Topology {
+	t := topo.New()
+	for _, id := range []topo.DeviceID{"a", "b", "c", "d"} {
+		t.AddDevice(topo.Device{ID: id})
+	}
+	t.AddLink("a", "b", 100)
+	t.AddLink("b", "c", 100)
+	t.AddLink("c", "d", 100)
+	t.AddLink("d", "a", 100)
+	return t
+}
+
+func TestFullReachabilityAfterConvergence(t *testing.T) {
+	d := New(square())
+	for _, from := range []topo.DeviceID{"a", "b", "c", "d"} {
+		for _, to := range []topo.DeviceID{"a", "b", "c", "d"} {
+			if !d.Reachable(from, to) {
+				t.Errorf("%s cannot reach %s", from, to)
+			}
+			if !d.Probe(from, to) {
+				t.Errorf("probe %s->%s failed", from, to)
+			}
+		}
+	}
+	if d.Messages() == 0 {
+		t.Error("no flood messages counted")
+	}
+	if !strings.Contains(d.String(), "4 nodes") {
+		t.Errorf("String = %q", d.String())
+	}
+}
+
+func TestShortestPathsAndNextHops(t *testing.T) {
+	d := New(square())
+	// a->c has two equal 2-hop paths; next hop must be deterministic (b,
+	// the lexicographically first).
+	nh, ok := d.NextHop("a", "c")
+	if !ok || nh != "b" {
+		t.Fatalf("NextHop(a,c) = %v,%v", nh, ok)
+	}
+	path := d.Path("a", "c")
+	if len(path) != 3 || path[0] != "a" || path[2] != "c" {
+		t.Fatalf("Path(a,c) = %v", path)
+	}
+	if p := d.Path("a", "a"); len(p) != 1 {
+		t.Fatalf("Path(a,a) = %v", p)
+	}
+	if nh, ok := d.NextHop("a", "a"); !ok || nh != "" {
+		t.Fatalf("NextHop(a,a) = %v,%v", nh, ok)
+	}
+}
+
+func TestLinkFailureReroutes(t *testing.T) {
+	d := New(square())
+	d.SetLinkUp("a", "b", false)
+	// a still reaches b the long way around.
+	if !d.Probe("a", "b") {
+		t.Fatal("a cannot reach b after single link failure")
+	}
+	path := d.Path("a", "b")
+	if len(path) != 4 { // a-d-c-b
+		t.Fatalf("Path(a,b) = %v, want 3 hops", path)
+	}
+	d.SetLinkUp("a", "b", true)
+	if got := d.Path("a", "b"); len(got) != 2 {
+		t.Fatalf("Path(a,b) after recovery = %v", got)
+	}
+}
+
+func TestPartitionDetection(t *testing.T) {
+	d := New(square())
+	// Cut both of a's links: a is isolated.
+	d.SetLinkUp("a", "b", false)
+	d.SetLinkUp("a", "d", false)
+	if d.Probe("b", "a") {
+		t.Fatal("probe into partition succeeded")
+	}
+	un := d.UnreachableFrom("b")
+	if len(un) != 1 || un[0] != "a" {
+		t.Fatalf("UnreachableFrom(b) = %v, want [a]", un)
+	}
+	// a's own (stale or not) view cannot probe out either.
+	if d.Probe("a", "c") {
+		t.Fatal("probe out of partition succeeded")
+	}
+}
+
+func TestNodeFailureAndRecovery(t *testing.T) {
+	d := New(square())
+	d.SetNodeUp("b", false)
+	if d.Probe("a", "b") {
+		t.Fatal("probe to dead node succeeded")
+	}
+	// Traffic reroutes around the dead node.
+	if !d.Probe("a", "c") {
+		t.Fatal("a cannot reach c around dead b")
+	}
+	if got := d.Path("a", "c"); len(got) != 3 || got[1] != "d" {
+		t.Fatalf("Path(a,c) = %v, want via d", got)
+	}
+	un := d.UnreachableFrom("a")
+	if len(un) != 1 || un[0] != "b" {
+		t.Fatalf("UnreachableFrom(a) = %v", un)
+	}
+	// Recovery: b relearns the whole domain from scratch.
+	d.SetNodeUp("b", true)
+	d.SetNodeUp("b", true) // idempotent
+	for _, to := range []topo.DeviceID{"a", "c", "d"} {
+		if !d.Probe("b", to) {
+			t.Errorf("recovered b cannot reach %s", to)
+		}
+	}
+	if got := d.Path("a", "b"); len(got) != 2 {
+		t.Fatalf("Path(a,b) after recovery = %v", got)
+	}
+}
+
+func TestFabricScaleConvergence(t *testing.T) {
+	tp := topo.BuildFabric(topo.FabricParams{})
+	d := New(tp)
+	devs := tp.Devices()
+	// Management full mesh: every device reaches every other.
+	src := devs[0].ID
+	if un := d.UnreachableFrom(src); len(un) != 0 {
+		t.Fatalf("unreachable from %s: %v", src, un)
+	}
+	// The OoB property: even with a whole spine plane down, management
+	// reachability to the rest survives.
+	for _, ssw := range tp.ByLayer(topo.LayerSSW) {
+		if ssw.Plane == 0 {
+			d.SetNodeUp(ssw.ID, false)
+		}
+	}
+	un := d.UnreachableFrom(topo.RSWID(0, 0))
+	for _, id := range un {
+		if tp.Device(id).Layer != topo.LayerSSW {
+			t.Errorf("collateral unreachability: %s", id)
+		}
+	}
+}
+
+func TestStaleViewDuringChurn(t *testing.T) {
+	// Reachable (belief) vs Probe (truth): cut a link but suppress
+	// convergence by manipulating queue order — here we simply verify the
+	// two APIs agree after convergence, and that Probe validates hops
+	// against ground truth by failing a mid-path link.
+	tp := topo.New()
+	for _, id := range []topo.DeviceID{"x", "y", "z"} {
+		tp.AddDevice(topo.Device{ID: id})
+	}
+	tp.AddLink("x", "y", 100)
+	tp.AddLink("y", "z", 100)
+	d := New(tp)
+	if !d.Probe("x", "z") {
+		t.Fatal("line probe failed")
+	}
+	d.SetLinkUp("y", "z", false)
+	if d.Reachable("x", "z") {
+		t.Fatal("converged view still believes z reachable")
+	}
+	if d.Probe("x", "z") {
+		t.Fatal("probe through dead link succeeded")
+	}
+}
+
+func TestFloodingIdempotentProperty(t *testing.T) {
+	// Property: repeated failing/restoring of a random link always returns
+	// to full reachability.
+	tp := topo.BuildMesh(topo.MeshParams{Planes: 2, Grids: 2, PerGroup: 2})
+	links := tp.Links()
+	f := func(li uint8, times uint8) bool {
+		d := New(tp)
+		l := links[int(li)%len(links)]
+		for k := 0; k < int(times%4)+1; k++ {
+			d.SetLinkUp(l.A, l.B, false)
+			d.SetLinkUp(l.A, l.B, true)
+		}
+		return len(d.UnreachableFrom(tp.Devices()[0].ID)) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,173 @@
+package qualify
+
+import (
+	"strings"
+	"testing"
+
+	"centralium/internal/controller"
+	"centralium/internal/core"
+	"centralium/internal/fabric"
+	"centralium/internal/migrate"
+	"centralium/internal/topo"
+	"centralium/internal/traffic"
+)
+
+// fig10Net builds the Figure 10 topology, converged, with the backbone
+// default route.
+func fig10Net(seed int64) *fabric.Network {
+	tp := topo.BuildFig10(topo.Fig10Params{FSWs: 2, SSWs: 2, FAs: 2})
+	n := fabric.New(tp, fabric.Options{Seed: seed})
+	n.OriginateAt(topo.EBID(0), migrate.DefaultRoute, []string{migrate.BackboneCommunity}, 0)
+	n.Converge()
+	return n
+}
+
+func fas() []topo.DeviceID { return []topo.DeviceID{topo.FAID(0), topo.FAID(1)} }
+
+func TestQualifyPassesSafeRollout(t *testing.T) {
+	n := fig10Net(3)
+	intent := controller.PathEqualizationIntent(n.Topo,
+		[]topo.Layer{topo.LayerFSW, topo.LayerSSW, topo.LayerFA}, migrate.BackboneCommunity)
+	rep, err := Run(Spec{
+		Name:           "equalization-bottom-up",
+		Net:            n,
+		Intent:         intent,
+		OriginAltitude: topo.LayerEB.Altitude(),
+		Workload:       traffic.UniformDemands(n.Topo.ByLayer(topo.LayerFSW), migrate.DefaultRoute, 100),
+		Invariants: []Invariant{
+			NoBlackholes(),
+			NoLoops(),
+			FunnelBound(fas(), 0.75),
+			MinPaths(topo.FAID(0), "0.0.0.0/0", 2), // post-change: direct + DMAG
+			MaxLinkUtilization(1.0),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Passed {
+		t.Fatalf("safe rollout failed qualification:\n%s", rep)
+	}
+	if !strings.Contains(rep.String(), "PASS") {
+		t.Fatalf("report = %q", rep)
+	}
+	if rep.Events == 0 {
+		t.Fatal("no events counted")
+	}
+}
+
+func TestQualifyCatchesTransientFunnel(t *testing.T) {
+	// The same intent deployed top-down (the Figure 10 hazard) must FAIL
+	// qualification on the transient funnel bound — this is exactly the
+	// class of bug §7.1's emulation suite exists to stop.
+	n := fig10Net(3)
+	intent := controller.PathEqualizationIntent(n.Topo,
+		[]topo.Layer{topo.LayerFSW, topo.LayerSSW, topo.LayerFA}, migrate.BackboneCommunity)
+	rep, err := Run(Spec{
+		Name:           "equalization-top-down",
+		Net:            n,
+		Intent:         intent,
+		OriginAltitude: topo.LayerEB.Altitude(),
+		Removal:        true, // reverses wave order: FA layer first
+		Workload:       traffic.UniformDemands(n.Topo.ByLayer(topo.LayerFSW), migrate.DefaultRoute, 100),
+		Invariants: []Invariant{
+			NoBlackholes(),
+			FunnelBound(fas(), 0.75),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Passed {
+		t.Fatalf("unsafe rollout passed qualification:\n%s", rep)
+	}
+	foundTransient := false
+	for _, v := range rep.Violations {
+		if v.Transient && strings.Contains(v.Invariant, "funnel-bound") {
+			foundTransient = true
+			if v.At <= 0 {
+				t.Error("violation has no timestamp")
+			}
+		}
+	}
+	if !foundTransient {
+		t.Fatalf("expected a transient funnel violation:\n%s", rep)
+	}
+	// Transient violations are deduplicated to the first occurrence.
+	count := 0
+	for _, v := range rep.Violations {
+		if v.Transient && strings.Contains(v.Invariant, "funnel-bound") {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Fatalf("transient violation recorded %d times, want 1", count)
+	}
+	if !strings.Contains(rep.String(), "FAIL") || !strings.Contains(rep.String(), "transient") {
+		t.Fatalf("report = %q", rep)
+	}
+}
+
+func TestQualifyCatchesSteadyStateViolation(t *testing.T) {
+	// An intent that does NOT deliver the expected RIB change fails the
+	// MinPaths post-check: here we "deploy" an empty config and demand the
+	// FA use two paths, which native selection will not do.
+	n := fig10Net(5)
+	rep, err := Run(Spec{
+		Name:           "expectation-miss",
+		Net:            n,
+		Intent:         controller.Intent{topo.FAID(0): {}},
+		OriginAltitude: topo.LayerEB.Altitude(),
+		Invariants: []Invariant{
+			MinPaths(topo.FAID(0), "0.0.0.0/0", 2),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Passed {
+		t.Fatal("expectation miss passed")
+	}
+	if rep.Violations[0].Transient {
+		t.Fatal("steady-state violation marked transient")
+	}
+}
+
+func TestQualifyRejectsInvalidIntent(t *testing.T) {
+	n := fig10Net(1)
+	rep, err := Run(Spec{
+		Name:   "invalid-config",
+		Net:    n,
+		Intent: controller.Intent{topo.FAID(0): {PathSelection: []core.PathSelectionStatement{{Name: ""}}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Passed {
+		t.Fatal("invalid intent passed qualification")
+	}
+	if rep.Violations[0].Invariant != "rollout" {
+		t.Fatalf("violations = %+v", rep.Violations)
+	}
+}
+
+func TestQualifyNoNetwork(t *testing.T) {
+	if _, err := Run(Spec{Name: "empty"}); err == nil {
+		t.Fatal("nil network accepted")
+	}
+}
+
+func TestInvariantEdgeCases(t *testing.T) {
+	// Invariants tolerate a nil traffic result (no workload configured).
+	for _, inv := range []Invariant{NoBlackholes(), NoLoops(), FunnelBound(nil, 0.5), MaxLinkUtilization(1)} {
+		if got := inv.Check(nil, nil); got != "" {
+			t.Errorf("%s with nil result = %q", inv.Name, got)
+		}
+	}
+	// MinPaths surfaces a bad prefix string as a violation detail.
+	n := fig10Net(2)
+	inv := MinPaths(topo.FAID(0), "bogus", 1)
+	if got := inv.Check(n, nil); !strings.Contains(got, "bad prefix") {
+		t.Errorf("bad prefix detail = %q", got)
+	}
+}

@@ -1,0 +1,146 @@
+package rpadebug
+
+import (
+	"net/netip"
+	"strings"
+	"testing"
+
+	"centralium/internal/controller"
+	"centralium/internal/core"
+	"centralium/internal/fabric"
+	"centralium/internal/migrate"
+	"centralium/internal/topo"
+)
+
+// rig stands up a small RPA-equipped network for inspection.
+func rig(t *testing.T) *fabric.Network {
+	t.Helper()
+	exp := topo.BuildExpansion(topo.ExpansionParams{SSWs: 2, FAv1s: 2, Edges: 2, FAv2s: 1})
+	exp.ActivateFAv2(0)
+	n := fabric.New(exp.Topology, fabric.Options{Seed: 1})
+	for i := 0; i < 2; i++ {
+		n.OriginateAt(topo.EBID(i), migrate.DefaultRoute, []string{migrate.BackboneCommunity}, 0)
+	}
+	n.Converge()
+	intent := controller.PathEqualizationIntent(exp.Topology, []topo.Layer{topo.LayerSSW}, migrate.BackboneCommunity)
+	for dev, cfg := range intent {
+		if err := n.DeployRPA(dev, cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n.Converge()
+	return n
+}
+
+func TestListRPAs(t *testing.T) {
+	n := rig(t)
+	out := ListRPAs(n, topo.SSWID(0, 0))
+	for _, want := range []string{"path-selection", "equalize", "community:BACKBONE_DEFAULT_ROUTE", "uplink-paths"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ListRPAs missing %q:\n%s", want, out)
+		}
+	}
+	// A device without RPAs.
+	out = ListRPAs(n, topo.FAv1ID(0))
+	if !strings.Contains(out, "no active RPAs") {
+		t.Errorf("expected empty-RPA notice:\n%s", out)
+	}
+	if !strings.Contains(ListRPAs(n, "ghost"), "no such device") {
+		t.Error("missing-device notice absent")
+	}
+}
+
+func TestExplainRoute(t *testing.T) {
+	n := rig(t)
+	out := ExplainRoute(n, topo.SSWID(0, 0), migrate.DefaultRoute)
+	for _, want := range []string{
+		"candidate route(s)",
+		"governing statement",
+		"ACTIVE: path set \"uplink-paths\"",
+		"FIB:",
+		"fav2.0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ExplainRoute missing %q:\n%s", want, out)
+		}
+	}
+	// Unknown prefix.
+	out = ExplainRoute(n, topo.SSWID(0, 0), netip.MustParsePrefix("203.0.113.0/24"))
+	if !strings.Contains(out, "no candidate routes") {
+		t.Errorf("expected empty-RIB notice:\n%s", out)
+	}
+	// Device without an RPA explains as native.
+	out = ExplainRoute(n, topo.FAv1ID(0), migrate.DefaultRoute)
+	if !strings.Contains(out, "native selection") {
+		t.Errorf("expected native notice:\n%s", out)
+	}
+	if !strings.Contains(ExplainRoute(n, "ghost", migrate.DefaultRoute), "no such device") {
+		t.Error("missing-device notice absent")
+	}
+}
+
+func TestDumpFIB(t *testing.T) {
+	n := rig(t)
+	out := DumpFIB(n, topo.SSWID(0, 0))
+	if !strings.Contains(out, "0.0.0.0/0") || !strings.Contains(out, "next-hop groups") {
+		t.Errorf("DumpFIB incomplete:\n%s", out)
+	}
+	if !strings.Contains(DumpFIB(n, "ghost"), "no such device") {
+		t.Error("missing-device notice absent")
+	}
+}
+
+func TestExplainWarmEntry(t *testing.T) {
+	// A warm FIB entry must be flagged in the explanation.
+	tp := topo.New()
+	tp.AddDevice(topo.Device{ID: "up0", Layer: topo.LayerFADU})
+	tp.AddDevice(topo.Device{ID: "up1", Layer: topo.LayerFADU})
+	tp.AddDevice(topo.Device{ID: "ssw", Layer: topo.LayerSSW})
+	tp.AddLink("ssw", "up0", 100)
+	tp.AddLink("ssw", "up1", 100)
+	n := fabric.New(tp, fabric.Options{Seed: 2})
+	n.OriginateAt("up0", migrate.DefaultRoute, []string{migrate.BackboneCommunity}, 0)
+	n.OriginateAt("up1", migrate.DefaultRoute, []string{migrate.BackboneCommunity}, 0)
+	n.Converge()
+	cfg := &core.Config{PathSelection: []core.PathSelectionStatement{{
+		Name:                     "protect",
+		Destination:              core.Destination{Community: migrate.BackboneCommunity},
+		BgpNativeMinNextHop:      core.MinNextHop{Percent: 75},
+		KeepFibWarmIfMnhViolated: true,
+		ExpectedNextHops:         2,
+	}}}
+	if err := n.DeployRPA("ssw", cfg); err != nil {
+		t.Fatal(err)
+	}
+	n.Converge()
+	n.SetDeviceUp("up1", false)
+	n.Converge()
+	out := ExplainRoute(n, "ssw", migrate.DefaultRoute)
+	if !strings.Contains(out, "WARM") {
+		t.Errorf("warm entry not flagged:\n%s", out)
+	}
+	if !strings.Contains(out, "native fallback, constrained") {
+		t.Errorf("native constraint not shown:\n%s", out)
+	}
+}
+
+func TestFormatterEdgeCases(t *testing.T) {
+	if got := sigString(core.PathSignature{}); got != "<any path>" {
+		t.Errorf("sigString zero = %q", got)
+	}
+	if got := destString(core.Destination{}); got != "<all>" {
+		t.Errorf("destString zero = %q", got)
+	}
+	if got := destString(core.Destination{Prefixes: []string{"10.0.0.0/8"}}); !strings.Contains(got, "10.0.0.0/8") {
+		t.Errorf("destString prefixes = %q", got)
+	}
+	if got := mnhString(core.MinNextHop{Count: 2, Percent: 50}); got != "max(2, 50%)" {
+		t.Errorf("mnhString = %q", got)
+	}
+	if got := rulesString(nil); got != "<nothing>" {
+		t.Errorf("rulesString empty = %q", got)
+	}
+	if got := rulesString([]core.PrefixRule{{Prefix: "10.0.0.0/8", MinMaskLength: 8, MaxMaskLength: 24}}); !strings.Contains(got, "le 24 ge 8") {
+		t.Errorf("rulesString = %q", got)
+	}
+}

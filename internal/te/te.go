@@ -1,0 +1,230 @@
+// Package te implements the centralized traffic-engineering algorithm of
+// Section 6.4: given the (possibly maintenance-degraded) capacities of the
+// parallel paths between the DCN and the backbone, it computes WCMP weights
+// that minimize the maximum link utilization, and compares against the ECMP
+// and ideal (fractional) WCMP baselines of Figure 13. Weights are emitted
+// as Route Attribute RPA statements for deployment through the controller.
+package te
+
+import (
+	"fmt"
+	"math"
+	"regexp"
+	"sort"
+
+	"centralium/internal/core"
+)
+
+// Path is one parallel forwarding path with its current usable capacity.
+// Zero capacity means the path is down (drained for maintenance).
+type Path struct {
+	ID           string // next-hop device name
+	CapacityGbps float64
+}
+
+// TotalCapacity sums usable capacities.
+func TotalCapacity(paths []Path) float64 {
+	sum := 0.0
+	for _, p := range paths {
+		if p.CapacityGbps > 0 {
+			sum += p.CapacityGbps
+		}
+	}
+	return sum
+}
+
+// ECMPWeights returns equal weights over all live paths — the distributed
+// baseline. Dead paths get weight 0.
+func ECMPWeights(paths []Path) []int {
+	w := make([]int, len(paths))
+	for i, p := range paths {
+		if p.CapacityGbps > 0 {
+			w[i] = 1
+		}
+	}
+	return w
+}
+
+// IdealFractions returns the optimal fractional split (proportional to
+// capacity), the "ideal WCMP" upper bound of Figure 13.
+func IdealFractions(paths []Path) []float64 {
+	total := TotalCapacity(paths)
+	f := make([]float64, len(paths))
+	if total <= 0 {
+		return f
+	}
+	for i, p := range paths {
+		if p.CapacityGbps > 0 {
+			f[i] = p.CapacityGbps / total
+		}
+	}
+	return f
+}
+
+// DefaultMaxWeight bounds integer WCMP weights; hardware replicates group
+// members by weight, so the member-table footprint caps the precision.
+const DefaultMaxWeight = 64
+
+// Weights computes Centralium's TE weights: capacity-proportional integers
+// quantized so the largest weight is at most maxWeight (values <= 0 get
+// DefaultMaxWeight). Every live path keeps at least weight 1 so it remains
+// in the group.
+func Weights(paths []Path, maxWeight int) []int {
+	if maxWeight <= 0 {
+		maxWeight = DefaultMaxWeight
+	}
+	w := make([]int, len(paths))
+	maxCap := 0.0
+	for _, p := range paths {
+		if p.CapacityGbps > maxCap {
+			maxCap = p.CapacityGbps
+		}
+	}
+	if maxCap <= 0 {
+		return w
+	}
+	for i, p := range paths {
+		if p.CapacityGbps <= 0 {
+			continue
+		}
+		scaled := int(math.Round(p.CapacityGbps / maxCap * float64(maxWeight)))
+		if scaled < 1 {
+			scaled = 1
+		}
+		w[i] = scaled
+	}
+	return reduceByGCD(w)
+}
+
+func reduceByGCD(w []int) []int {
+	g := 0
+	for _, v := range w {
+		g = gcd(g, v)
+	}
+	if g <= 1 {
+		return w
+	}
+	out := make([]int, len(w))
+	for i, v := range w {
+		out[i] = v / g
+	}
+	return out
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	if a < 0 {
+		return -a
+	}
+	return a
+}
+
+// EffectiveCapacity returns the largest total demand the weight assignment
+// can carry with no path exceeding its capacity: min over live paths of
+// c_i * W / w_i. It is the "effective network capacity" metric of Figure 13
+// ("the amount of traffic that can be handled without congestion").
+func EffectiveCapacity(paths []Path, weights []int) float64 {
+	totalW := 0
+	for i, w := range weights {
+		if w > 0 && paths[i].CapacityGbps > 0 {
+			totalW += w
+		}
+	}
+	if totalW == 0 {
+		return 0
+	}
+	eff := math.Inf(1)
+	for i, w := range weights {
+		if w <= 0 {
+			continue
+		}
+		if paths[i].CapacityGbps <= 0 {
+			return 0 // weight on a dead path: nothing is deliverable safely
+		}
+		if cap := paths[i].CapacityGbps * float64(totalW) / float64(w); cap < eff {
+			eff = cap
+		}
+	}
+	return eff
+}
+
+// EffectiveCapacityFractions is EffectiveCapacity for a fractional split.
+func EffectiveCapacityFractions(paths []Path, fractions []float64) float64 {
+	eff := math.Inf(1)
+	any := false
+	for i, f := range fractions {
+		if f <= 0 {
+			continue
+		}
+		if paths[i].CapacityGbps <= 0 {
+			return 0
+		}
+		any = true
+		if cap := paths[i].CapacityGbps / f; cap < eff {
+			eff = cap
+		}
+	}
+	if !any {
+		return 0
+	}
+	return eff
+}
+
+// MaxUtilization returns the highest per-path utilization when `demand` is
+// split by the weights. Infinite if weight sits on a dead path.
+func MaxUtilization(paths []Path, weights []int, demand float64) float64 {
+	totalW := 0
+	for _, w := range weights {
+		if w > 0 {
+			totalW += w
+		}
+	}
+	if totalW == 0 {
+		if demand > 0 {
+			return math.Inf(1)
+		}
+		return 0
+	}
+	max := 0.0
+	for i, w := range weights {
+		if w <= 0 {
+			continue
+		}
+		load := demand * float64(w) / float64(totalW)
+		if paths[i].CapacityGbps <= 0 {
+			return math.Inf(1)
+		}
+		if u := load / paths[i].CapacityGbps; u > max {
+			max = u
+		}
+	}
+	return max
+}
+
+// BuildRouteAttributeRPA converts a TE weight assignment into the Route
+// Attribute RPA statement the controller deploys (Section 4.3: "operators
+// can update prescribed weights using an RPA in anticipation of upcoming
+// maintenance"). Each path gets an exact-match next-hop signature.
+func BuildRouteAttributeRPA(name string, dest core.Destination, paths []Path, weights []int, expiresAt int64) core.RouteAttributeStatement {
+	st := core.RouteAttributeStatement{
+		Name:        name,
+		Destination: dest,
+		ExpiresAt:   expiresAt,
+	}
+	idx := make([]int, len(paths))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return paths[idx[a]].ID < paths[idx[b]].ID })
+	for _, i := range idx {
+		st.NextHopWeights = append(st.NextHopWeights, core.NextHopWeight{
+			Signature: core.PathSignature{
+				NextHopRegex: fmt.Sprintf("^%s$", regexp.QuoteMeta(paths[i].ID)),
+			},
+			Weight: weights[i],
+		})
+	}
+	return st
+}

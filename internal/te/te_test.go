@@ -1,0 +1,185 @@
+package te
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"centralium/internal/core"
+)
+
+func symmetric(n int, cap float64) []Path {
+	out := make([]Path, n)
+	for i := range out {
+		out[i] = Path{ID: string(rune('a' + i)), CapacityGbps: cap}
+	}
+	return out
+}
+
+func TestECMPWeights(t *testing.T) {
+	paths := symmetric(4, 100)
+	paths[2].CapacityGbps = 0 // down
+	w := ECMPWeights(paths)
+	want := []int{1, 1, 0, 1}
+	for i := range want {
+		if w[i] != want[i] {
+			t.Fatalf("ECMPWeights = %v, want %v", w, want)
+		}
+	}
+}
+
+func TestIdealFractionsSumToOne(t *testing.T) {
+	paths := []Path{{"a", 300}, {"b", 100}}
+	f := IdealFractions(paths)
+	if math.Abs(f[0]-0.75) > 1e-9 || math.Abs(f[1]-0.25) > 1e-9 {
+		t.Fatalf("fractions = %v", f)
+	}
+	if got := IdealFractions(symmetric(2, 0)); got[0] != 0 || got[1] != 0 {
+		t.Fatalf("dead paths fractions = %v", got)
+	}
+}
+
+func TestWeightsProportional(t *testing.T) {
+	paths := []Path{{"a", 400}, {"b", 100}, {"c", 0}}
+	w := Weights(paths, 64)
+	if w[2] != 0 {
+		t.Fatalf("dead path weight = %d", w[2])
+	}
+	if w[0] != 4*w[1] {
+		t.Fatalf("weights = %v, want 4:1", w)
+	}
+}
+
+func TestWeightsMinimumOne(t *testing.T) {
+	// A tiny-capacity path must keep weight >= 1 to stay in the group.
+	paths := []Path{{"big", 10000}, {"small", 1}}
+	w := Weights(paths, 16)
+	if w[1] < 1 {
+		t.Fatalf("small path weight = %d, want >= 1", w[1])
+	}
+}
+
+func TestWeightsGCDReduced(t *testing.T) {
+	paths := []Path{{"a", 200}, {"b", 200}}
+	w := Weights(paths, 64)
+	if w[0] != 1 || w[1] != 1 {
+		t.Fatalf("weights = %v, want reduced [1 1]", w)
+	}
+}
+
+func TestEffectiveCapacitySymmetric(t *testing.T) {
+	paths := symmetric(4, 100)
+	// Symmetric: ECMP is already optimal.
+	if got := EffectiveCapacity(paths, ECMPWeights(paths)); math.Abs(got-400) > 1e-9 {
+		t.Fatalf("ECMP effective = %v, want 400", got)
+	}
+	if got := EffectiveCapacityFractions(paths, IdealFractions(paths)); math.Abs(got-400) > 1e-9 {
+		t.Fatalf("ideal effective = %v, want 400", got)
+	}
+}
+
+func TestEffectiveCapacityAsymmetric(t *testing.T) {
+	// Maintenance halves one path: ECMP is limited by the weakest member,
+	// TE recovers nearly all capacity — the Figure 13 relationship.
+	paths := []Path{{"a", 100}, {"b", 100}, {"c", 100}, {"d", 50}}
+	total := TotalCapacity(paths) // 350
+
+	ecmp := EffectiveCapacity(paths, ECMPWeights(paths))
+	if math.Abs(ecmp-200) > 1e-9 { // 4 * min(100,50)
+		t.Fatalf("ECMP effective = %v, want 200", ecmp)
+	}
+	ideal := EffectiveCapacityFractions(paths, IdealFractions(paths))
+	if math.Abs(ideal-total) > 1e-9 {
+		t.Fatalf("ideal effective = %v, want %v", ideal, total)
+	}
+	teCap := EffectiveCapacity(paths, Weights(paths, 64))
+	if teCap <= ecmp {
+		t.Fatalf("TE (%v) must beat ECMP (%v)", teCap, ecmp)
+	}
+	if teCap > ideal+1e-9 {
+		t.Fatalf("TE (%v) cannot beat ideal (%v)", teCap, ideal)
+	}
+	if teCap < 0.95*ideal {
+		t.Fatalf("TE (%v) should be near-optimal vs ideal (%v)", teCap, ideal)
+	}
+}
+
+func TestEffectiveCapacityDegenerate(t *testing.T) {
+	paths := symmetric(2, 100)
+	if got := EffectiveCapacity(paths, []int{0, 0}); got != 0 {
+		t.Fatalf("no weights effective = %v", got)
+	}
+	// Weight on a dead path: zero safe capacity.
+	paths[1].CapacityGbps = 0
+	if got := EffectiveCapacity(paths, []int{1, 1}); got != 0 {
+		t.Fatalf("dead-path weight effective = %v", got)
+	}
+	if got := EffectiveCapacityFractions(paths, []float64{0.5, 0.5}); got != 0 {
+		t.Fatalf("dead-path fraction effective = %v", got)
+	}
+	if got := EffectiveCapacityFractions(paths, []float64{0, 0}); got != 0 {
+		t.Fatalf("zero fractions effective = %v", got)
+	}
+}
+
+func TestMaxUtilization(t *testing.T) {
+	paths := []Path{{"a", 100}, {"b", 50}}
+	w := []int{2, 1}
+	// demand 120 -> a carries 80 (0.8), b carries 40 (0.8).
+	if got := MaxUtilization(paths, w, 120); math.Abs(got-0.8) > 1e-9 {
+		t.Fatalf("MaxUtilization = %v, want 0.8", got)
+	}
+	if got := MaxUtilization(paths, []int{0, 0}, 10); !math.IsInf(got, 1) {
+		t.Fatalf("no-weight utilization = %v, want +Inf", got)
+	}
+	if got := MaxUtilization(paths, []int{0, 0}, 0); got != 0 {
+		t.Fatalf("no-demand utilization = %v, want 0", got)
+	}
+	dead := []Path{{"a", 0}}
+	if got := MaxUtilization(dead, []int{1}, 10); !math.IsInf(got, 1) {
+		t.Fatalf("dead-path utilization = %v, want +Inf", got)
+	}
+}
+
+func TestTEOrderingProperty(t *testing.T) {
+	// Property: for any capacity vector, ECMP <= TE <= ideal (within
+	// floating tolerance).
+	f := func(caps [6]uint16) bool {
+		paths := make([]Path, 0, len(caps))
+		for i, c := range caps {
+			paths = append(paths, Path{ID: string(rune('a' + i)), CapacityGbps: float64(c%400) + 1})
+		}
+		ecmp := EffectiveCapacity(paths, ECMPWeights(paths))
+		teCap := EffectiveCapacity(paths, Weights(paths, 64))
+		ideal := EffectiveCapacityFractions(paths, IdealFractions(paths))
+		return ecmp <= teCap+1e-6 && teCap <= ideal+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBuildRouteAttributeRPA(t *testing.T) {
+	paths := []Path{{"eb.1", 100}, {"eb.0", 300}}
+	w := Weights(paths, 64)
+	st := BuildRouteAttributeRPA("te", core.Destination{Community: "TE"}, paths, w, 12345)
+	if st.ExpiresAt != 12345 || st.Name != "te" {
+		t.Fatalf("statement = %+v", st)
+	}
+	if len(st.NextHopWeights) != 2 {
+		t.Fatalf("weights = %+v", st.NextHopWeights)
+	}
+	// Sorted by path ID: eb.0 first with the larger weight.
+	if st.NextHopWeights[0].Signature.NextHopRegex != "^eb\\.0$" {
+		t.Fatalf("signature = %q", st.NextHopWeights[0].Signature.NextHopRegex)
+	}
+	ratio := float64(st.NextHopWeights[0].Weight) / float64(st.NextHopWeights[1].Weight)
+	if ratio < 2.8 || ratio > 3.2 {
+		t.Fatalf("weights = %+v, want ~3:1", st.NextHopWeights)
+	}
+	// The statement must pass core validation.
+	cfg := &core.Config{RouteAttribute: []core.RouteAttributeStatement{st}}
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("generated statement invalid: %v", err)
+	}
+}

@@ -1,0 +1,65 @@
+package topo
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Serialization: topologies export to and import from a plain JSON document
+// so tools (fabsim, qualification suites, external generators) can exchange
+// fabric descriptions. ASNs are preserved exactly; Validate runs on import.
+
+// document is the on-disk topology schema.
+type document struct {
+	Devices []Device `json:"devices"`
+	Links   []Link   `json:"links"`
+}
+
+// ExportJSON renders the topology as indented JSON.
+func (t *Topology) ExportJSON() ([]byte, error) {
+	doc := document{Devices: nil, Links: t.links}
+	for _, d := range t.Devices() {
+		doc.Devices = append(doc.Devices, *d)
+	}
+	return json.MarshalIndent(doc, "", "  ")
+}
+
+// ImportJSON parses a topology document, validates it, and returns the
+// topology. Devices keep their serialized ASNs; the internal allocator
+// resumes above the highest one so later AddDevice calls stay collision
+// free.
+func ImportJSON(data []byte) (*Topology, error) {
+	var doc document
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("topo: parse topology: %w", err)
+	}
+	t := New()
+	maxASN := t.nextASN - 1
+	for _, d := range doc.Devices {
+		if d.ID == "" {
+			return nil, fmt.Errorf("topo: device with empty ID")
+		}
+		if _, dup := t.devices[d.ID]; dup {
+			return nil, fmt.Errorf("topo: duplicate device %q", d.ID)
+		}
+		dev := d
+		t.devices[d.ID] = &dev
+		if d.ASN > maxASN {
+			maxASN = d.ASN
+		}
+	}
+	t.nextASN = maxASN + 1
+	for i, l := range doc.Links {
+		if _, ok := t.devices[l.A]; !ok {
+			return nil, fmt.Errorf("topo: link %d references missing device %q", i, l.A)
+		}
+		if _, ok := t.devices[l.B]; !ok {
+			return nil, fmt.Errorf("topo: link %d references missing device %q", i, l.B)
+		}
+		t.AddLink(l.A, l.B, l.CapacityGbps)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

@@ -1,0 +1,121 @@
+package traffic
+
+import (
+	"hash/fnv"
+	"net/netip"
+
+	"centralium/internal/bgp"
+	"centralium/internal/fabric"
+	"centralium/internal/fib"
+	"centralium/internal/topo"
+)
+
+// Flow is a five-tuple-like flow identity used for hash placement.
+type Flow struct {
+	SrcIP, DstIP     uint32
+	SrcPort, DstPort uint16
+	Proto            uint8
+}
+
+// PlaceFlow picks a next hop for the flow by weighted rendezvous-style
+// hashing over the next-hop set, matching how hardware WCMP spreads flows
+// (weight-replicated ECMP member table). The choice is deterministic per
+// (flow, group).
+func PlaceFlow(f Flow, hops []fib.NextHop) (fib.NextHop, bool) {
+	total := 0
+	for _, h := range hops {
+		if h.Weight > 0 {
+			total += h.Weight
+		}
+	}
+	if total == 0 {
+		return fib.NextHop{}, false
+	}
+	h := fnv.New32a()
+	var buf [13]byte
+	put32 := func(off int, v uint32) {
+		buf[off] = byte(v >> 24)
+		buf[off+1] = byte(v >> 16)
+		buf[off+2] = byte(v >> 8)
+		buf[off+3] = byte(v)
+	}
+	put32(0, f.SrcIP)
+	put32(4, f.DstIP)
+	buf[8] = byte(f.SrcPort >> 8)
+	buf[9] = byte(f.SrcPort)
+	buf[10] = byte(f.DstPort >> 8)
+	buf[11] = byte(f.DstPort)
+	buf[12] = f.Proto
+	h.Write(buf[:])
+	slot := int(h.Sum32()) % total
+	if slot < 0 {
+		slot += total
+	}
+	for _, hop := range hops {
+		if hop.Weight <= 0 {
+			continue
+		}
+		if slot < hop.Weight {
+			return hop, true
+		}
+		slot -= hop.Weight
+	}
+	return fib.NextHop{}, false // unreachable
+}
+
+// FlowOutcome classifies one flow walk.
+type FlowOutcome int
+
+// Flow walk outcomes.
+const (
+	// FlowDelivered reached a device originating the destination.
+	FlowDelivered FlowOutcome = iota
+	// FlowBlackholed hit a device with no matching FIB entry.
+	FlowBlackholed
+	// FlowLooped revisited a device — with deterministic per-flow hashing
+	// this is a persistent forwarding loop, not a transient.
+	FlowLooped
+)
+
+// String names the outcome.
+func (o FlowOutcome) String() string {
+	switch o {
+	case FlowDelivered:
+		return "delivered"
+	case FlowBlackholed:
+		return "blackholed"
+	default:
+		return "looped"
+	}
+}
+
+// WalkFlow traces one flow hop by hop using deterministic WCMP hashing —
+// the packet-level view the fluid model cannot provide. A flow that enters
+// a forwarding loop is detected by device revisit: since per-flow hashing
+// is deterministic, revisiting a device means the flow cycles forever.
+func WalkFlow(net *fabric.Network, source topo.DeviceID, dst netip.Addr, f Flow) FlowOutcome {
+	visited := map[topo.DeviceID]bool{}
+	dev := source
+	for {
+		if visited[dev] {
+			return FlowLooped
+		}
+		visited[dev] = true
+		hops := net.Node(dev).Speaker.FIB().LookupLPM(dst)
+		if len(hops) == 0 {
+			return FlowBlackholed
+		}
+		hop, ok := PlaceFlow(f, hops)
+		if !ok {
+			return FlowBlackholed
+		}
+		if hop.ID == bgp.LocalNextHop {
+			return FlowDelivered
+		}
+		peer, ok := net.SessionPeer(dev, bgp.SessionID(hop.ID))
+		if !ok {
+			return FlowBlackholed
+		}
+		dev = peer
+	}
+}

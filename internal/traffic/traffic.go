@@ -1,0 +1,205 @@
+// Package traffic evaluates forwarding state: it propagates traffic demands
+// through the emulated fabric's FIBs as a fluid (fractional) flow and
+// reports per-device and per-link loads, deliveries, black-holed volume,
+// and volume caught in forwarding loops. The funneling metrics of the
+// paper's Figures 2 and 4 and the utilization input to Figure 13 are all
+// computed here. A hash-based flow placer is also provided to sanity-check
+// that WCMP hashing realizes the fluid weights.
+package traffic
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+
+	"centralium/internal/fabric"
+	"centralium/internal/topo"
+)
+
+// Demand is a traffic demand: Volume (arbitrary units, conventionally Gbps)
+// injected at Source toward a destination prefix. Forwarding uses
+// longest-prefix match on the prefix's representative address, so demands
+// toward an aggregate follow more-specific routes where they exist
+// (the Figure 14 SEV depends on exactly that).
+type Demand struct {
+	Source topo.DeviceID
+	Prefix netip.Prefix
+	Volume float64
+}
+
+// LinkKey identifies a directed device-to-device hop.
+type LinkKey struct {
+	From, To topo.DeviceID
+}
+
+// String renders "from->to".
+func (k LinkKey) String() string { return fmt.Sprintf("%s->%s", k.From, k.To) }
+
+// Result is the outcome of propagating a demand set.
+type Result struct {
+	// DeviceLoad is the volume processed (received or injected) per device.
+	DeviceLoad map[topo.DeviceID]float64
+	// LinkLoad is the directed volume per device pair.
+	LinkLoad map[LinkKey]float64
+	// Delivered is the volume that reached a device originating the prefix.
+	Delivered float64
+	// Blackholed is the volume that arrived at a device with no FIB entry.
+	Blackholed float64
+	// Looped is the volume still circulating after MaxHops (a forwarding
+	// loop).
+	Looped float64
+	// Injected is the total demand volume.
+	Injected float64
+}
+
+// epsilon below which residual volume is considered zero.
+const epsilon = 1e-9
+
+// Propagator pushes demands through a network's FIBs.
+type Propagator struct {
+	Net *fabric.Network
+	// MaxHops bounds propagation; volume still moving afterwards counts as
+	// looped. Zero gets 4x the device count (far above any real diameter).
+	MaxHops int
+}
+
+// Run propagates all demands and aggregates the result.
+func (pr *Propagator) Run(demands []Demand) *Result {
+	maxHops := pr.MaxHops
+	if maxHops <= 0 {
+		maxHops = 4 * pr.Net.Topo.NumDevices()
+		if maxHops < 32 {
+			maxHops = 32
+		}
+	}
+	res := &Result{
+		DeviceLoad: make(map[topo.DeviceID]float64),
+		LinkLoad:   make(map[LinkKey]float64),
+	}
+	for _, d := range demands {
+		pr.runOne(d, maxHops, res)
+	}
+	return res
+}
+
+func (pr *Propagator) runOne(d Demand, maxHops int, res *Result) {
+	res.Injected += d.Volume
+	frontier := map[topo.DeviceID]float64{d.Source: d.Volume}
+	for hop := 0; hop < maxHops && len(frontier) > 0; hop++ {
+		next := make(map[topo.DeviceID]float64)
+		// Deterministic iteration order.
+		devs := make([]topo.DeviceID, 0, len(frontier))
+		for dev := range frontier {
+			devs = append(devs, dev)
+		}
+		sort.Slice(devs, func(i, j int) bool { return devs[i] < devs[j] })
+		for _, dev := range devs {
+			vol := frontier[dev]
+			res.DeviceLoad[dev] += vol
+			nh := pr.Net.NextHopWeightsAddr(dev, d.Prefix.Addr())
+			if len(nh) == 0 {
+				res.Blackholed += vol
+				continue
+			}
+			total := 0
+			for _, w := range nh {
+				total += w
+			}
+			if total <= 0 {
+				res.Blackholed += vol
+				continue
+			}
+			for peer, w := range nh {
+				share := vol * float64(w) / float64(total)
+				if share < epsilon {
+					continue
+				}
+				if peer == dev {
+					res.Delivered += share // local delivery at the origin
+					continue
+				}
+				res.LinkLoad[LinkKey{From: dev, To: peer}] += share
+				next[peer] += share
+			}
+		}
+		frontier = next
+	}
+	for _, vol := range frontier {
+		res.Looped += vol
+	}
+}
+
+// MaxDeviceShare returns the largest fraction of injected volume processed
+// by any single device in the given set — the funneling metric. It returns
+// the device and its share; share is 0 for an empty set or no traffic.
+func (r *Result) MaxDeviceShare(devices []topo.DeviceID) (topo.DeviceID, float64) {
+	if r.Injected <= 0 {
+		return "", 0
+	}
+	var worst topo.DeviceID
+	max := 0.0
+	for _, dev := range devices {
+		if share := r.DeviceLoad[dev] / r.Injected; share > max || (share == max && (worst == "" || dev < worst)) {
+			worst, max = dev, share
+		}
+	}
+	return worst, max
+}
+
+// DeliveredFraction is Delivered/Injected (0 when nothing was injected).
+func (r *Result) DeliveredFraction() float64 {
+	if r.Injected <= 0 {
+		return 0
+	}
+	return r.Delivered / r.Injected
+}
+
+// BlackholedFraction is Blackholed/Injected.
+func (r *Result) BlackholedFraction() float64 {
+	if r.Injected <= 0 {
+		return 0
+	}
+	return r.Blackholed / r.Injected
+}
+
+// HasLoop reports whether any measurable volume was still circulating.
+func (r *Result) HasLoop() bool { return r.Looped > 1e-6 }
+
+// Utilization returns per-directed-hop utilization given the topology's
+// link capacities (parallel links aggregate). Hops without matching
+// topology links (e.g. local delivery) are skipped.
+func (r *Result) Utilization(t *topo.Topology) map[LinkKey]float64 {
+	caps := make(map[LinkKey]float64)
+	for _, l := range t.Links() {
+		caps[LinkKey{From: l.A, To: l.B}] += l.CapacityGbps
+		caps[LinkKey{From: l.B, To: l.A}] += l.CapacityGbps
+	}
+	out := make(map[LinkKey]float64)
+	for k, load := range r.LinkLoad {
+		if c := caps[k]; c > 0 {
+			out[k] = load / c
+		}
+	}
+	return out
+}
+
+// MaxUtilization returns the highest directed-hop utilization, or 0.
+func (r *Result) MaxUtilization(t *topo.Topology) float64 {
+	max := 0.0
+	for _, u := range r.Utilization(t) {
+		if u > max {
+			max = u
+		}
+	}
+	return max
+}
+
+// UniformDemands builds one equal-volume demand per source device toward
+// the prefix — the workload used by the funneling experiments.
+func UniformDemands(sources []*topo.Device, p netip.Prefix, perSource float64) []Demand {
+	out := make([]Demand, 0, len(sources))
+	for _, s := range sources {
+		out = append(out, Demand{Source: s.ID, Prefix: p, Volume: perSource})
+	}
+	return out
+}

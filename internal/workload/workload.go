@@ -1,0 +1,106 @@
+// Package workload generates production-style routing and traffic
+// workloads for the emulated fabric: per-rack prefix origination (the
+// "production prefixes" BGP carries in Section 2) and east-west traffic
+// matrices between racks. The Section 3 experiments mostly exercise
+// northbound default-route traffic; this package exercises the any-to-any
+// forwarding that a real fabric carries, at RIB/FIB sizes that scale with
+// the topology.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+
+	"centralium/internal/fabric"
+	"centralium/internal/topo"
+	"centralium/internal/traffic"
+)
+
+// RackCommunity tags rack-originated production prefixes.
+const RackCommunity = "RACK_PREFIX"
+
+// RackPrefix returns the conventional /24 for rack i of a pod.
+func RackPrefix(pod, rack int) netip.Prefix {
+	return netip.MustParsePrefix(fmt.Sprintf("10.%d.%d.0/24", pod+1, rack))
+}
+
+// SeedRackPrefixes originates one /24 per RSW (its rack's production
+// prefix) and returns prefix->origin. The caller converges the network.
+func SeedRackPrefixes(n *fabric.Network) map[netip.Prefix]topo.DeviceID {
+	out := make(map[netip.Prefix]topo.DeviceID)
+	for _, rsw := range n.Topo.ByLayer(topo.LayerRSW) {
+		p := RackPrefix(rsw.Pod, rsw.Index)
+		n.OriginateAt(rsw.ID, p, []string{RackCommunity}, 0)
+		out[p] = rsw.ID
+	}
+	return out
+}
+
+// EastWestDemands builds a sampled all-pairs traffic matrix: every RSW
+// sends perFlow volume toward `fanout` other racks' prefixes, chosen
+// deterministically from seed. fanout <= 0 means all other racks.
+func EastWestDemands(n *fabric.Network, prefixes map[netip.Prefix]topo.DeviceID, perFlow float64, fanout int, seed int64) []traffic.Demand {
+	rng := rand.New(rand.NewSource(seed))
+	var plist []netip.Prefix
+	for p := range prefixes {
+		plist = append(plist, p)
+	}
+	// Deterministic order before shuffling.
+	sortPrefixes(plist)
+
+	var out []traffic.Demand
+	for _, rsw := range n.Topo.ByLayer(topo.LayerRSW) {
+		perm := rng.Perm(len(plist))
+		count := 0
+		for _, pi := range perm {
+			p := plist[pi]
+			if prefixes[p] == rsw.ID {
+				continue // no self-traffic
+			}
+			out = append(out, traffic.Demand{Source: rsw.ID, Prefix: p, Volume: perFlow})
+			count++
+			if fanout > 0 && count >= fanout {
+				break
+			}
+		}
+	}
+	return out
+}
+
+func sortPrefixes(ps []netip.Prefix) {
+	for i := 1; i < len(ps); i++ {
+		for j := i; j > 0 && ps[j].String() < ps[j-1].String(); j-- {
+			ps[j], ps[j-1] = ps[j-1], ps[j]
+		}
+	}
+}
+
+// ReachabilityReport summarizes an any-to-any forwarding check.
+type ReachabilityReport struct {
+	Flows       int
+	Delivered   float64
+	Blackholed  float64
+	Looped      float64
+	MaxLinkUtil float64
+}
+
+// CheckAnyToAny propagates the demand set and summarizes delivery.
+func CheckAnyToAny(n *fabric.Network, demands []traffic.Demand) ReachabilityReport {
+	pr := &traffic.Propagator{Net: n}
+	res := pr.Run(demands)
+	return ReachabilityReport{
+		Flows:       len(demands),
+		Delivered:   res.DeliveredFraction(),
+		Blackholed:  res.BlackholedFraction(),
+		Looped:      res.Looped / maxFloat(res.Injected, 1),
+		MaxLinkUtil: res.MaxUtilization(n.Topo),
+	}
+}
+
+func maxFloat(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,103 @@
+package workload
+
+import (
+	"testing"
+
+	"centralium/internal/fabric"
+	"centralium/internal/topo"
+)
+
+func TestRackPrefixNaming(t *testing.T) {
+	p := RackPrefix(0, 3)
+	if p.String() != "10.1.3.0/24" {
+		t.Fatalf("RackPrefix = %v", p)
+	}
+	// Distinct racks get distinct prefixes.
+	if RackPrefix(0, 1) == RackPrefix(1, 1) || RackPrefix(0, 1) == RackPrefix(0, 2) {
+		t.Fatal("prefix collision")
+	}
+}
+
+func TestSeedAndEastWest(t *testing.T) {
+	tp := topo.BuildFabric(topo.FabricParams{})
+	n := fabric.New(tp, fabric.Options{Seed: 31})
+	prefixes := SeedRackPrefixes(n)
+	n.Converge()
+
+	rsws := tp.ByLayer(topo.LayerRSW)
+	if len(prefixes) != len(rsws) {
+		t.Fatalf("prefixes = %d, want one per RSW (%d)", len(prefixes), len(rsws))
+	}
+	// Every rack prefix is in every other RSW's FIB after convergence.
+	for p, origin := range prefixes {
+		for _, rsw := range rsws {
+			if rsw.ID == origin {
+				continue
+			}
+			if n.Speaker(rsw.ID).FIB().Lookup(p) == nil {
+				t.Fatalf("%s missing route to %v", rsw.ID, p)
+			}
+		}
+	}
+
+	// Full-fanout east-west traffic delivers everything.
+	demands := EastWestDemands(n, prefixes, 1, 0, 1)
+	wantFlows := len(rsws) * (len(rsws) - 1)
+	if len(demands) != wantFlows {
+		t.Fatalf("demands = %d, want %d", len(demands), wantFlows)
+	}
+	rep := CheckAnyToAny(n, demands)
+	if rep.Delivered < 0.999 {
+		t.Fatalf("delivered = %v, want ~1", rep.Delivered)
+	}
+	if rep.Blackholed > 0 || rep.Looped > 1e-9 {
+		t.Fatalf("loss: %+v", rep)
+	}
+	if rep.MaxLinkUtil <= 0 {
+		t.Fatal("no link utilization recorded")
+	}
+}
+
+func TestEastWestFanoutSampling(t *testing.T) {
+	tp := topo.BuildFabric(topo.FabricParams{})
+	n := fabric.New(tp, fabric.Options{Seed: 5})
+	prefixes := SeedRackPrefixes(n)
+	n.Converge()
+	rsws := len(tp.ByLayer(topo.LayerRSW))
+
+	demands := EastWestDemands(n, prefixes, 2, 3, 7)
+	if len(demands) != rsws*3 {
+		t.Fatalf("demands = %d, want %d", len(demands), rsws*3)
+	}
+	for _, d := range demands {
+		if prefixes[d.Prefix] == d.Source {
+			t.Fatalf("self-traffic generated: %+v", d)
+		}
+		if d.Volume != 2 {
+			t.Fatalf("volume = %v", d.Volume)
+		}
+	}
+	// Deterministic for a fixed seed.
+	again := EastWestDemands(n, prefixes, 2, 3, 7)
+	for i := range demands {
+		if demands[i] != again[i] {
+			t.Fatal("sampling not deterministic")
+		}
+	}
+}
+
+func TestEastWestSurvivesFailure(t *testing.T) {
+	tp := topo.BuildFabric(topo.FabricParams{})
+	n := fabric.New(tp, fabric.Options{Seed: 11})
+	prefixes := SeedRackPrefixes(n)
+	n.Converge()
+
+	// Fail one FSW: east-west traffic between pods still delivers fully
+	// (Clos redundancy), at convergence.
+	n.SetDeviceUp(topo.FSWID(0, 1), false)
+	n.Converge()
+	rep := CheckAnyToAny(n, EastWestDemands(n, prefixes, 1, 4, 3))
+	if rep.Delivered < 0.999 || rep.Blackholed > 0 {
+		t.Fatalf("loss after FSW failure: %+v", rep)
+	}
+}
