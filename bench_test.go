@@ -27,6 +27,7 @@ import (
 	"centralium/internal/migrate"
 	"centralium/internal/openr"
 	"centralium/internal/qualify"
+	"centralium/internal/telemetry"
 	"centralium/internal/topo"
 	"centralium/internal/traffic"
 	"centralium/internal/workload"
@@ -325,6 +326,40 @@ func BenchmarkSpeakerDecision(b *testing.B) {
 		})
 		s.TakeOutbox()
 	}
+}
+
+// BenchmarkTapDisabled guards the telemetry tap's zero-cost-when-disabled
+// contract on the speaker hot path: with no tap attached, HandleUpdate must
+// run exactly as fast (and allocate exactly as much) as before the tap
+// existed. The enabled sub-benchmark uses a no-op tap to price the hooks
+// themselves, separate from any consumer's work.
+func BenchmarkTapDisabled(b *testing.B) {
+	bench := func(b *testing.B, tap telemetry.Tap) {
+		s := bgp.NewSpeaker(bgp.Config{ID: "du", ASN: 300, Multipath: true}, nil)
+		s.SetTap(tap)
+		for i := 0; i < 4; i++ {
+			s.AddPeer(bgp.SessionID(fmt.Sprintf("s%d", i)), fmt.Sprintf("fadu.%d", i), uint32(100+i), 100)
+		}
+		p := netip.MustParsePrefix("0.0.0.0/0")
+		// Pre-populate all four sessions so the steady state re-announces
+		// identical routes: pure decision-pipeline cost, no FIB churn.
+		for i := 0; i < 4; i++ {
+			s.HandleUpdate(bgp.SessionID(fmt.Sprintf("s%d", i)), bgp.Update{
+				Prefix: p, ASPath: []uint32{uint32(100 + i), 60},
+			})
+		}
+		s.TakeOutbox()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sess := bgp.SessionID(fmt.Sprintf("s%d", i%4))
+			s.HandleUpdate(sess, bgp.Update{
+				Prefix: p, ASPath: []uint32{uint32(100 + i%4), 60},
+			})
+		}
+	}
+	b.Run("nil-tap", func(b *testing.B) { bench(b, nil) })
+	b.Run("noop-tap", func(b *testing.B) { bench(b, telemetry.TapFunc(func(telemetry.Event) {})) })
 }
 
 // --- Phase-2 substrate benchmarks --------------------------------------------

@@ -7,9 +7,11 @@
 //	benchtab -list
 //	benchtab -exp fig2 [-seed 42]
 //	benchtab -all
+//	benchtab -exp fig4 -json     # one machine-readable report per line
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -19,10 +21,11 @@ import (
 
 func main() {
 	var (
-		exp  = flag.String("exp", "", "experiment ID to run (see -list)")
-		all  = flag.Bool("all", false, "run every experiment")
-		list = flag.Bool("list", false, "list experiments")
-		seed = flag.Int64("seed", 42, "emulation seed")
+		exp     = flag.String("exp", "", "experiment ID to run (see -list)")
+		all     = flag.Bool("all", false, "run every experiment")
+		list    = flag.Bool("list", false, "list experiments")
+		seed    = flag.Int64("seed", 42, "emulation seed")
+		jsonOut = flag.Bool("json", false, "emit one JSON report per experiment instead of text")
 	)
 	flag.Parse()
 
@@ -33,22 +36,36 @@ func main() {
 		}
 	case *all:
 		for _, e := range experiments.All() {
-			out, err := experiments.Run(e.ID, *seed)
-			if err != nil {
+			if err := emit(e.ID, *seed, *jsonOut); err != nil {
 				fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
 				os.Exit(1)
 			}
-			fmt.Println(out)
 		}
 	case *exp != "":
-		out, err := experiments.Run(*exp, *seed)
-		if err != nil {
+		if err := emit(*exp, *seed, *jsonOut); err != nil {
 			fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Println(out)
 	default:
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// emit runs one experiment and prints it, as text or as one JSON report
+// line (the format the telemetry collector's replay tests consume).
+func emit(id string, seed int64, jsonOut bool) error {
+	if !jsonOut {
+		out, err := experiments.Run(id, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(out)
+		return nil
+	}
+	rep, err := experiments.RunReport(id, seed)
+	if err != nil {
+		return err
+	}
+	return json.NewEncoder(os.Stdout).Encode(rep)
 }

@@ -1,0 +1,111 @@
+// Command bmptail is the fleet telemetry station: it listens for BMP-style
+// streams from exporters (or replays from tapped emulation runs piped over
+// TCP), prints events as they arrive, and runs the standard pathology
+// detectors online, flagging funneling, NHG pressure, route churn, and
+// black-hole suspicion as they happen.
+//
+// Usage:
+//
+//	bmptail -listen 127.0.0.1:11019           # follow mode, human-readable
+//	bmptail -listen 127.0.0.1:11019 -json     # one JSON object per line
+//	bmptail -listen 127.0.0.1:11019 -count 1000   # exit after N events
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"sync/atomic"
+	"syscall"
+
+	"centralium/internal/telemetry"
+)
+
+func main() {
+	var (
+		listen   = flag.String("listen", "127.0.0.1:11019", "TCP address to accept exporter streams on")
+		jsonOut  = flag.Bool("json", false, "emit one JSON object per event/alert instead of text")
+		count    = flag.Uint64("count", 0, "exit after this many events (0 = follow forever)")
+		ringSize = flag.Int("ring", 0, "per-device event ring size (0 = default)")
+		quiet    = flag.Bool("quiet", false, "print alerts only, not every event")
+	)
+	flag.Parse()
+
+	done := make(chan struct{})
+	var seen atomic.Uint64
+	enc := json.NewEncoder(os.Stdout)
+
+	c := telemetry.NewCollector(telemetry.CollectorOptions{
+		RingSize: *ringSize,
+		OnEvent: func(ev telemetry.Event) {
+			if !*quiet {
+				if *jsonOut {
+					enc.Encode(struct {
+						telemetry.Event
+						Type string `json:"type"`
+					}{ev, "event"})
+				} else {
+					printEvent(ev)
+				}
+			}
+			if n := seen.Add(1); *count > 0 && n == *count {
+				close(done)
+			}
+		},
+		OnAlert: func(a telemetry.Alert) {
+			if *jsonOut {
+				enc.Encode(struct {
+					telemetry.Alert
+					Type string `json:"type"`
+				}{a, "alert"})
+			} else {
+				fmt.Printf("ALERT %s\n", a)
+			}
+		},
+	})
+	addr, err := c.Start(*listen)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bmptail: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "bmptail: listening on %s\n", addr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case <-sig:
+	case <-done:
+	}
+	c.Close()
+
+	fmt.Fprintf(os.Stderr, "bmptail: %d events from %d device(s), %d alert(s)\n",
+		c.EventCount(), len(c.Devices()), len(c.Alerts()))
+}
+
+func printEvent(ev telemetry.Event) {
+	switch ev.Kind {
+	case telemetry.KindSessionUp, telemetry.KindSessionDown:
+		fmt.Printf("%d %-14s %s session=%s peer=%s asn=%d\n",
+			ev.Time, ev.Kind, ev.Device, ev.Session, ev.Peer, ev.PeerASN)
+	case telemetry.KindAdjRIBIn, telemetry.KindBestPath:
+		verb := "update"
+		if ev.Withdraw {
+			verb = "withdraw"
+		}
+		fmt.Printf("%d %-14s %s %s %s path=%v\n",
+			ev.Time, ev.Kind, ev.Device, verb, ev.Prefix, ev.ASPath)
+	case telemetry.KindFIBWrite:
+		fmt.Printf("%d %-14s %s %s entries=%d nhg=%d/%d churn=%d overflows=%d warm=%v\n",
+			ev.Time, ev.Kind, ev.Device, ev.Prefix,
+			ev.FIBEntries, ev.NHGroups, ev.NHGLimit, ev.NHGChurn, ev.Overflows, ev.Warm)
+	case telemetry.KindRPAHit:
+		fmt.Printf("%d %-14s %s %s statement=%s\n", ev.Time, ev.Kind, ev.Device, ev.Prefix, ev.Statement)
+	case telemetry.KindTrafficSample:
+		fmt.Printf("%d %-14s %s share=%.4f fair=%.4f blackholed=%.4f\n",
+			ev.Time, ev.Kind, ev.Device, ev.Share, ev.FairShare, ev.Blackholed)
+	default:
+		fmt.Printf("%d %-14s %s\n", ev.Time, ev.Kind, ev.Device)
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"centralium/internal/core"
 	"centralium/internal/fib"
+	"centralium/internal/telemetry"
 )
 
 // candidate pairs a RIB route with the session it arrived on.
@@ -15,10 +16,32 @@ type candidate struct {
 	session SessionID
 }
 
-// recompute runs the full Figure 6 pipeline for one prefix: gather
+// recompute runs the decision pipeline and, when a tap is attached,
+// reports installed best-path changes by comparing the prefix's canonical
+// FIB group key across the run. Disabled-tap cost is one nil compare.
+func (s *Speaker) recompute(p netip.Prefix) {
+	if s.tap == nil {
+		s.recomputeOne(p)
+		return
+	}
+	before := s.fibTbl.EntryKey(p)
+	s.recomputeOne(p)
+	after := s.fibTbl.EntryKey(p)
+	if before != after {
+		s.tap.Emit(telemetry.Event{
+			Kind:     telemetry.KindBestPath,
+			Time:     s.now(),
+			Device:   s.cfg.ID,
+			Prefix:   p,
+			Withdraw: after == "",
+		})
+	}
+}
+
+// recomputeOne runs the full Figure 6 pipeline for one prefix: gather
 // candidates, select paths (RPA or native), enforce min-next-hop, assign
 // weights (RPA or ECMP/WCMP), install the FIB, and advertise.
-func (s *Speaker) recompute(p netip.Prefix) {
+func (s *Speaker) recomputeOne(p netip.Prefix) {
 	s.stats.Recomputes++
 	st := s.state(p)
 
@@ -64,6 +87,7 @@ func (s *Speaker) recompute(p netip.Prefix) {
 		selected = dec.Selected
 		viaRPA = true
 		s.stats.RPASelections++
+		s.emitRPAHit(p, dec.MatchedSet)
 	} else {
 		selected = nativeSelect(cands, s.cfg.Multipath)
 		s.stats.NativeDecisions++
@@ -82,6 +106,9 @@ func (s *Speaker) recompute(p netip.Prefix) {
 		}
 		if required > 0 && distinctDevices(cands, selected) < required {
 			s.stats.MnhWithdrawals++
+			if nc.Present {
+				s.emitRPAHit(p, "bgp-native-min-next-hop")
+			}
 			if keepWarm {
 				// Keep forwarding entries so in-flight packets survive,
 				// but advertise nothing (the Figure 14 footgun).
@@ -256,6 +283,7 @@ func (s *Speaker) installFIB(p netip.Prefix, cands []candidate, selected []int) 
 	if wd := s.rpa.AssignWeights(attrs, s.now()); wd.Applied {
 		copy(weights, wd.Weights)
 		s.stats.WeightOverrides++
+		s.emitRPAHit(p, wd.Statement)
 	} else if s.cfg.WCMP == WCMPDistributed {
 		for k, i := range selected {
 			bw := cands[i].attrs.LinkBandwidthGbps
@@ -289,6 +317,20 @@ func (s *Speaker) installFIB(p netip.Prefix, cands []candidate, selected []int) 
 	}
 	s.fibTbl.Install(p, hops)
 	return aggBW
+}
+
+// emitRPAHit reports an RPA statement (or path set) governing a decision.
+func (s *Speaker) emitRPAHit(p netip.Prefix, statement string) {
+	if s.tap == nil {
+		return
+	}
+	s.tap.Emit(telemetry.Event{
+		Kind:      telemetry.KindRPAHit,
+		Time:      s.now(),
+		Device:    s.cfg.ID,
+		Prefix:    p,
+		Statement: statement,
+	})
 }
 
 func (s *Speaker) peerCapacity(sess SessionID) float64 {

@@ -10,6 +10,7 @@ import (
 
 	"centralium/internal/bgp"
 	"centralium/internal/bgp/wire"
+	"centralium/internal/telemetry"
 )
 
 // Config parameterizes an Endpoint.
@@ -22,6 +23,14 @@ type Config struct {
 	// Registry maps symbolic communities to wire values; nil gets a fresh
 	// one (only correct when all endpoints share it).
 	Registry *Registry
+	// Device names this endpoint in telemetry events; defaults to the
+	// speaker's ID.
+	Device string
+	// Tap, when set, observes live FSM transitions (session established /
+	// torn down) with wall-clock timestamps. This is distinct from the
+	// speaker's own tap, which reports RIB-level peer registration on the
+	// speaker clock.
+	Tap telemetry.Tap
 }
 
 // Endpoint hosts one bgp.Speaker behind real BGP sessions. The speaker is
@@ -94,6 +103,9 @@ func NewEndpoint(sp *bgp.Speaker, cfg Config) (*Endpoint, error) {
 	}
 	if cfg.Registry == nil {
 		cfg.Registry = NewRegistry()
+	}
+	if cfg.Device == "" {
+		cfg.Device = sp.ID()
 	}
 	return &Endpoint{cfg: cfg, speaker: sp, conns: make(map[bgp.SessionID]*conn)}, nil
 }
@@ -202,11 +214,26 @@ func (e *Endpoint) Establish(nc net.Conn, sessID bgp.SessionID, peerDevice strin
 		return err
 	}
 
+	e.emitFSM(telemetry.KindSessionUp, c)
 	e.wg.Add(3)
 	go e.readLoop(c)
 	go e.writeLoop(c)
 	go e.keepaliveLoop(c)
 	return nil
+}
+
+// emitFSM reports a live session transition on the endpoint's tap.
+func (e *Endpoint) emitFSM(kind telemetry.Kind, c *conn) {
+	if e.cfg.Tap == nil {
+		return
+	}
+	e.cfg.Tap.Emit(telemetry.Event{
+		Kind:    kind,
+		Time:    time.Now().UnixNano(),
+		Device:  e.cfg.Device,
+		Session: string(c.id),
+		PeerASN: c.peerASN,
+	})
 }
 
 // writeLoop drains the session's outbound queue onto the wire.
@@ -371,12 +398,16 @@ func (e *Endpoint) keepaliveLoop(c *conn) {
 // teardown closes one session and withdraws its routes.
 func (e *Endpoint) teardown(c *conn) {
 	e.mu.Lock()
-	if e.conns[c.id] == c {
+	owned := e.conns[c.id] == c
+	if owned {
 		delete(e.conns, c.id)
 		e.speaker.RemovePeer(c.id)
 		_ = e.flushLocked()
 	}
 	e.mu.Unlock()
+	if owned {
+		e.emitFSM(telemetry.KindSessionDown, c)
+	}
 	select {
 	case <-c.done:
 	default:

@@ -7,6 +7,7 @@ import (
 
 	"centralium/internal/core"
 	"centralium/internal/fib"
+	"centralium/internal/telemetry"
 )
 
 // LocalNextHop is the FIB next-hop ID installed for locally originated
@@ -33,6 +34,10 @@ type Speaker struct {
 
 	// now supplies the emulation clock for Route Attribute expiry.
 	now func() int64
+
+	// tap receives telemetry events; nil means disabled, and every emit
+	// site guards on that so the disabled hot path is one pointer compare.
+	tap telemetry.Tap
 }
 
 // NewSpeaker constructs a speaker. The clock function may be nil (treated
@@ -76,6 +81,32 @@ func (s *Speaker) Stats() Stats { return s.stats }
 // RPAConfig returns the currently deployed RPA configuration.
 func (s *Speaker) RPAConfig() *core.Config { return s.rpaCfg }
 
+// SetTap attaches (or, with nil, detaches) a telemetry tap. The tap sees
+// session lifecycle, Adj-RIB-In activity, best-path changes, FIB/NHG
+// writes, and RPA statement hits, all stamped with the speaker's clock.
+func (s *Speaker) SetTap(t telemetry.Tap) {
+	s.tap = t
+	if t == nil {
+		s.fibTbl.SetObserver(nil)
+		return
+	}
+	s.fibTbl.SetObserver(func(w fib.WriteEvent) {
+		t.Emit(telemetry.Event{
+			Kind:       telemetry.KindFIBWrite,
+			Time:       s.now(),
+			Device:     s.cfg.ID,
+			Prefix:     w.Prefix,
+			Withdraw:   w.Removed,
+			Warm:       w.Warm,
+			FIBEntries: w.Entries,
+			NHGroups:   w.Groups,
+			NHGLimit:   w.Limit,
+			NHGChurn:   w.GroupChurn,
+			Overflows:  w.Overflows,
+		})
+	})
+}
+
 // TakeOutbox returns and clears the pending outgoing messages.
 func (s *Speaker) TakeOutbox() []OutMsg {
 	out := s.outbox
@@ -91,6 +122,12 @@ func (s *Speaker) AddPeer(sess SessionID, device string, asn uint32, linkGbps fl
 	}
 	s.peers[sess] = &peer{session: sess, device: device, asn: asn, linkGbps: linkGbps}
 	s.adjIn[sess] = make(map[netip.Prefix]core.RouteAttrs)
+	if s.tap != nil {
+		s.tap.Emit(telemetry.Event{
+			Kind: telemetry.KindSessionUp, Time: s.now(), Device: s.cfg.ID,
+			Session: string(sess), Peer: device, PeerASN: asn,
+		})
+	}
 	// Replay current decisions to the new peer.
 	for p := range s.allPrefixes() {
 		s.recompute(p)
@@ -112,6 +149,12 @@ func (s *Speaker) RemovePeer(sess SessionID) {
 	delete(s.adjIn, sess)
 	for _, st := range s.prefixes {
 		delete(st.advertised, sess)
+	}
+	if s.tap != nil {
+		s.tap.Emit(telemetry.Event{
+			Kind: telemetry.KindSessionDown, Time: s.now(), Device: s.cfg.ID,
+			Session: string(sess), Peer: pr.device, PeerASN: pr.asn,
+		})
 	}
 	for _, p := range affected {
 		s.recompute(p)
@@ -230,6 +273,7 @@ func (s *Speaker) HandleUpdate(sess SessionID, u Update) {
 	if u.Withdraw {
 		if _, had := s.adjIn[sess][u.Prefix]; had {
 			delete(s.adjIn[sess], u.Prefix)
+			s.emitAdjIn(sess, pr, &u)
 			s.recompute(u.Prefix)
 		}
 		return
@@ -268,7 +312,28 @@ func (s *Speaker) HandleUpdate(sess SessionID, u Update) {
 		return
 	}
 	s.adjIn[sess][u.Prefix] = attrs
+	s.emitAdjIn(sess, pr, &u)
 	s.recompute(u.Prefix)
+}
+
+// emitAdjIn reports an accepted Adj-RIB-In write (install or withdrawal).
+func (s *Speaker) emitAdjIn(sess SessionID, pr *peer, u *Update) {
+	if s.tap == nil {
+		return
+	}
+	s.tap.Emit(telemetry.Event{
+		Kind:              telemetry.KindAdjRIBIn,
+		Time:              s.now(),
+		Device:            s.cfg.ID,
+		Session:           string(sess),
+		Peer:              pr.device,
+		PeerASN:           pr.asn,
+		Prefix:            u.Prefix,
+		Withdraw:          u.Withdraw,
+		ASPath:            u.ASPath,
+		MED:               u.MED,
+		LinkBandwidthGbps: u.LinkBandwidthGbps,
+	})
 }
 
 // Candidates returns copies of the RIB routes for a prefix, in the same

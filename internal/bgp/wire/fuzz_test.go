@@ -22,6 +22,45 @@ func FuzzUnmarshal(f *testing.F) {
 			ExtCommunities: []ExtCommunity{LinkBandwidth(23456, 1e9)},
 			NLRI:           []netip.Prefix{netip.MustParsePrefix("10.0.0.0/8"), netip.MustParsePrefix("0.0.0.0/0")},
 		},
+		// Link-bandwidth edge cases: zero bandwidth, AS_TRANS, several
+		// communities in one attribute (including a non-bandwidth one).
+		&Update{
+			ASPath:  []ASPathSegment{{Type: SegSequence, ASNs: []uint32{65010}}},
+			NextHop: netip.MustParseAddr("10.0.1.9"),
+			ExtCommunities: []ExtCommunity{
+				LinkBandwidth(ASTrans, 0),
+				LinkBandwidth(65010, 12.5e9),
+				{0x00, 0x02, 0xfd, 0xea, 0, 0, 0, 99}, // route target, ignored by AsLinkBandwidth
+			},
+			NLRI: []netip.Prefix{netip.MustParsePrefix("198.51.100.0/24")},
+		},
+		// MP_REACH_NLRI: IPv6 unicast reachability incl. the ::/0 default.
+		&Update{
+			ASPath: []ASPathSegment{{Type: SegSequence, ASNs: []uint32{65020, 65021}}},
+			MPReach: &MPReach{
+				NextHop: netip.MustParseAddr("fd00::a00:1"),
+				NLRI: []netip.Prefix{
+					netip.MustParsePrefix("2001:db8::/32"),
+					netip.MustParsePrefix("::/0"),
+				},
+			},
+		},
+		// MP_UNREACH_NLRI withdrawal alongside a v4 withdrawal.
+		&Update{
+			Withdrawn: []netip.Prefix{netip.MustParsePrefix("203.0.113.0/24")},
+			MPUnreach: &MPUnreach{Withdrawn: []netip.Prefix{
+				netip.MustParsePrefix("2001:db8:dead::/48"),
+				netip.MustParsePrefix("2001:db8::1/128"),
+			}},
+		},
+		// Mixed: v4 NLRI and MP attributes in one UPDATE.
+		&Update{
+			ASPath:    []ASPathSegment{{Type: SegSequence, ASNs: []uint32{65030}}},
+			NextHop:   netip.MustParseAddr("10.0.2.9"),
+			NLRI:      []netip.Prefix{netip.MustParsePrefix("192.0.2.128/25")},
+			MPReach:   &MPReach{NextHop: netip.MustParseAddr("fd00::2"), NLRI: []netip.Prefix{netip.MustParsePrefix("2001:db8:2::/64")}},
+			MPUnreach: &MPUnreach{Withdrawn: []netip.Prefix{netip.MustParsePrefix("2001:db8:3::/64")}},
+		},
 	}
 	for _, m := range seeds {
 		data, err := Marshal(m)

@@ -55,6 +55,51 @@ func Run(id string, seed int64) (string, error) {
 	return header(e) + out, nil
 }
 
+// Row is one machine-readable data point of an experiment: a labelled
+// arm (or series entry) with named numeric values. Rows are what the
+// telemetry collector's replay tests consume.
+type Row struct {
+	Label  string             `json:"label"`
+	Values map[string]float64 `json:"values"`
+}
+
+// Report is the machine-readable form of one experiment run, emitted by
+// `benchtab -json` (one JSON object per experiment).
+type Report struct {
+	ID     string `json:"id"`
+	Title  string `json:"title"`
+	Seed   int64  `json:"seed"`
+	Rows   []Row  `json:"rows,omitempty"`
+	Output string `json:"output"`
+}
+
+// rowsRegistry holds the structured-row producers for experiments that
+// expose them; text-only experiments simply have no entry.
+var rowsRegistry = map[string]func(seed int64) []Row{}
+
+func registerRows(id string, fn func(seed int64) []Row) {
+	rowsRegistry[id] = fn
+}
+
+// RunReport executes one experiment and returns its formatted output
+// together with its machine-readable rows, when the experiment exposes
+// them.
+func RunReport(id string, seed int64) (Report, error) {
+	e, ok := Get(id)
+	if !ok {
+		return Report{}, fmt.Errorf("experiments: unknown experiment %q (have: %s)", id, strings.Join(IDs(), ", "))
+	}
+	out, err := e.Run(seed)
+	if err != nil {
+		return Report{}, fmt.Errorf("experiments: %s: %w", id, err)
+	}
+	rep := Report{ID: e.ID, Title: e.Title, Seed: seed, Output: out}
+	if fn, ok := rowsRegistry[e.ID]; ok {
+		rep.Rows = fn(seed)
+	}
+	return rep, nil
+}
+
 // IDs lists registered experiment IDs.
 func IDs() []string {
 	var out []string

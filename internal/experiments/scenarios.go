@@ -33,12 +33,14 @@ func init() {
 	register("fig14", "Figure 14 / §7.2: KeepFibWarm misconfiguration SEV", func(seed int64) (string, error) {
 		return Fig14(seed), nil
 	})
+	registerRows("fig2", Fig2Rows)
+	registerRows("fig4", Fig4Rows)
+	registerRows("fig5", Fig5Rows)
 }
 
 // Fig2 runs the scenario 1 comparison: native BGP vs the equalization RPA.
 func Fig2(seed int64) string {
-	native := migrate.RunScenario1(migrate.Scenario1Params{Seed: seed})
-	rpa := migrate.RunScenario1(migrate.Scenario1Params{Seed: seed, UseRPA: true})
+	native, rpa := fig2Results(seed)
 	var b strings.Builder
 	fmt.Fprintf(&b, "4 SSW + 4 FAv1 + 4 Edge, 4 FAv2 activated incrementally; share of\n")
 	fmt.Fprintf(&b, "northbound traffic on the hottest aggregation device (fair share %.3f):\n\n", native.FairShare)
@@ -49,12 +51,30 @@ func Fig2(seed int64) string {
 	return b.String()
 }
 
+func fig2Results(seed int64) (native, rpa migrate.Scenario1Result) {
+	native = migrate.RunScenario1(migrate.Scenario1Params{Seed: seed})
+	rpa = migrate.RunScenario1(migrate.Scenario1Params{Seed: seed, UseRPA: true})
+	return native, rpa
+}
+
+// Fig2Rows is the machine-readable form of Fig2.
+func Fig2Rows(seed int64) []Row {
+	native, rpa := fig2Results(seed)
+	row := func(label string, r migrate.Scenario1Result) Row {
+		return Row{Label: label, Values: map[string]float64{
+			"fair_share":  r.FairShare,
+			"peak_share":  r.PeakShare,
+			"final_share": r.FinalShare,
+			"events":      float64(r.Events),
+		}}
+	}
+	return []Row{row("native", native), row("pathselection-rpa", rpa)}
+}
+
 // Fig4 runs the scenario 2 comparison: native, vendor-knob-free BGP vs the
 // MinNextHop protection RPA.
 func Fig4(seed int64) string {
-	native := migrate.RunScenario2(migrate.Scenario2Params{Seed: seed})
-	vendor := migrate.RunScenario2(migrate.Scenario2Params{Seed: seed, UseVendorKnob: true})
-	rpa := migrate.RunScenario2(migrate.Scenario2Params{Seed: seed, UseRPA: true, KeepFibWarm: true})
+	native, vendor, rpa := fig4Results(seed)
 	var b strings.Builder
 	fmt.Fprintf(&b, "2 planes x 4 grids x 4 SSW/FADU per group; decommission number 0;\n")
 	fmt.Fprintf(&b, "share of northbound traffic on the hottest FADU (fair share %.3f):\n\n", native.FairShare)
@@ -67,13 +87,31 @@ func Fig4(seed int64) string {
 	return b.String()
 }
 
+func fig4Results(seed int64) (native, vendor, rpa migrate.Scenario2Result) {
+	native = migrate.RunScenario2(migrate.Scenario2Params{Seed: seed})
+	vendor = migrate.RunScenario2(migrate.Scenario2Params{Seed: seed, UseVendorKnob: true})
+	rpa = migrate.RunScenario2(migrate.Scenario2Params{Seed: seed, UseRPA: true, KeepFibWarm: true})
+	return native, vendor, rpa
+}
+
+// Fig4Rows is the machine-readable form of Fig4.
+func Fig4Rows(seed int64) []Row {
+	native, vendor, rpa := fig4Results(seed)
+	row := func(label string, r migrate.Scenario2Result) Row {
+		return Row{Label: label, Values: map[string]float64{
+			"fair_share":      r.FairShare,
+			"peak_fadu_share": r.PeakFADUShare,
+			"peak_blackholed": r.PeakBlackholed,
+			"events":          float64(r.Events),
+		}}
+	}
+	return []Row{row("native", native), row("vendor-knob", vendor), row("minnexthop-rpa", rpa)}
+}
+
 // Fig5 runs the scenario 3 comparison: distributed WCMP vs a-priori Route
 // Attribute weights.
 func Fig5(seed int64) string {
-	params := migrate.Scenario3Params{Prefixes: 256, Seed: seed}
-	native := migrate.RunScenario3(params)
-	params.UseRPA = true
-	rpa := migrate.RunScenario3(params)
+	native, rpa := fig5Results(seed)
 	var b strings.Builder
 	fmt.Fprintf(&b, "8 EB x 4 UU x 1 DU, 2 sessions per UU-DU pair, %d prefixes, 2 EBs enter\n", 256)
 	fmt.Fprintf(&b, "maintenance; next-hop-group pressure on the DU (hardware limit 128):\n\n")
@@ -83,6 +121,28 @@ func Fig5(seed int64) string {
 	fmt.Fprintf(&b, "\npeak-NHG reduction: %dx (paper bound without protection: up to 4^8 = 65536)\n",
 		native.PeakNHG/maxInt(rpa.PeakNHG, 1))
 	return b.String()
+}
+
+func fig5Results(seed int64) (native, rpa migrate.Scenario3Result) {
+	params := migrate.Scenario3Params{Prefixes: 256, Seed: seed}
+	native = migrate.RunScenario3(params)
+	params.UseRPA = true
+	rpa = migrate.RunScenario3(params)
+	return native, rpa
+}
+
+// Fig5Rows is the machine-readable form of Fig5.
+func Fig5Rows(seed int64) []Row {
+	native, rpa := fig5Results(seed)
+	row := func(label string, r migrate.Scenario3Result) Row {
+		return Row{Label: label, Values: map[string]float64{
+			"peak_nhg":    float64(r.PeakNHG),
+			"steady_nhg":  float64(r.SteadyNHG),
+			"overflows":   float64(r.Overflows),
+			"group_churn": float64(r.GroupChurn),
+		}}
+	}
+	return []Row{row("distributed-wcmp", native), row("routeattribute-rpa", rpa)}
 }
 
 func maxInt(a, b int) int {

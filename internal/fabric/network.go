@@ -9,6 +9,7 @@ import (
 	"centralium/internal/bgp"
 	"centralium/internal/core"
 	"centralium/internal/fib"
+	"centralium/internal/telemetry"
 	"centralium/internal/topo"
 )
 
@@ -193,6 +194,15 @@ func (n *Network) EventsProcessed() int64 { return n.eng.processed }
 // OnEvent registers a hook invoked after every processed event — the
 // sampling point for transient metrics (funneling, NHG occupancy).
 func (n *Network) OnEvent(h func(now int64)) { n.eng.hooks = append(n.eng.hooks, h) }
+
+// SetTap attaches one telemetry tap to every speaker in the fabric (nil
+// detaches). Speaker clocks are the engine's virtual clock, so the fleet
+// stream is deterministically timestamped under a fixed seed.
+func (n *Network) SetTap(t telemetry.Tap) {
+	for _, node := range n.nodes {
+		node.Speaker.SetTap(t)
+	}
+}
 
 // Converge processes events until the network quiesces. It panics if the
 // event budget is exhausted, which indicates a protocol bug (persistent

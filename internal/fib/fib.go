@@ -45,6 +45,43 @@ type Table struct {
 	groupChurn  int                   // total NHG object creations
 	writes      int                   // total prefix installs/updates
 	warmEntries map[netip.Prefix]bool // kept despite withdrawal (KeepFibWarm)
+
+	observer func(WriteEvent) // optional write notification (telemetry tap)
+}
+
+// WriteEvent describes one forwarding-table write for an observer: which
+// prefix changed and the table occupancy after the write. The package has
+// no telemetry dependency; the speaker adapts these into tap events.
+type WriteEvent struct {
+	Prefix  netip.Prefix
+	Removed bool // entry deleted (withdrawal or empty install)
+	Warm    bool // entry flagged warm (forwarding kept despite withdrawal)
+
+	Entries    int // prefixes installed after the write
+	Groups     int // live NHG objects after the write
+	Limit      int // hardware NHG capacity
+	GroupChurn int // cumulative NHG creations
+	Overflows  int // cumulative overflow events
+}
+
+// SetObserver installs a callback invoked after every mutating write
+// (Install, Remove, MarkWarm). A nil observer disables notification.
+func (t *Table) SetObserver(fn func(WriteEvent)) { t.observer = fn }
+
+func (t *Table) notify(p netip.Prefix, removed, warm bool) {
+	if t.observer == nil {
+		return
+	}
+	t.observer(WriteEvent{
+		Prefix:     p,
+		Removed:    removed,
+		Warm:       warm,
+		Entries:    len(t.entries),
+		Groups:     len(t.groups),
+		Limit:      t.limit,
+		GroupChurn: t.groupChurn,
+		Overflows:  t.overflows,
+	})
 }
 
 // New returns an empty FIB with the given NHG capacity (values <= 0 get
@@ -124,6 +161,7 @@ func (t *Table) Install(p netip.Prefix, hops []NextHop) {
 	}
 	g.refs++
 	t.entries[p] = g
+	t.notify(p, false, false)
 }
 
 func normalizeHops(hops []NextHop) []NextHop {
@@ -148,6 +186,7 @@ func normalizeHops(hops []NextHop) []NextHop {
 func (t *Table) MarkWarm(p netip.Prefix) {
 	if _, ok := t.entries[p]; ok {
 		t.warmEntries[p] = true
+		t.notify(p, false, true)
 	}
 }
 
@@ -163,6 +202,7 @@ func (t *Table) Remove(p netip.Prefix) {
 	delete(t.entries, p)
 	delete(t.warmEntries, p)
 	t.release(g)
+	t.notify(p, true, false)
 }
 
 func (t *Table) release(g *group) {
@@ -170,6 +210,16 @@ func (t *Table) release(g *group) {
 	if g.refs <= 0 {
 		delete(t.groups, g.key)
 	}
+}
+
+// EntryKey returns the canonical NHG key the prefix currently maps to, or
+// "" when the prefix is not installed. Two snapshots of the same prefix
+// compare equal exactly when the installed best-path set is unchanged.
+func (t *Table) EntryKey(p netip.Prefix) string {
+	if g := t.entries[p]; g != nil {
+		return g.key
+	}
+	return ""
 }
 
 // Lookup returns the next-hop set for the prefix (exact match), or nil.

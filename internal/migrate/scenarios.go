@@ -10,6 +10,7 @@ import (
 	"centralium/internal/controller"
 	"centralium/internal/core"
 	"centralium/internal/fabric"
+	"centralium/internal/telemetry"
 	"centralium/internal/topo"
 	"centralium/internal/traffic"
 )
@@ -162,6 +163,10 @@ type Scenario2Params struct {
 	// MinNextHopPercent for the protection RPA (default 75, §4.4.2).
 	MinNextHopPercent float64
 	SampleEvery       int
+	// Tap, when set, attaches to every speaker in the fabric and also
+	// receives traffic-sample events (the hottest FADU's share against
+	// fair share, plus black-holed fraction) at each sampling point.
+	Tap telemetry.Tap
 }
 
 // Scenario2Result reports funneling and loss during the decommission.
@@ -242,18 +247,33 @@ func RunScenario2(p Scenario2Params) Scenario2Result {
 	pr := &traffic.Propagator{Net: n}
 
 	res := Scenario2Result{FairShare: 1 / float64(len(fadus))}
+	if p.Tap != nil {
+		n.SetTap(p.Tap)
+	}
 	sampleCount := 0
-	n.OnEvent(func(int64) {
+	n.OnEvent(func(now int64) {
 		sampleCount++
 		if sampleCount%p.SampleEvery != 0 {
 			return
 		}
 		r := pr.Run(demands)
-		if _, share := r.MaxDeviceShare(fadus); share > res.PeakFADUShare {
+		dev, share := r.MaxDeviceShare(fadus)
+		if share > res.PeakFADUShare {
 			res.PeakFADUShare = share
 		}
-		if bh := r.BlackholedFraction(); bh > res.PeakBlackholed {
+		bh := r.BlackholedFraction()
+		if bh > res.PeakBlackholed {
 			res.PeakBlackholed = bh
+		}
+		if p.Tap != nil {
+			p.Tap.Emit(telemetry.Event{
+				Kind:       telemetry.KindTrafficSample,
+				Time:       now,
+				Device:     string(dev),
+				Share:      share,
+				FairShare:  res.FairShare,
+				Blackholed: bh,
+			})
 		}
 	})
 

@@ -1,0 +1,583 @@
+// Package bmpwire implements a BGP Monitoring Protocol (RFC 7854) style
+// wire encoding for the telemetry plane: a common header, a per-peer
+// header, and the six standard message types. Route-monitoring messages
+// wrap a full BGP UPDATE PDU using the internal/bgp/wire codec, so a tap
+// stream carries the same bytes a real BMP station would see.
+//
+// Deviations from the RFC, chosen for the emulated fleet (devices are
+// named, not numbered):
+//
+//   - the 16-byte Peer Address field carries the peer's device name,
+//     NUL-padded (names longer than 16 bytes are truncated);
+//   - statistics-report entries are generic TLVs (2-byte type, 2-byte
+//     length, arbitrary value), which subsumes both the RFC's counters and
+//     the custom gauges the fleet collector consumes (NHG occupancy,
+//     traffic share);
+//   - peer-up carries its session name in an Information TLV and peer-down
+//     carries it in the reason data.
+package bmpwire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"centralium/internal/bgp/wire"
+)
+
+// Version is the BMP protocol version emitted and accepted.
+const Version = 3
+
+// Common-header sizes.
+const (
+	HeaderLen     = 6 // 1 version + 4 length + 1 type
+	PeerHeaderLen = 42
+	// MaxMsgLen bounds one BMP message; generous beyond the wrapped BGP
+	// UPDATE's own 4096-byte cap.
+	MaxMsgLen = 1 << 16
+)
+
+// Message type codes (RFC 7854 §4).
+const (
+	TypeRouteMonitoring uint8 = 0
+	TypeStatsReport     uint8 = 1
+	TypePeerDown        uint8 = 2
+	TypePeerUp          uint8 = 3
+	TypeInitiation      uint8 = 4
+	TypeTermination     uint8 = 5
+)
+
+// Peer types carried in the per-peer header (RFC 7854 §4.2, RFC 9069).
+const (
+	PeerTypeGlobal uint8 = 0 // Adj-RIB-In view
+	PeerTypeLocRIB uint8 = 3 // Loc-RIB view (best-path changes)
+)
+
+// Common errors.
+var (
+	ErrBadVersion = errors.New("bmpwire: unsupported BMP version")
+	ErrBadLength  = errors.New("bmpwire: header length out of range")
+	ErrTruncated  = errors.New("bmpwire: message truncated")
+	ErrBadType    = errors.New("bmpwire: unknown message type")
+)
+
+// Message is any BMP message body.
+type Message interface {
+	// Type returns the BMP message type code.
+	Type() uint8
+	// marshalBody appends the body (everything after the 6-byte header).
+	marshalBody(dst []byte) ([]byte, error)
+	// unmarshalBody parses the body.
+	unmarshalBody(src []byte) error
+}
+
+// Marshal frames a message: version, 4-byte length, type, body.
+func Marshal(m Message) ([]byte, error) {
+	buf := make([]byte, HeaderLen, 128)
+	buf[0] = Version
+	buf[5] = m.Type()
+	buf, err := m.marshalBody(buf)
+	if err != nil {
+		return nil, err
+	}
+	if len(buf) > MaxMsgLen {
+		return nil, fmt.Errorf("bmpwire: message length %d exceeds %d", len(buf), MaxMsgLen)
+	}
+	binary.BigEndian.PutUint32(buf[1:5], uint32(len(buf)))
+	return buf, nil
+}
+
+// Unmarshal parses one complete framed message.
+func Unmarshal(data []byte) (Message, error) {
+	if len(data) < HeaderLen {
+		return nil, ErrTruncated
+	}
+	if data[0] != Version {
+		return nil, fmt.Errorf("%w: %d", ErrBadVersion, data[0])
+	}
+	length := int(binary.BigEndian.Uint32(data[1:5]))
+	if length < HeaderLen || length > MaxMsgLen {
+		return nil, ErrBadLength
+	}
+	if len(data) != length {
+		return nil, ErrTruncated
+	}
+	var m Message
+	switch data[5] {
+	case TypeRouteMonitoring:
+		m = &RouteMonitoring{}
+	case TypeStatsReport:
+		m = &StatsReport{}
+	case TypePeerDown:
+		m = &PeerDown{}
+	case TypePeerUp:
+		m = &PeerUp{}
+	case TypeInitiation:
+		m = &Initiation{}
+	case TypeTermination:
+		m = &Termination{}
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrBadType, data[5])
+	}
+	if err := m.unmarshalBody(data[HeaderLen:]); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// ReadMessage reads and parses one framed message from r, as a BMP station
+// session loop would.
+func ReadMessage(r io.Reader) (Message, error) {
+	hdr := make([]byte, HeaderLen)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil, err
+	}
+	if hdr[0] != Version {
+		return nil, fmt.Errorf("%w: %d", ErrBadVersion, hdr[0])
+	}
+	length := int(binary.BigEndian.Uint32(hdr[1:5]))
+	if length < HeaderLen || length > MaxMsgLen {
+		return nil, ErrBadLength
+	}
+	full := make([]byte, length)
+	copy(full, hdr)
+	if _, err := io.ReadFull(r, full[HeaderLen:]); err != nil {
+		return nil, err
+	}
+	return Unmarshal(full)
+}
+
+// WriteMessage marshals and writes one message to w.
+func WriteMessage(w io.Writer, m Message) error {
+	data, err := Marshal(m)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(data)
+	return err
+}
+
+// ---------------------------------------------------------------------------
+// Per-peer header.
+// ---------------------------------------------------------------------------
+
+// PeerHeader is the 42-byte per-peer header prepended to route-monitoring,
+// stats-report, and peer up/down messages (RFC 7854 §4.2).
+type PeerHeader struct {
+	PeerType      uint8
+	Flags         uint8
+	Distinguisher uint64
+	// PeerDevice is the far-end device name, carried in the 16-byte Peer
+	// Address field (NUL-padded, truncated past 16 bytes).
+	PeerDevice string
+	AS         uint32
+	BGPID      [4]byte
+	// TimestampNano is the event time in nanoseconds; the wire carries
+	// seconds + microseconds, so sub-microsecond precision is rounded down.
+	TimestampNano int64
+}
+
+func (h *PeerHeader) marshal(dst []byte) []byte {
+	dst = append(dst, h.PeerType, h.Flags)
+	dst = binary.BigEndian.AppendUint64(dst, h.Distinguisher)
+	var addr [16]byte
+	copy(addr[:], h.PeerDevice)
+	dst = append(dst, addr[:]...)
+	dst = binary.BigEndian.AppendUint32(dst, h.AS)
+	dst = append(dst, h.BGPID[:]...)
+	sec := h.TimestampNano / 1e9
+	micro := (h.TimestampNano % 1e9) / 1e3
+	dst = binary.BigEndian.AppendUint32(dst, uint32(sec))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(micro))
+	return dst
+}
+
+func (h *PeerHeader) unmarshal(src []byte) ([]byte, error) {
+	if len(src) < PeerHeaderLen {
+		return nil, ErrTruncated
+	}
+	h.PeerType = src[0]
+	h.Flags = src[1]
+	h.Distinguisher = binary.BigEndian.Uint64(src[2:10])
+	h.PeerDevice = cstr(src[10:26])
+	h.AS = binary.BigEndian.Uint32(src[26:30])
+	copy(h.BGPID[:], src[30:34])
+	sec := int64(binary.BigEndian.Uint32(src[34:38]))
+	micro := int64(binary.BigEndian.Uint32(src[38:42]))
+	h.TimestampNano = sec*1e9 + micro*1e3
+	return src[PeerHeaderLen:], nil
+}
+
+// cstr trims at the first NUL, treating the buffer as a padded name field.
+func cstr(b []byte) string {
+	for i, c := range b {
+		if c == 0 {
+			return string(b[:i])
+		}
+	}
+	return string(b)
+}
+
+// ---------------------------------------------------------------------------
+// TLVs (information fields and statistics entries).
+// ---------------------------------------------------------------------------
+
+// TLV is one 2-byte-type, 2-byte-length information or statistics entry.
+type TLV struct {
+	Type  uint16
+	Value []byte
+}
+
+// Information TLV types (RFC 7854 §4.4) plus fleet extensions (>= 0x8000).
+const (
+	InfoString  uint16 = 0
+	InfoSysName uint16 = 2
+	// InfoSession carries a session identifier on peer-up messages.
+	InfoSession uint16 = 0x8000
+)
+
+// Statistics TLV types: RFC 7854 §4.8 gauges plus fleet extensions.
+const (
+	StatAdjRIBInRoutes uint16 = 7
+	StatLocRIBRoutes   uint16 = 8
+
+	// Fleet extensions (>= 0x8000): NHG table pressure, FIB occupancy,
+	// RPA activity, and traffic observations, all 8-byte unsigned unless
+	// noted.
+	StatNHGOccupancy    uint16 = 0x8000
+	StatNHGLimit        uint16 = 0x8001
+	StatNHGChurn        uint16 = 0x8002
+	StatNHGOverflows    uint16 = 0x8003
+	StatFIBEntries      uint16 = 0x8004
+	StatFIBWarm         uint16 = 0x8005 // 1 when the write marked warm state
+	StatFIBWrites       uint16 = 0x8006
+	StatFIBRemoved      uint16 = 0x8007 // 1 when the write removed the entry
+	StatRPAStatement    uint16 = 0x8010 // string: governing statement/set name
+	StatTrafficShare    uint16 = 0x8020 // parts-per-million of total traffic
+	StatTrafficFair     uint16 = 0x8021 // fair-share reference, ppm
+	StatTrafficBlackhol uint16 = 0x8022 // black-holed fraction, ppm
+	StatPrefix          uint16 = 0x8030 // string: prefix the entry refers to
+)
+
+// U64TLV builds an 8-byte unsigned statistics TLV.
+func U64TLV(t uint16, v uint64) TLV {
+	return TLV{Type: t, Value: binary.BigEndian.AppendUint64(nil, v)}
+}
+
+// StringTLV builds a string-valued TLV.
+func StringTLV(t uint16, s string) TLV { return TLV{Type: t, Value: []byte(s)} }
+
+// U64 decodes an 8-byte unsigned TLV value, reporting false on size
+// mismatch.
+func (t TLV) U64() (uint64, bool) {
+	if len(t.Value) != 8 {
+		return 0, false
+	}
+	return binary.BigEndian.Uint64(t.Value), true
+}
+
+func appendTLVs(dst []byte, tlvs []TLV) ([]byte, error) {
+	for _, t := range tlvs {
+		if len(t.Value) > 0xFFFF {
+			return nil, fmt.Errorf("bmpwire: TLV %d value too long (%d)", t.Type, len(t.Value))
+		}
+		dst = binary.BigEndian.AppendUint16(dst, t.Type)
+		dst = binary.BigEndian.AppendUint16(dst, uint16(len(t.Value)))
+		dst = append(dst, t.Value...)
+	}
+	return dst, nil
+}
+
+func parseTLVs(src []byte, count int) ([]TLV, error) {
+	var out []TLV
+	for len(src) > 0 {
+		if len(src) < 4 {
+			return nil, ErrTruncated
+		}
+		t := binary.BigEndian.Uint16(src[:2])
+		n := int(binary.BigEndian.Uint16(src[2:4]))
+		if len(src) < 4+n {
+			return nil, ErrTruncated
+		}
+		out = append(out, TLV{Type: t, Value: append([]byte(nil), src[4:4+n]...)})
+		src = src[4+n:]
+	}
+	if count >= 0 && len(out) != count {
+		return nil, fmt.Errorf("bmpwire: TLV count %d, header said %d", len(out), count)
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Route Monitoring (type 0).
+// ---------------------------------------------------------------------------
+
+// RouteMonitoring wraps one BGP UPDATE PDU behind the per-peer header
+// (RFC 7854 §4.6). PeerType distinguishes the Adj-RIB-In view (global)
+// from Loc-RIB best-path changes (RFC 9069).
+type RouteMonitoring struct {
+	Peer   PeerHeader
+	Update *wire.Update
+}
+
+// Type returns TypeRouteMonitoring.
+func (*RouteMonitoring) Type() uint8 { return TypeRouteMonitoring }
+
+func (m *RouteMonitoring) marshalBody(dst []byte) ([]byte, error) {
+	if m.Update == nil {
+		return nil, errors.New("bmpwire: route monitoring without update")
+	}
+	dst = m.Peer.marshal(dst)
+	pdu, err := wire.Marshal(m.Update)
+	if err != nil {
+		return nil, err
+	}
+	return append(dst, pdu...), nil
+}
+
+func (m *RouteMonitoring) unmarshalBody(src []byte) error {
+	rest, err := m.Peer.unmarshal(src)
+	if err != nil {
+		return err
+	}
+	bm, err := wire.Unmarshal(rest)
+	if err != nil {
+		return fmt.Errorf("bmpwire: wrapped PDU: %w", err)
+	}
+	u, ok := bm.(*wire.Update)
+	if !ok {
+		return fmt.Errorf("bmpwire: wrapped PDU is type %d, want UPDATE", bm.Type())
+	}
+	m.Update = u
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Statistics Report (type 1).
+// ---------------------------------------------------------------------------
+
+// StatsReport carries a set of statistics TLVs (RFC 7854 §4.8).
+type StatsReport struct {
+	Peer  PeerHeader
+	Stats []TLV
+}
+
+// Type returns TypeStatsReport.
+func (*StatsReport) Type() uint8 { return TypeStatsReport }
+
+func (m *StatsReport) marshalBody(dst []byte) ([]byte, error) {
+	dst = m.Peer.marshal(dst)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(m.Stats)))
+	return appendTLVs(dst, m.Stats)
+}
+
+func (m *StatsReport) unmarshalBody(src []byte) error {
+	rest, err := m.Peer.unmarshal(src)
+	if err != nil {
+		return err
+	}
+	if len(rest) < 4 {
+		return ErrTruncated
+	}
+	count := int(binary.BigEndian.Uint32(rest[:4]))
+	m.Stats, err = parseTLVs(rest[4:], count)
+	return err
+}
+
+// Stat returns the first statistics TLV of the given type.
+func (m *StatsReport) Stat(t uint16) (TLV, bool) {
+	for _, s := range m.Stats {
+		if s.Type == t {
+			return s, true
+		}
+	}
+	return TLV{}, false
+}
+
+// ---------------------------------------------------------------------------
+// Peer Down (type 2).
+// ---------------------------------------------------------------------------
+
+// Peer-down reason codes (RFC 7854 §4.9).
+const (
+	PeerDownLocalNotification  uint8 = 1
+	PeerDownLocalNoNotif       uint8 = 2
+	PeerDownRemoteNotification uint8 = 3
+	PeerDownRemoteNoNotif      uint8 = 4
+)
+
+// PeerDown announces a session loss. Data carries the session name.
+type PeerDown struct {
+	Peer   PeerHeader
+	Reason uint8
+	Data   []byte
+}
+
+// Type returns TypePeerDown.
+func (*PeerDown) Type() uint8 { return TypePeerDown }
+
+func (m *PeerDown) marshalBody(dst []byte) ([]byte, error) {
+	dst = m.Peer.marshal(dst)
+	dst = append(dst, m.Reason)
+	return append(dst, m.Data...), nil
+}
+
+func (m *PeerDown) unmarshalBody(src []byte) error {
+	rest, err := m.Peer.unmarshal(src)
+	if err != nil {
+		return err
+	}
+	if len(rest) < 1 {
+		return ErrTruncated
+	}
+	m.Reason = rest[0]
+	if len(rest) > 1 {
+		m.Data = append([]byte(nil), rest[1:]...)
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Peer Up (type 3).
+// ---------------------------------------------------------------------------
+
+// PeerUp announces a session establishment (RFC 7854 §4.10). The OPEN PDUs
+// are optional in this encoding (the emulation-level tap does not always
+// have them); Information TLVs carry the session name.
+type PeerUp struct {
+	Peer        PeerHeader
+	LocalDevice string // carried in the 16-byte Local Address field
+	LocalPort   uint16
+	RemotePort  uint16
+	SentOpen    *wire.Open
+	RecvOpen    *wire.Open
+	Information []TLV
+}
+
+// Type returns TypePeerUp.
+func (*PeerUp) Type() uint8 { return TypePeerUp }
+
+func (m *PeerUp) marshalBody(dst []byte) ([]byte, error) {
+	dst = m.Peer.marshal(dst)
+	var addr [16]byte
+	copy(addr[:], m.LocalDevice)
+	dst = append(dst, addr[:]...)
+	dst = binary.BigEndian.AppendUint16(dst, m.LocalPort)
+	dst = binary.BigEndian.AppendUint16(dst, m.RemotePort)
+	// Two length-prefixed OPEN PDU slots; zero length means absent (the
+	// RFC requires both, but the emulation tap often has neither).
+	for _, o := range []*wire.Open{m.SentOpen, m.RecvOpen} {
+		if o == nil {
+			dst = binary.BigEndian.AppendUint16(dst, 0)
+			continue
+		}
+		pdu, err := wire.Marshal(o)
+		if err != nil {
+			return nil, err
+		}
+		dst = binary.BigEndian.AppendUint16(dst, uint16(len(pdu)))
+		dst = append(dst, pdu...)
+	}
+	return appendTLVs(dst, m.Information)
+}
+
+func (m *PeerUp) unmarshalBody(src []byte) error {
+	rest, err := m.Peer.unmarshal(src)
+	if err != nil {
+		return err
+	}
+	if len(rest) < 20 {
+		return ErrTruncated
+	}
+	m.LocalDevice = cstr(rest[:16])
+	m.LocalPort = binary.BigEndian.Uint16(rest[16:18])
+	m.RemotePort = binary.BigEndian.Uint16(rest[18:20])
+	rest = rest[20:]
+	for _, slot := range []**wire.Open{&m.SentOpen, &m.RecvOpen} {
+		if len(rest) < 2 {
+			return ErrTruncated
+		}
+		n := int(binary.BigEndian.Uint16(rest[:2]))
+		rest = rest[2:]
+		if n == 0 {
+			continue
+		}
+		if len(rest) < n {
+			return ErrTruncated
+		}
+		bm, err := wire.Unmarshal(rest[:n])
+		if err != nil {
+			return fmt.Errorf("bmpwire: peer-up OPEN: %w", err)
+		}
+		o, ok := bm.(*wire.Open)
+		if !ok {
+			return fmt.Errorf("bmpwire: peer-up PDU is type %d, want OPEN", bm.Type())
+		}
+		*slot = o
+		rest = rest[n:]
+	}
+	m.Information, err = parseTLVs(rest, -1)
+	return err
+}
+
+// Session returns the session name from the Information TLVs, if present.
+func (m *PeerUp) Session() string {
+	for _, t := range m.Information {
+		if t.Type == InfoSession {
+			return string(t.Value)
+		}
+	}
+	return ""
+}
+
+// ---------------------------------------------------------------------------
+// Initiation / Termination (types 4 and 5).
+// ---------------------------------------------------------------------------
+
+// Initiation opens a monitoring stream; the sysName TLV names the monitored
+// device and binds the rest of the stream to it (RFC 7854 §4.3).
+type Initiation struct {
+	Information []TLV
+}
+
+// Type returns TypeInitiation.
+func (*Initiation) Type() uint8 { return TypeInitiation }
+
+func (m *Initiation) marshalBody(dst []byte) ([]byte, error) {
+	return appendTLVs(dst, m.Information)
+}
+
+func (m *Initiation) unmarshalBody(src []byte) error {
+	var err error
+	m.Information, err = parseTLVs(src, -1)
+	return err
+}
+
+// SysName returns the monitored device name, if present.
+func (m *Initiation) SysName() string {
+	for _, t := range m.Information {
+		if t.Type == InfoSysName {
+			return string(t.Value)
+		}
+	}
+	return ""
+}
+
+// Termination closes a monitoring stream (RFC 7854 §4.5).
+type Termination struct {
+	Information []TLV
+}
+
+// Type returns TypeTermination.
+func (*Termination) Type() uint8 { return TypeTermination }
+
+func (m *Termination) marshalBody(dst []byte) ([]byte, error) {
+	return appendTLVs(dst, m.Information)
+}
+
+func (m *Termination) unmarshalBody(src []byte) error {
+	var err error
+	m.Information, err = parseTLVs(src, -1)
+	return err
+}

@@ -1,0 +1,225 @@
+package bmpwire
+
+import (
+	"bytes"
+	"net/netip"
+	"reflect"
+	"testing"
+
+	"centralium/internal/bgp/wire"
+)
+
+func peerHdr() PeerHeader {
+	return PeerHeader{
+		PeerType:      PeerTypeGlobal,
+		PeerDevice:    "fadu.g3.1",
+		AS:            4200000042,
+		BGPID:         [4]byte{10, 255, 0, 7},
+		TimestampNano: 12_345_678_000, // µs-aligned so the round trip is exact
+	}
+}
+
+func roundTrip(t *testing.T, m Message) Message {
+	t.Helper()
+	data, err := Marshal(m)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	got, err := Unmarshal(data)
+	if err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if got.Type() != m.Type() {
+		t.Fatalf("type %d, want %d", got.Type(), m.Type())
+	}
+	// Stream path must agree with the buffer path.
+	streamed, err := ReadMessage(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("ReadMessage: %v", err)
+	}
+	if !reflect.DeepEqual(streamed, got) {
+		t.Fatalf("ReadMessage mismatch:\n %#v\nvs %#v", streamed, got)
+	}
+	return got
+}
+
+func TestRouteMonitoringRoundTrip(t *testing.T) {
+	m := &RouteMonitoring{
+		Peer: peerHdr(),
+		Update: &wire.Update{
+			ASPath:  []wire.ASPathSegment{{Type: wire.SegSequence, ASNs: []uint32{4200000001, 4200000002}}},
+			NextHop: netip.MustParseAddr("10.255.0.7"),
+			NLRI:    []netip.Prefix{netip.MustParsePrefix("10.8.0.0/16")},
+			ExtCommunities: []wire.ExtCommunity{
+				wire.LinkBandwidth(wire.ASTrans, 12.5e9),
+			},
+		},
+	}
+	got := roundTrip(t, m).(*RouteMonitoring)
+	if got.Peer != m.Peer {
+		t.Errorf("peer header %+v, want %+v", got.Peer, m.Peer)
+	}
+	if len(got.Update.NLRI) != 1 || got.Update.NLRI[0] != m.Update.NLRI[0] {
+		t.Errorf("NLRI %v, want %v", got.Update.NLRI, m.Update.NLRI)
+	}
+	if _, bw, ok := got.Update.ExtCommunities[0].AsLinkBandwidth(); !ok || bw != 12.5e9 {
+		t.Errorf("link bandwidth %v ok=%v", bw, ok)
+	}
+}
+
+func TestRouteMonitoringWithdraw(t *testing.T) {
+	m := &RouteMonitoring{
+		Peer:   PeerHeader{PeerType: PeerTypeLocRIB, PeerDevice: "ssw.p0.1"},
+		Update: &wire.Update{Withdrawn: []netip.Prefix{netip.MustParsePrefix("0.0.0.0/0")}},
+	}
+	got := roundTrip(t, m).(*RouteMonitoring)
+	if got.Peer.PeerType != PeerTypeLocRIB {
+		t.Errorf("peer type %d, want loc-rib", got.Peer.PeerType)
+	}
+	if len(got.Update.Withdrawn) != 1 {
+		t.Errorf("withdrawn %v", got.Update.Withdrawn)
+	}
+}
+
+func TestStatsReportRoundTrip(t *testing.T) {
+	m := &StatsReport{
+		Peer: peerHdr(),
+		Stats: []TLV{
+			U64TLV(StatNHGOccupancy, 117),
+			U64TLV(StatNHGLimit, 128),
+			StringTLV(StatRPAStatement, "protect-new-route"),
+		},
+	}
+	got := roundTrip(t, m).(*StatsReport)
+	occ, ok := mustStat(t, got, StatNHGOccupancy).U64()
+	if !ok || occ != 117 {
+		t.Errorf("occupancy %d ok=%v", occ, ok)
+	}
+	if s := string(mustStat(t, got, StatRPAStatement).Value); s != "protect-new-route" {
+		t.Errorf("statement %q", s)
+	}
+	if _, found := got.Stat(StatFIBEntries); found {
+		t.Error("found a stat that was never sent")
+	}
+}
+
+func mustStat(t *testing.T, m *StatsReport, typ uint16) TLV {
+	t.Helper()
+	s, ok := m.Stat(typ)
+	if !ok {
+		t.Fatalf("stat %#x missing", typ)
+	}
+	return s
+}
+
+func TestPeerUpDownRoundTrip(t *testing.T) {
+	up := &PeerUp{
+		Peer:        peerHdr(),
+		LocalDevice: "ssw.p1.0",
+		LocalPort:   179,
+		RemotePort:  33179,
+		SentOpen:    &wire.Open{ASN: 4200000007, HoldTime: 90, RouterID: netip.MustParseAddr("10.255.0.1")},
+		RecvOpen:    &wire.Open{ASN: 4200000042, HoldTime: 90, RouterID: netip.MustParseAddr("10.255.0.7")},
+		Information: []TLV{StringTLV(InfoSession, "s0042:ssw.p1.0--fadu.g3.1")},
+	}
+	got := roundTrip(t, up).(*PeerUp)
+	if got.LocalDevice != "ssw.p1.0" || got.LocalPort != 179 || got.RemotePort != 33179 {
+		t.Errorf("local side %q %d %d", got.LocalDevice, got.LocalPort, got.RemotePort)
+	}
+	if got.SentOpen == nil || got.SentOpen.ASN != 4200000007 || got.RecvOpen == nil || got.RecvOpen.ASN != 4200000042 {
+		t.Errorf("OPEN PDUs %+v %+v", got.SentOpen, got.RecvOpen)
+	}
+	if got.Session() != "s0042:ssw.p1.0--fadu.g3.1" {
+		t.Errorf("session %q", got.Session())
+	}
+
+	// OPENs are optional in this encoding.
+	bare := roundTrip(t, &PeerUp{Peer: peerHdr(), LocalDevice: "x"}).(*PeerUp)
+	if bare.SentOpen != nil || bare.RecvOpen != nil {
+		t.Errorf("absent OPENs decoded as %+v %+v", bare.SentOpen, bare.RecvOpen)
+	}
+
+	down := roundTrip(t, &PeerDown{
+		Peer:   peerHdr(),
+		Reason: PeerDownLocalNoNotif,
+		Data:   []byte("s0042:ssw.p1.0--fadu.g3.1"),
+	}).(*PeerDown)
+	if down.Reason != PeerDownLocalNoNotif || string(down.Data) != "s0042:ssw.p1.0--fadu.g3.1" {
+		t.Errorf("peer down %d %q", down.Reason, down.Data)
+	}
+}
+
+func TestInitiationTermination(t *testing.T) {
+	ini := roundTrip(t, &Initiation{Information: []TLV{
+		StringTLV(InfoSysName, "du.0"),
+		StringTLV(InfoString, "centralium telemetry"),
+	}}).(*Initiation)
+	if ini.SysName() != "du.0" {
+		t.Errorf("sysName %q", ini.SysName())
+	}
+	term := roundTrip(t, &Termination{Information: []TLV{StringTLV(InfoString, "bye")}}).(*Termination)
+	if len(term.Information) != 1 || string(term.Information[0].Value) != "bye" {
+		t.Errorf("termination %+v", term.Information)
+	}
+}
+
+func TestPeerDeviceTruncation(t *testing.T) {
+	h := peerHdr()
+	h.PeerDevice = "a-very-long-device-name-beyond-16"
+	got := roundTrip(t, &StatsReport{Peer: h}).(*StatsReport)
+	if got.Peer.PeerDevice != "a-very-long-devi" {
+		t.Errorf("truncated name %q", got.Peer.PeerDevice)
+	}
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{1, 2, 3},
+		{9, 0, 0, 0, 6, 0},                 // bad version
+		{3, 0, 0, 0, 5, 0},                 // length below header
+		{3, 0, 0, 0, 7, 0},                 // length disagrees with buffer
+		{3, 0, 0, 0, 6, 99},                // unknown type
+		{3, 0, 0, 0, 7, TypeInitiation, 1}, // truncated TLV
+	}
+	for i, data := range cases {
+		if _, err := Unmarshal(data); err == nil {
+			t.Errorf("case %d: garbage accepted", i)
+		}
+	}
+	// Truncated route monitoring (peer header cut short).
+	if _, err := Unmarshal([]byte{3, 0, 0, 0, 8, TypeRouteMonitoring, 0, 0}); err == nil {
+		t.Error("truncated peer header accepted")
+	}
+}
+
+func TestStreamOfMessages(t *testing.T) {
+	var buf bytes.Buffer
+	msgs := []Message{
+		&Initiation{Information: []TLV{StringTLV(InfoSysName, "rsw.7")}},
+		&RouteMonitoring{Peer: peerHdr(), Update: &wire.Update{
+			ASPath:  []wire.ASPathSegment{{Type: wire.SegSequence, ASNs: []uint32{65001}}},
+			NextHop: netip.MustParseAddr("10.0.0.1"),
+			NLRI:    []netip.Prefix{netip.MustParsePrefix("192.0.2.0/24")},
+		}},
+		&StatsReport{Peer: peerHdr(), Stats: []TLV{U64TLV(StatLocRIBRoutes, 9000)}},
+		&Termination{},
+	}
+	for _, m := range msgs {
+		if err := WriteMessage(&buf, m); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+	}
+	for i, want := range msgs {
+		got, err := ReadMessage(&buf)
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		if got.Type() != want.Type() {
+			t.Fatalf("msg %d type %d, want %d", i, got.Type(), want.Type())
+		}
+	}
+	if buf.Len() != 0 {
+		t.Errorf("%d trailing bytes", buf.Len())
+	}
+}

@@ -1,0 +1,269 @@
+package telemetry
+
+import (
+	"fmt"
+)
+
+// Alert is one pathology detection.
+type Alert struct {
+	Detector string `json:"detector"`
+	Device   string `json:"device"`
+	Time     int64  `json:"time_ns"`
+	Detail   string `json:"detail"`
+}
+
+func (a Alert) String() string {
+	return fmt.Sprintf("[%s] %s: %s", a.Detector, a.Device, a.Detail)
+}
+
+// Detector is one online pathology check. Observe is called for every
+// event the collector ingests (the collector serializes calls, so
+// detectors need no locking) and reports whether the event fired an alert.
+type Detector interface {
+	// Name identifies the detector in alerts.
+	Name() string
+	// Observe inspects one event; ok reports that an alert fired.
+	Observe(ev Event) (alert Alert, ok bool)
+}
+
+// ---------------------------------------------------------------------------
+// Funneling: one device absorbing a disproportionate traffic share
+// (the §3.2 first-router and §3.3 last-router problems).
+// ---------------------------------------------------------------------------
+
+// FunnelingDetector fires when a traffic sample shows a device carrying
+// more than Factor times its fair share. It fires once per device (the
+// interesting signal is the onset, not every subsequent sample).
+type FunnelingDetector struct {
+	// Factor is the overload multiple of fair share that triggers the
+	// alert (default 2.5): funneling means one device absorbing what
+	// several peers should split.
+	Factor float64
+	// FairShare overrides the per-sample fair-share reference; when 0 the
+	// sample's own FairShare field is used.
+	FairShare float64
+
+	fired map[string]bool
+}
+
+// NewFunnelingDetector returns a detector with the given overload factor
+// (values <= 0 get 2.5).
+func NewFunnelingDetector(factor float64) *FunnelingDetector {
+	if factor <= 0 {
+		factor = 2.5
+	}
+	return &FunnelingDetector{Factor: factor, fired: make(map[string]bool)}
+}
+
+// Name returns "funneling".
+func (*FunnelingDetector) Name() string { return "funneling" }
+
+// Observe checks traffic samples against the overload threshold.
+func (d *FunnelingDetector) Observe(ev Event) (Alert, bool) {
+	if ev.Kind != KindTrafficSample || d.fired[ev.Device] {
+		return Alert{}, false
+	}
+	fair := d.FairShare
+	if fair <= 0 {
+		fair = ev.FairShare
+	}
+	if fair <= 0 || ev.Share <= d.Factor*fair {
+		return Alert{}, false
+	}
+	d.fired[ev.Device] = true
+	return Alert{
+		Detector: d.Name(),
+		Device:   ev.Device,
+		Time:     ev.Time,
+		Detail: fmt.Sprintf("traffic share %.3f exceeds %.1fx fair share %.3f",
+			ev.Share, d.Factor, fair),
+	}, true
+}
+
+// ---------------------------------------------------------------------------
+// NHG table pressure: occupancy approaching the hardware cap (§3.4).
+// ---------------------------------------------------------------------------
+
+// NHGPressureDetector fires when a FIB write reports next-hop-group
+// occupancy at or above HighWater of the hardware limit, or any overflow.
+// Fires once per device.
+type NHGPressureDetector struct {
+	// HighWater is the occupancy fraction of the hardware limit that
+	// triggers the alert (default 0.9).
+	HighWater float64
+
+	fired map[string]bool
+}
+
+// NewNHGPressureDetector returns a detector with the given high-water
+// fraction (values <= 0 get 0.9).
+func NewNHGPressureDetector(highWater float64) *NHGPressureDetector {
+	if highWater <= 0 {
+		highWater = 0.9
+	}
+	return &NHGPressureDetector{HighWater: highWater, fired: make(map[string]bool)}
+}
+
+// Name returns "nhg-pressure".
+func (*NHGPressureDetector) Name() string { return "nhg-pressure" }
+
+// Observe checks FIB writes against the occupancy threshold.
+func (d *NHGPressureDetector) Observe(ev Event) (Alert, bool) {
+	if ev.Kind != KindFIBWrite || ev.NHGLimit <= 0 || d.fired[ev.Device] {
+		return Alert{}, false
+	}
+	if ev.Overflows == 0 && float64(ev.NHGroups) < d.HighWater*float64(ev.NHGLimit) {
+		return Alert{}, false
+	}
+	d.fired[ev.Device] = true
+	detail := fmt.Sprintf("NHG occupancy %d/%d at %.0f%% high-water mark",
+		ev.NHGroups, ev.NHGLimit, d.HighWater*100)
+	if ev.Overflows > 0 {
+		detail = fmt.Sprintf("NHG table overflow: %d installs past the %d-group hardware cap",
+			ev.Overflows, ev.NHGLimit)
+	}
+	return Alert{Detector: d.Name(), Device: ev.Device, Time: ev.Time, Detail: detail}, true
+}
+
+// ---------------------------------------------------------------------------
+// Route churn: sustained update rate on one device.
+// ---------------------------------------------------------------------------
+
+// ChurnDetector fires when a device's routing activity (Adj-RIB-In and
+// best-path events) exceeds MaxEvents within a sliding Window of event
+// time. Fires once per device per quiet period.
+type ChurnDetector struct {
+	// Window is the sliding window width in the event clock's nanoseconds.
+	Window int64
+	// MaxEvents is the number of routing events within Window that
+	// triggers the alert.
+	MaxEvents int
+
+	times map[string][]int64
+	fired map[string]bool
+}
+
+// NewChurnDetector returns a detector flagging more than maxEvents routing
+// events within window nanoseconds.
+func NewChurnDetector(window int64, maxEvents int) *ChurnDetector {
+	if window <= 0 {
+		window = 1e9 // 1s of virtual/wall time
+	}
+	if maxEvents <= 0 {
+		maxEvents = 1000
+	}
+	return &ChurnDetector{
+		Window:    window,
+		MaxEvents: maxEvents,
+		times:     make(map[string][]int64),
+		fired:     make(map[string]bool),
+	}
+}
+
+// Name returns "route-churn".
+func (*ChurnDetector) Name() string { return "route-churn" }
+
+// Observe slides the per-device window and checks the rate.
+func (d *ChurnDetector) Observe(ev Event) (Alert, bool) {
+	if ev.Kind != KindAdjRIBIn && ev.Kind != KindBestPath {
+		return Alert{}, false
+	}
+	ts := append(d.times[ev.Device], ev.Time)
+	cut := 0
+	for cut < len(ts) && ts[cut] < ev.Time-d.Window {
+		cut++
+	}
+	ts = ts[cut:]
+	d.times[ev.Device] = ts
+	if len(ts) <= d.MaxEvents {
+		d.fired[ev.Device] = false
+		return Alert{}, false
+	}
+	if d.fired[ev.Device] {
+		return Alert{}, false
+	}
+	d.fired[ev.Device] = true
+	return Alert{
+		Detector: d.Name(),
+		Device:   ev.Device,
+		Time:     ev.Time,
+		Detail: fmt.Sprintf("%d routing events within %dms window (limit %d)",
+			len(ts), d.Window/1e6, d.MaxEvents),
+	}, true
+}
+
+// ---------------------------------------------------------------------------
+// Black-hole suspicion: forwarding state without advertisement, or
+// observed traffic loss (§7.2's Figure 14 SEV class).
+// ---------------------------------------------------------------------------
+
+// BlackholeDetector fires on two signals: a FIB entry kept warm after
+// withdrawal (forwarding without advertisement — the KeepFibWarm footgun
+// preconditions of Figure 14), and a traffic sample with a black-holed
+// fraction above MaxBlackholed. Warm state fires once per device; loss
+// fires once per device.
+type BlackholeDetector struct {
+	// MaxBlackholed is the black-holed traffic fraction that triggers the
+	// loss alert (default 0.01).
+	MaxBlackholed float64
+
+	firedWarm map[string]bool
+	firedLoss map[string]bool
+}
+
+// NewBlackholeDetector returns a detector with the given loss threshold
+// (values <= 0 get 0.01).
+func NewBlackholeDetector(maxBlackholed float64) *BlackholeDetector {
+	if maxBlackholed <= 0 {
+		maxBlackholed = 0.01
+	}
+	return &BlackholeDetector{
+		MaxBlackholed: maxBlackholed,
+		firedWarm:     make(map[string]bool),
+		firedLoss:     make(map[string]bool),
+	}
+}
+
+// Name returns "black-hole".
+func (*BlackholeDetector) Name() string { return "black-hole" }
+
+// Observe checks warm-FIB writes and traffic-loss samples.
+func (d *BlackholeDetector) Observe(ev Event) (Alert, bool) {
+	switch ev.Kind {
+	case KindFIBWrite:
+		if !ev.Warm || d.firedWarm[ev.Device] {
+			return Alert{}, false
+		}
+		d.firedWarm[ev.Device] = true
+		return Alert{
+			Detector: d.Name(),
+			Device:   ev.Device,
+			Time:     ev.Time,
+			Detail:   fmt.Sprintf("warm FIB entry for %s: forwarding retained without advertisement", ev.Prefix),
+		}, true
+	case KindTrafficSample:
+		if ev.Blackholed <= d.MaxBlackholed || d.firedLoss[ev.Device] {
+			return Alert{}, false
+		}
+		d.firedLoss[ev.Device] = true
+		return Alert{
+			Detector: d.Name(),
+			Device:   ev.Device,
+			Time:     ev.Time,
+			Detail:   fmt.Sprintf("%.1f%% of offered traffic black-holed", ev.Blackholed*100),
+		}, true
+	}
+	return Alert{}, false
+}
+
+// StandardDetectors returns the default detector battery for pre/post
+// deployment health gating: funneling, NHG pressure, route churn, and
+// black-hole suspicion at their default thresholds.
+func StandardDetectors() []Detector {
+	return []Detector{
+		NewFunnelingDetector(0),
+		NewNHGPressureDetector(0),
+		NewChurnDetector(0, 0),
+		NewBlackholeDetector(0),
+	}
+}

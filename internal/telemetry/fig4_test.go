@@ -1,0 +1,83 @@
+package telemetry_test
+
+// External-package test: it drives the Figure 4 decommission through
+// internal/migrate, which imports telemetry, so it cannot live in the
+// telemetry package proper without an import cycle.
+
+import (
+	"testing"
+
+	"centralium/internal/migrate"
+	"centralium/internal/telemetry"
+)
+
+// runFig4 executes the Figure 4 decommission arm with a fresh collector
+// tapped into every speaker, and returns the collector for inspection.
+func runFig4(t *testing.T, useRPA bool) (*telemetry.Collector, migrate.Scenario2Result) {
+	t.Helper()
+	c := telemetry.NewCollector(telemetry.CollectorOptions{})
+	res := migrate.RunScenario2(migrate.Scenario2Params{
+		Seed:        7,
+		UseRPA:      useRPA,
+		KeepFibWarm: useRPA,
+		Tap:         c,
+	})
+	return c, res
+}
+
+// TestFunnelingDetectorFig4 is the paper's Figure 4 pair as a detector
+// acceptance test: the native decommission funnels the last live FADU to
+// 4x fair share and the funneling detector must fire; the MinNextHop RPA
+// arm caps the transient at 2x fair share and the detector must stay
+// silent on the same seeded run.
+func TestFunnelingDetectorFig4(t *testing.T) {
+	native, nres := runFig4(t, false)
+	alerts := native.AlertsBy("funneling")
+	if len(alerts) == 0 {
+		t.Fatalf("native arm: funneling detector silent (peak share %.4f, fair %.4f)",
+			nres.PeakFADUShare, nres.FairShare)
+	}
+	t.Logf("native arm: %s", alerts[0])
+
+	// The native last-router funnel also black-holes traffic; the
+	// black-hole detector should see it too.
+	if loss := native.AlertsBy("black-hole"); len(loss) == 0 && nres.PeakBlackholed > 0.01 {
+		t.Errorf("native arm black-holed %.2f of traffic but black-hole detector silent", nres.PeakBlackholed)
+	}
+
+	rpa, rres := runFig4(t, true)
+	if alerts := rpa.AlertsBy("funneling"); len(alerts) != 0 {
+		t.Fatalf("RPA arm: funneling detector fired %v (peak share %.4f, fair %.4f)",
+			alerts, rres.PeakFADUShare, rres.FairShare)
+	}
+	if rres.PeakFADUShare >= nres.PeakFADUShare {
+		t.Errorf("RPA arm peak share %.4f not below native %.4f", rres.PeakFADUShare, nres.PeakFADUShare)
+	}
+
+	// The fleet stream should have seen real routing activity from the
+	// tapped speakers, not just traffic samples.
+	if native.EventCount() < 100 {
+		t.Errorf("native arm collector saw only %d events", native.EventCount())
+	}
+}
+
+// TestFig4Deterministic re-runs the native arm under the same seed and
+// requires identical event streams — the virtual-time stamping contract.
+func TestFig4Deterministic(t *testing.T) {
+	a, _ := runFig4(t, false)
+	b, _ := runFig4(t, false)
+	if a.EventCount() != b.EventCount() {
+		t.Fatalf("event counts differ across identical seeds: %d vs %d", a.EventCount(), b.EventCount())
+	}
+	for _, dev := range a.Devices() {
+		ea, eb := a.Events(dev), b.Events(dev)
+		if len(ea) != len(eb) {
+			t.Fatalf("%s: %d vs %d buffered events", dev, len(ea), len(eb))
+		}
+		for i := range ea {
+			if ea[i].Kind != eb[i].Kind || ea[i].Time != eb[i].Time || ea[i].Prefix != eb[i].Prefix {
+				t.Fatalf("%s event %d differs: %+v vs %+v", dev, i, ea[i], eb[i])
+			}
+		}
+	}
+}
