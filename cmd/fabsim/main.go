@@ -5,6 +5,12 @@
 // Usage:
 //
 //	fabsim -pods 2 -planes 4 -grids 2 -seed 42 [-verbose]
+//
+// Chaos mode replays a seeded fault plan against a live migration
+// scenario and reports the invariant-checker verdicts (see
+// internal/chaos); the full canonical log reproduces any failing seed:
+//
+//	fabsim -chaos -scenario decommission -arm rpa -seed 7 [-faults 6] [-chaos-log]
 package main
 
 import (
@@ -13,6 +19,7 @@ import (
 	"os"
 	"sort"
 
+	"centralium/internal/chaos"
 	"centralium/internal/fabric"
 	"centralium/internal/migrate"
 	"centralium/internal/topo"
@@ -35,8 +42,19 @@ func main() {
 		save    = flag.String("save", "", "write the topology as JSON and exit")
 		load    = flag.String("load", "", "load the topology from a JSON file instead of building")
 		rackPfx = flag.Bool("rack-prefixes", false, "originate one /24 per rack and run east-west traffic")
+
+		chaosMode = flag.Bool("chaos", false, "run a chaos scenario instead of the plain build")
+		scenario  = flag.String("scenario", "decommission", "chaos scenario (decommission | pod-drain)")
+		arm       = flag.String("arm", "native", "chaos arm (native | rpa)")
+		faults    = flag.Int("faults", 4, "chaos faults to plan")
+		chaosLog  = flag.Bool("chaos-log", false, "print the full canonical chaos run log")
 	)
 	flag.Parse()
+
+	if *chaosMode {
+		runChaos(*scenario, *arm, *seed, *faults, *chaosLog)
+		return
+	}
 
 	var tp *topo.Topology
 	if *load != "" {
@@ -129,5 +147,40 @@ func main() {
 			}
 			fmt.Println()
 		}
+	}
+}
+
+// runChaos executes one seeded chaos run and prints its verdicts. The
+// same seed always reproduces the same run, so a failing seed from CI can
+// be replayed here with -chaos-log for the full event stream.
+func runChaos(scenario, armName string, seed int64, faults int, printLog bool) {
+	var arm chaos.Arm
+	switch armName {
+	case "native":
+		arm = chaos.ArmNative
+	case "rpa":
+		arm = chaos.ArmRPA
+	default:
+		fmt.Fprintf(os.Stderr, "fabsim: unknown arm %q (native | rpa)\n", armName)
+		os.Exit(1)
+	}
+	res, err := chaos.Run(chaos.RunParams{Scenario: scenario, Arm: arm, Seed: seed, Faults: faults})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fabsim: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("chaos %s arm=%s seed=%d\n", res.Scenario, res.Arm, res.Seed)
+	fmt.Printf("faults: %d injected, %d suppressed\n", res.FaultsInjected, res.FaultsSuppressed)
+	fmt.Printf("continuous: %d raw violations, %d effective (outside fault grace)\n",
+		res.RawViolations, res.EffectiveViolations)
+	fmt.Printf("quiescent: %d violations after convergence (%d events)\n", len(res.Quiescent), res.Events)
+	for _, v := range res.Quiescent {
+		fmt.Printf("  %s\n", v)
+	}
+	if printLog {
+		fmt.Printf("\n--- canonical log ---\n%s", res.Log)
+	}
+	if res.EffectiveViolations > 0 || len(res.Quiescent) > 0 {
+		os.Exit(2)
 	}
 }

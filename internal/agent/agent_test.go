@@ -266,11 +266,17 @@ func TestWatchReconcilesReactively(t *testing.T) {
 	SetIntendedRPA(rig.db, "leaf", cfg2)
 	waitDeploys(2)
 
-	// Intent for an unmanaged device is ignored.
+	// Intent for an unmanaged device is ignored. The subscription channel
+	// delivers events in publish order, so instead of sleeping and hoping,
+	// fence with a managed deploy published AFTER the unmanaged intent:
+	// once it lands, the unmanaged event has provably been consumed.
 	rig.db.Publish(nsdb.Intended, RPAPath("other-agent-device"), testRPA())
-	time.Sleep(20 * time.Millisecond)
-	if rig.agent.Deploys() != 2 {
-		t.Fatalf("deployed to unmanaged device: %d deploys", rig.agent.Deploys())
+	cfg3 := testRPA()
+	cfg3.Version = 3
+	SetIntendedRPA(rig.db, "leaf", cfg3)
+	waitDeploys(3)
+	if got := rig.agent.Deploys(); got != 3 {
+		t.Fatalf("deployed to unmanaged device: %d deploys, want 3", got)
 	}
 
 	cancel()

@@ -44,9 +44,16 @@ func (s *Speaker) recompute(p netip.Prefix) {
 func (s *Speaker) recomputeOne(p netip.Prefix) {
 	s.stats.Recomputes++
 	st := s.state(p)
+	info := DecisionInfo{AdvertisedPathLen: -1, MaxSelectedPathLen: -1, WeightMode: "ecmp"}
+	defer func() {
+		info.Withdrawn = len(st.advertised) == 0
+		st.last, st.hasLast = info, true
+	}()
 
 	// Locally originated prefixes: local route wins, peers' routes unused.
 	if oi, ok := s.originated[p]; ok {
+		info.Originated = true
+		info.AdvertisedPathLen = 0
 		if oi.installFIB {
 			s.fibTbl.Install(p, []fib.NextHop{{ID: LocalNextHop, Weight: 1}})
 		} else {
@@ -86,6 +93,8 @@ func (s *Speaker) recomputeOne(p netip.Prefix) {
 	if !dec.UsedNative {
 		selected = dec.Selected
 		viaRPA = true
+		info.ViaRPA = true
+		info.MatchedSet = dec.MatchedSet
 		s.stats.RPASelections++
 		s.emitRPAHit(p, dec.MatchedSet)
 	} else {
@@ -104,15 +113,18 @@ func (s *Speaker) recomputeOne(p netip.Prefix) {
 		if s.cfg.VendorMinECMP > required {
 			required = s.cfg.VendorMinECMP
 		}
+		info.MnhRequired = required
+		info.KeepWarmOnViolation = keepWarm
 		if required > 0 && distinctDevices(cands, selected) < required {
 			s.stats.MnhWithdrawals++
+			info.MnhWithdrawn = true
 			if nc.Present {
 				s.emitRPAHit(p, "bgp-native-min-next-hop")
 			}
 			if keepWarm {
 				// Keep forwarding entries so in-flight packets survive,
 				// but advertise nothing (the Figure 14 footgun).
-				s.installFIB(p, cands, selected)
+				_, info.WeightMode = s.installFIB(p, cands, selected)
 				s.fibTbl.MarkWarm(p)
 			} else {
 				s.fibTbl.Remove(p)
@@ -128,7 +140,16 @@ func (s *Speaker) recomputeOne(p netip.Prefix) {
 		return
 	}
 
-	aggBW := s.installFIB(p, cands, selected)
+	info.SelectedPaths = len(selected)
+	info.DistinctNextHops = distinctDevices(cands, selected)
+	for _, i := range selected {
+		if l := len(cands[i].attrs.ASPath); l > info.MaxSelectedPathLen {
+			info.MaxSelectedPathLen = l
+		}
+	}
+
+	var aggBW float64
+	aggBW, info.WeightMode = s.installFIB(p, cands, selected)
 
 	// Advertisement: RPA speakers advertise the least favorable selected
 	// path (Section 5.3.1); native decisions advertise the best path.
@@ -138,6 +159,7 @@ func (s *Speaker) recomputeOne(p netip.Prefix) {
 	} else {
 		advIdx = bestOf(cands, selected)
 	}
+	info.AdvertisedPathLen = len(cands[advIdx].attrs.ASPath)
 	s.advertise(p, st, &cands[advIdx].attrs, cands[advIdx].session, aggBW)
 }
 
@@ -272,19 +294,23 @@ func leastFavorable(cands []candidate, selected []int) int {
 }
 
 // installFIB writes the weighted next-hop set for the selected routes and
-// returns the aggregate advertised bandwidth for WCMP mode.
-func (s *Speaker) installFIB(p netip.Prefix, cands []candidate, selected []int) float64 {
+// returns the aggregate advertised bandwidth for WCMP mode plus the weight
+// assignment mode ("rpa", "wcmp", or "ecmp").
+func (s *Speaker) installFIB(p netip.Prefix, cands []candidate, selected []int) (float64, string) {
 	attrs := make([]core.RouteAttrs, len(selected))
 	for k, i := range selected {
 		attrs[k] = cands[i].attrs
 	}
 
+	mode := "ecmp"
 	weights := make([]int, len(selected))
 	if wd := s.rpa.AssignWeights(attrs, s.now()); wd.Applied {
+		mode = "rpa"
 		copy(weights, wd.Weights)
 		s.stats.WeightOverrides++
 		s.emitRPAHit(p, wd.Statement)
 	} else if s.cfg.WCMP == WCMPDistributed {
+		mode = "wcmp"
 		for k, i := range selected {
 			bw := cands[i].attrs.LinkBandwidthGbps
 			if bw <= 0 {
@@ -316,7 +342,7 @@ func (s *Speaker) installFIB(p netip.Prefix, cands []candidate, selected []int) 
 		aggBW += bw
 	}
 	s.fibTbl.Install(p, hops)
-	return aggBW
+	return aggBW, mode
 }
 
 // emitRPAHit reports an RPA statement (or path set) governing a decision.
@@ -422,7 +448,7 @@ func (s *Speaker) advertise(p netip.Prefix, st *prefixState, route *core.RouteAt
 		if prev, ok := st.advertised[sess]; ok && prev.pathKey == key && prev.bw == bw {
 			continue // nothing changed on this session
 		}
-		st.advertised[sess] = adv{pathKey: key, bw: bw}
+		st.advertised[sess] = adv{pathKey: key, bw: bw, pathLen: len(path)}
 		s.stats.UpdatesSent++
 		s.outbox = append(s.outbox, OutMsg{Session: sess, Update: Update{
 			Prefix:            p,

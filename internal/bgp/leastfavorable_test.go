@@ -1,0 +1,218 @@
+package bgp
+
+import (
+	"testing"
+)
+
+// The Section 5.3.1 least-favorable advertisement rule: an RPA-selecting
+// speaker advertises the LONGEST selected AS path, so downstream devices
+// that fall back to native selection cannot be lured through it by a
+// short path it is merely load-sharing over. These tests drive the rule
+// through every interesting Adj-RIB-In ordering — worse path before or
+// after the best, withdrawals of either end of the selected set, and
+// multipath shrink — and assert both the wire-visible advertisement and
+// the DecisionInfo/Adj-RIB-Out bookkeeping the chaos invariant checkers
+// rely on.
+
+// lfStep is one Adj-RIB-In mutation: a path learned on a session, or
+// (path == nil) a withdrawal from it.
+type lfStep struct {
+	sess SessionID
+	path []uint32
+}
+
+func TestLeastFavorableOrderings(t *testing.T) {
+	// Three upstream paths of strictly increasing length, one downstream.
+	short := []uint32{201, 100}
+	mid := []uint32{202, 100, 100}
+	long := []uint32{203, 100, 100, 100}
+
+	cases := []struct {
+		name  string
+		noRPA bool
+		steps []lfStep
+
+		wantSelected  int
+		wantAdvLen    int      // DecisionInfo.AdvertisedPathLen
+		wantWithdrawn bool     // prefix withdrawn from all peers
+		wantDownPath  []uint32 // final downstream AS path; nil = don't check content
+	}{
+		{
+			name:         "worse path after best",
+			steps:        []lfStep{{"upA", short}, {"upC", long}},
+			wantSelected: 2, wantAdvLen: len(long), wantDownPath: append([]uint32{600}, long...),
+		},
+		{
+			name:         "worse path before best",
+			steps:        []lfStep{{"upC", long}, {"upA", short}},
+			wantSelected: 2, wantAdvLen: len(long), wantDownPath: append([]uint32{600}, long...),
+		},
+		{
+			name:         "withdraw of least favorable falls back to next longest",
+			steps:        []lfStep{{"upA", short}, {"upB", mid}, {"upC", long}, {"upC", nil}},
+			wantSelected: 2, wantAdvLen: len(mid), wantDownPath: append([]uint32{600}, mid...),
+		},
+		{
+			name:         "withdraw of best keeps least favorable advertisement",
+			steps:        []lfStep{{"upA", short}, {"upC", long}, {"upA", nil}},
+			wantSelected: 1, wantAdvLen: len(long), wantDownPath: append([]uint32{600}, long...),
+		},
+		{
+			name: "multipath shrink to single path",
+			steps: []lfStep{
+				{"upA", short}, {"upB", mid}, {"upC", long},
+				{"upC", nil}, {"upB", nil},
+			},
+			wantSelected: 1, wantAdvLen: len(short), wantDownPath: append([]uint32{600}, short...),
+		},
+		{
+			name: "in-place replacement shrinks the selected set",
+			// upC re-advertises a path as short as upA's; the max selected
+			// length collapses from 4 to 2 without any withdrawal.
+			steps:        []lfStep{{"upC", long}, {"upA", short}, {"upC", []uint32{203, 100}}},
+			wantSelected: 2, wantAdvLen: len(short),
+		},
+		{
+			name:          "all paths withdrawn",
+			steps:         []lfStep{{"upA", short}, {"upC", long}, {"upA", nil}, {"upC", nil}},
+			wantWithdrawn: true,
+		},
+		{
+			name:  "native selection trivially satisfies the rule",
+			noRPA: true,
+			steps: []lfStep{{"upA", short}, {"upC", long}},
+			// Native BGP selects only the best path, so least favorable ==
+			// best and the short path is advertised.
+			wantSelected: 1, wantAdvLen: len(short), wantDownPath: append([]uint32{600}, short...),
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := newTestSpeaker("r6", 600)
+			if !tc.noRPA {
+				if err := s.SetRPA(rpaEqualize()); err != nil {
+					t.Fatal(err)
+				}
+			}
+			s.AddPeer("upA", "r1", 201, 100)
+			s.AddPeer("upB", "r2", 202, 100)
+			s.AddPeer("upC", "r3", 203, 100)
+			s.AddPeer("down", "r9", 900, 100)
+
+			var downLast *Update
+			for i, st := range tc.steps {
+				u := Update{Prefix: defaultRoute, Withdraw: st.path == nil}
+				if st.path != nil {
+					u.ASPath = append([]uint32(nil), st.path...)
+					u.Communities = []string{"BACKBONE_DEFAULT_ROUTE"}
+				}
+				s.HandleUpdate(st.sess, u)
+				if msgs := drainOutbox(s)["down"]; len(msgs) > 0 {
+					downLast = &msgs[len(msgs)-1]
+				}
+				checkLeastFavorableBookkeeping(t, s, i)
+			}
+
+			di, ok := s.Decision(defaultRoute)
+			if !ok {
+				t.Fatal("no decision recorded")
+			}
+			if di.Withdrawn != tc.wantWithdrawn {
+				t.Fatalf("Withdrawn = %v, want %v (%+v)", di.Withdrawn, tc.wantWithdrawn, di)
+			}
+			if tc.wantWithdrawn {
+				if downLast == nil || !downLast.Withdraw {
+					t.Fatalf("downstream did not end on a withdrawal: %+v", downLast)
+				}
+				if rib := s.AdjRIBOut(defaultRoute); len(rib) != 0 {
+					t.Fatalf("Adj-RIB-Out not empty after withdrawal: %v", rib)
+				}
+				return
+			}
+			if di.SelectedPaths != tc.wantSelected {
+				t.Fatalf("SelectedPaths = %d, want %d", di.SelectedPaths, tc.wantSelected)
+			}
+			if di.AdvertisedPathLen != tc.wantAdvLen {
+				t.Fatalf("AdvertisedPathLen = %d, want %d", di.AdvertisedPathLen, tc.wantAdvLen)
+			}
+			if downLast == nil || downLast.Withdraw {
+				t.Fatalf("downstream ended without a live advertisement: %+v", downLast)
+			}
+			if tc.wantDownPath != nil {
+				if len(downLast.ASPath) != len(tc.wantDownPath) {
+					t.Fatalf("downstream path = %v, want %v", downLast.ASPath, tc.wantDownPath)
+				}
+				for i := range tc.wantDownPath {
+					if downLast.ASPath[i] != tc.wantDownPath[i] {
+						t.Fatalf("downstream path = %v, want %v", downLast.ASPath, tc.wantDownPath)
+					}
+				}
+			}
+		})
+	}
+}
+
+// checkLeastFavorableBookkeeping asserts the Section 5.3.1 internal
+// consistency conditions that must hold after EVERY decision run, not
+// just at the end of a scenario: under AdvertiseLeastFavorable the
+// advertised length equals the longest selected length, and every
+// Adj-RIB-Out entry carries exactly one own-ASN prepend on top of it.
+// These are the same conditions the chaos harness sweeps fleet-wide.
+func checkLeastFavorableBookkeeping(t *testing.T, s *Speaker, step int) {
+	t.Helper()
+	di, ok := s.Decision(defaultRoute)
+	if !ok || di.Withdrawn || di.Originated || di.SelectedPaths == 0 {
+		return
+	}
+	if s.AdvertiseMode() == AdvertiseLeastFavorable && di.AdvertisedPathLen != di.MaxSelectedPathLen {
+		t.Fatalf("step %d: AdvertisedPathLen %d != MaxSelectedPathLen %d",
+			step, di.AdvertisedPathLen, di.MaxSelectedPathLen)
+	}
+	for sess, a := range s.AdjRIBOut(defaultRoute) {
+		if a.PathLen != di.AdvertisedPathLen+1 {
+			t.Fatalf("step %d: Adj-RIB-Out[%s].PathLen = %d, want %d",
+				step, sess, a.PathLen, di.AdvertisedPathLen+1)
+		}
+	}
+}
+
+// TestLeastFavorableStableUnderBestPathChurn pins down the operational
+// point of the rule: churn among SHORTER selected paths must not change
+// what is advertised downstream, so native neighbors see no flaps while
+// the RPA load-shares underneath.
+func TestLeastFavorableStableUnderBestPathChurn(t *testing.T) {
+	s := newTestSpeaker("r6", 600)
+	if err := s.SetRPA(rpaEqualize()); err != nil {
+		t.Fatal(err)
+	}
+	s.AddPeer("upA", "r1", 201, 100)
+	s.AddPeer("upC", "r3", 203, 100)
+	s.AddPeer("down", "r9", 900, 100)
+
+	long := []uint32{203, 100, 100, 100}
+	s.HandleUpdate("upC", Update{Prefix: defaultRoute, ASPath: long, Communities: []string{"BACKBONE_DEFAULT_ROUTE"}})
+	drainOutbox(s)
+
+	rib := s.AdjRIBOut(defaultRoute)
+	key := rib["down"].PathKey
+	if key == "" {
+		t.Fatal("no initial downstream advertisement")
+	}
+
+	// Flap the short path in and out twice; the advertisement (the long
+	// path) must be byte-stable and emit no downstream churn.
+	for i := 0; i < 2; i++ {
+		s.HandleUpdate("upA", Update{Prefix: defaultRoute, ASPath: []uint32{201, 100}, Communities: []string{"BACKBONE_DEFAULT_ROUTE"}})
+		if msgs := drainOutbox(s)["down"]; len(msgs) != 0 {
+			t.Fatalf("short-path arrival %d leaked downstream churn: %+v", i, msgs)
+		}
+		s.HandleUpdate("upA", Update{Prefix: defaultRoute, Withdraw: true})
+		if msgs := drainOutbox(s)["down"]; len(msgs) != 0 {
+			t.Fatalf("short-path withdrawal %d leaked downstream churn: %+v", i, msgs)
+		}
+	}
+	if got := s.AdjRIBOut(defaultRoute)["down"].PathKey; got != key {
+		t.Fatalf("advertisement identity changed under churn: %q -> %q", key, got)
+	}
+}

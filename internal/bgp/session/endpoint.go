@@ -6,6 +6,7 @@ import (
 	"net"
 	"net/netip"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"centralium/internal/bgp"
@@ -45,7 +46,17 @@ type Endpoint struct {
 
 	wg     sync.WaitGroup
 	closed bool
+
+	// keepalives counts keepalive messages received across all sessions.
+	// Tests use it as an observable liveness clock: N received keepalives
+	// prove roughly N*HoldTime/3 of protocol time elapsed, without blind
+	// wall-clock sleeps.
+	keepalives atomic.Uint64
 }
+
+// KeepalivesReceived reports the total keepalives received on all
+// sessions since the endpoint started.
+func (e *Endpoint) KeepalivesReceived() uint64 { return e.keepalives.Load() }
 
 // conn is one established session.
 type conn struct {
@@ -267,7 +278,8 @@ func (e *Endpoint) readLoop(c *conn) {
 		c.lastRecv = time.Now()
 		switch m := msg.(type) {
 		case *wire.Keepalive:
-			// timer refreshed above
+			// Timer refreshed above; the count is the only other effect.
+			e.keepalives.Add(1)
 		case *wire.Notification:
 			return // peer is tearing down
 		case *wire.Update:

@@ -119,7 +119,13 @@ func TestKeepaliveSustainsSession(t *testing.T) {
 	reg := NewRegistry()
 	a, b := pairOverTCP(t, reg, 300*time.Millisecond)
 	// Idle well past the hold time: keepalives must keep the session up.
-	time.Sleep(900 * time.Millisecond)
+	// Rather than a blind sleep, wait until each side has RECEIVED enough
+	// keepalives to prove more than a full hold time of idle protocol
+	// activity: they tick at HoldTime/3 and the handshake keepalive is
+	// consumed before the read loop starts, so 4 counted spans > HoldTime.
+	waitFor(t, "keepalives on both sides", func() bool {
+		return a.KeepalivesReceived() >= 4 && b.KeepalivesReceived() >= 4
+	})
 	if len(a.Sessions()) != 1 || len(b.Sessions()) != 1 {
 		t.Fatalf("sessions dropped: a=%v b=%v", a.Sessions(), b.Sessions())
 	}

@@ -129,9 +129,7 @@ func (s *Speaker) AddPeer(sess SessionID, device string, asn uint32, linkGbps fl
 		})
 	}
 	// Replay current decisions to the new peer.
-	for p := range s.allPrefixes() {
-		s.recompute(p)
-	}
+	s.recomputeAll()
 }
 
 // RemovePeer tears down a session: its routes leave the RIB and affected
@@ -145,6 +143,7 @@ func (s *Speaker) RemovePeer(sess SessionID) {
 	for p := range s.adjIn[sess] {
 		affected = append(affected, p)
 	}
+	sortPrefixes(affected)
 	delete(s.peers, sess)
 	delete(s.adjIn, sess)
 	for _, st := range s.prefixes {
@@ -181,9 +180,7 @@ func (s *Speaker) SetPeerPrepend(device string, n int) {
 			pr.prepend = n
 		}
 	}
-	for p := range s.allPrefixes() {
-		s.recompute(p)
-	}
+	s.recomputeAll()
 }
 
 // SetAllPeersPrepend sets the export prepend toward every peer — the whole
@@ -192,9 +189,7 @@ func (s *Speaker) SetAllPeersPrepend(n int) {
 	for _, pr := range s.peers {
 		pr.prepend = n
 	}
-	for p := range s.allPrefixes() {
-		s.recompute(p)
-	}
+	s.recomputeAll()
 }
 
 // SetDrained steers traffic away from this device: while drained, the
@@ -205,9 +200,7 @@ func (s *Speaker) SetDrained(d bool) {
 		return
 	}
 	s.drained = d
-	for p := range s.allPrefixes() {
-		s.recompute(p)
-	}
+	s.recomputeAll()
 }
 
 // Drained reports the drain state.
@@ -226,9 +219,7 @@ func (s *Speaker) SetRPA(cfg *core.Config) error {
 	}
 	s.rpa = ev
 	s.rpaCfg = cfg.Clone()
-	for p := range s.allPrefixes() {
-		s.recompute(p)
-	}
+	s.recomputeAll()
 	return nil
 }
 
@@ -374,6 +365,58 @@ func (s *Speaker) allPrefixes() map[netip.Prefix]struct{} {
 	}
 	return out
 }
+
+// recomputeAll re-runs the decision process for every known prefix in
+// sorted order. The order matters for reproducibility: recompute emits
+// outbox messages, and iterating a Go map here would randomize message
+// scheduling (and therefore jitter draws) between runs of the same seed.
+func (s *Speaker) recomputeAll() {
+	all := s.allPrefixes()
+	ps := make([]netip.Prefix, 0, len(all))
+	for p := range all {
+		ps = append(ps, p)
+	}
+	sortPrefixes(ps)
+	for _, p := range ps {
+		s.recompute(p)
+	}
+}
+
+// sortPrefixes orders prefixes by address, then mask length.
+func sortPrefixes(ps []netip.Prefix) {
+	sort.Slice(ps, func(i, j int) bool {
+		if c := ps[i].Addr().Compare(ps[j].Addr()); c != 0 {
+			return c < 0
+		}
+		return ps[i].Bits() < ps[j].Bits()
+	})
+}
+
+// Decision returns the recorded outcome of the last decision-process run
+// for a prefix; ok is false when the prefix has never been computed.
+func (s *Speaker) Decision(p netip.Prefix) (DecisionInfo, bool) {
+	if st := s.prefixes[p]; st != nil && st.hasLast {
+		return st.last, true
+	}
+	return DecisionInfo{}, false
+}
+
+// AdjRIBOut returns what this speaker currently advertises for a prefix,
+// per session. The map is a copy; nil when nothing is advertised.
+func (s *Speaker) AdjRIBOut(p netip.Prefix) map[SessionID]AdvertisedRoute {
+	st := s.prefixes[p]
+	if st == nil || len(st.advertised) == 0 {
+		return nil
+	}
+	out := make(map[SessionID]AdvertisedRoute, len(st.advertised))
+	for sess, a := range st.advertised {
+		out[sess] = AdvertisedRoute{PathLen: a.pathLen, PathKey: a.pathKey}
+	}
+	return out
+}
+
+// AdvertiseMode returns the speaker's configured advertisement rule.
+func (s *Speaker) AdvertiseMode() AdvertiseMode { return s.cfg.Advertise }
 
 // state returns (creating if needed) the prefix bookkeeping.
 func (s *Speaker) state(p netip.Prefix) *prefixState {

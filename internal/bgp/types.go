@@ -131,6 +131,10 @@ type originInfo struct {
 type adv struct {
 	pathKey string
 	bw      float64
+	// pathLen is the advertised AS-path length including this speaker's own
+	// prepends; the invariant checkers compare it against the decision's
+	// selected-path lengths (§5.3.1 consistency).
+	pathLen int
 }
 
 // prefixState is per-prefix bookkeeping.
@@ -139,6 +143,59 @@ type prefixState struct {
 	// baseline is the high-water count of distinct candidate next-hop
 	// devices, the denominator for percentage MinNextHop thresholds.
 	baseline int
+	// last records the outcome of the most recent decision run; hasLast
+	// guards against reading a zero value before the first run.
+	last    DecisionInfo
+	hasLast bool
+}
+
+// DecisionInfo snapshots the outcome of the last decision-process run for
+// one prefix, for external invariant checking (the chaos harness) and the
+// Section 7.2 debug tooling.
+type DecisionInfo struct {
+	// ViaRPA is true when a PathSelection RPA set governed the selection
+	// (false for native selection, even under an RPA's native constraint).
+	ViaRPA bool
+	// MatchedSet names the winning path set when ViaRPA.
+	MatchedSet string
+	// Originated is true for locally originated prefixes (no selection ran).
+	Originated bool
+	// SelectedPaths is the number of routes chosen for forwarding.
+	SelectedPaths int
+	// DistinctNextHops is the number of distinct next-hop devices among the
+	// selected routes.
+	DistinctNextHops int
+	// MnhRequired is the effective minimum-next-hop requirement that applied
+	// (RPA BgpNativeMinNextHop or the vendor knob); zero when unconstrained.
+	MnhRequired int
+	// KeepWarmOnViolation mirrors KeepFibWarmIfMnhViolated for the prefix.
+	KeepWarmOnViolation bool
+	// MnhWithdrawn is true when the min-next-hop constraint forced a
+	// withdrawal on this run.
+	MnhWithdrawn bool
+	// Withdrawn is true when the prefix was withdrawn from all peers for any
+	// reason (no candidates, empty selection, or MnhWithdrawn).
+	Withdrawn bool
+	// AdvertisedPathLen is the AS-path length of the route chosen for
+	// advertisement, before this speaker's own prepend (-1 when withdrawn).
+	AdvertisedPathLen int
+	// MaxSelectedPathLen is the longest AS path among the selected routes
+	// (-1 when nothing was selected). Under AdvertiseLeastFavorable these
+	// two must agree.
+	MaxSelectedPathLen int
+	// WeightMode records how forwarding weights were assigned: "rpa" (Route
+	// Attribute override), "wcmp" (distributed bandwidth), or "ecmp".
+	WeightMode string
+}
+
+// AdvertisedRoute is one Adj-RIB-Out entry: what this speaker last sent on
+// a session for a prefix.
+type AdvertisedRoute struct {
+	// PathLen is the advertised AS-path length including own prepends.
+	PathLen int
+	// PathKey is the canonical advertisement identity (path + communities +
+	// origin), matching the duplicate-suppression key.
+	PathKey string
 }
 
 // OutMsg is one message the speaker wants delivered to the far end of a

@@ -1,6 +1,8 @@
 package wire
 
 import (
+	"bytes"
+	"encoding/binary"
 	"net/netip"
 	"testing"
 )
@@ -113,6 +115,104 @@ func FuzzParsePrefixes(f *testing.F) {
 			if p.Masked() != p {
 				t.Fatalf("non-canonical prefix %v escaped", p)
 			}
+		}
+	})
+}
+
+// FuzzOpenRoundTrip builds OPEN messages from arbitrary field values and
+// asserts structural fidelity through a marshal/unmarshal cycle,
+// including the RFC 6793 four-octet-AS rules: the capability always
+// carries the real ASN, and the fixed 2-byte My Autonomous System field
+// holds AS_TRANS (23456) exactly when the ASN does not fit in 16 bits.
+func FuzzOpenRoundTrip(f *testing.F) {
+	f.Add(uint32(65001), uint16(90), uint32(0x0a000001), []byte{})
+	f.Add(uint32(4200000001), uint16(180), uint32(0xc0000201), []byte{2, 0}) // 4-byte ASN forces AS_TRANS
+	f.Add(uint32(23456), uint16(0), uint32(1), []byte{})                     // ASN == AS_TRANS itself
+	f.Add(uint32(0), uint16(3), uint32(0xffffffff), []byte{64, 2, 0, 1})     // extra capability with value
+	f.Add(uint32(70000), uint16(65535), uint32(0x7f000001), []byte{65, 0})   // extra cap colliding with code 65
+
+	f.Fuzz(func(t *testing.T, asn uint32, hold uint16, rid uint32, capVal []byte) {
+		var ridBytes [4]byte
+		binary.BigEndian.PutUint32(ridBytes[:], rid)
+		in := &Open{ASN: asn, HoldTime: hold, RouterID: netip.AddrFrom4(ridBytes)}
+		if len(capVal) > 0 {
+			// First byte selects the code, the rest is the value; skip the
+			// four-octet-AS code, which the codec owns.
+			if code := capVal[0]; code != CapFourOctetAS {
+				in.Capabilities = []Capability{{Code: code, Value: capVal[1:]}}
+			}
+		}
+		data, err := Marshal(in)
+		if err != nil {
+			// Only oversized capability blocks may be rejected.
+			if len(capVal) < 200 {
+				t.Fatalf("marshal rejected a modest open: %v", err)
+			}
+			return
+		}
+
+		// Wire-level RFC 6793 check on the fixed 2-byte ASN field.
+		as2 := binary.BigEndian.Uint16(data[HeaderLen+1 : HeaderLen+3])
+		if asn > 0xFFFF && as2 != ASTrans {
+			t.Fatalf("4-byte ASN %d marshaled 2-byte field %d, want AS_TRANS", asn, as2)
+		}
+		if asn <= 0xFFFF && as2 != uint16(asn) {
+			t.Fatalf("2-byte ASN %d marshaled as %d", asn, as2)
+		}
+
+		m, err := Unmarshal(data)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		out, ok := m.(*Open)
+		if !ok {
+			t.Fatalf("round trip changed type to %T", m)
+		}
+		if out.ASN != in.ASN || out.HoldTime != in.HoldTime || out.RouterID != in.RouterID {
+			t.Fatalf("round trip mutated fields: in=%+v out=%+v", in, out)
+		}
+		if out.Version != 4 {
+			t.Fatalf("version = %d, want 4", out.Version)
+		}
+		if len(out.Capabilities) != len(in.Capabilities) {
+			t.Fatalf("capabilities = %+v, want %+v", out.Capabilities, in.Capabilities)
+		}
+		for i, c := range in.Capabilities {
+			if out.Capabilities[i].Code != c.Code || !bytes.Equal(out.Capabilities[i].Value, c.Value) {
+				t.Fatalf("capability %d mutated: in=%+v out=%+v", i, c, out.Capabilities[i])
+			}
+		}
+	})
+}
+
+// FuzzNotificationRoundTrip builds NOTIFICATION messages from arbitrary
+// code/subcode/data and asserts exact field fidelity through the codec.
+func FuzzNotificationRoundTrip(f *testing.F) {
+	f.Add(NotifCease, uint8(2), []byte{})
+	f.Add(NotifHoldTimerExpired, uint8(0), []byte(nil))
+	f.Add(NotifUpdateMessageError, uint8(11), []byte{0xde, 0xad, 0xbe, 0xef})
+	f.Add(uint8(255), uint8(255), bytes.Repeat([]byte{0x5a}, 64))
+
+	f.Fuzz(func(t *testing.T, code, subcode uint8, data []byte) {
+		in := &Notification{Code: code, Subcode: subcode, Data: data}
+		raw, err := Marshal(in)
+		if err != nil {
+			// Data beyond the RFC 4271 message cap is the only legal reason.
+			if HeaderLen+2+len(data) <= MaxMsgLen {
+				t.Fatalf("marshal rejected a fitting notification: %v", err)
+			}
+			return
+		}
+		m, err := Unmarshal(raw)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		out, ok := m.(*Notification)
+		if !ok {
+			t.Fatalf("round trip changed type to %T", m)
+		}
+		if out.Code != code || out.Subcode != subcode || !bytes.Equal(out.Data, data) {
+			t.Fatalf("round trip mutated fields: in=%+v out=%+v", in, out)
 		}
 	})
 }

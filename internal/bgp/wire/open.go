@@ -67,7 +67,9 @@ func (o *Open) marshalBody(dst []byte) ([]byte, error) {
 		caps = append(caps, c.Code, uint8(len(c.Value)))
 		caps = append(caps, c.Value...)
 	}
-	if len(caps) > 255 {
+	// The optional-params length byte must also cover the 2-byte parameter
+	// header, so the capabilities block caps out at 253, not 255.
+	if len(caps) > 253 {
 		return nil, fmt.Errorf("wire: capabilities block too long (%d)", len(caps))
 	}
 	// opt param: type=2 (capabilities), length, value

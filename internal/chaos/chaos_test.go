@@ -1,0 +1,400 @@
+package chaos
+
+import (
+	"net/netip"
+	"strings"
+	"testing"
+	"time"
+
+	"centralium/internal/bgp"
+	"centralium/internal/core"
+	"centralium/internal/fabric"
+	"centralium/internal/fib"
+	"centralium/internal/topo"
+	"centralium/internal/traffic"
+)
+
+// TestSeedSweep is the headline acceptance test: both migration scenarios,
+// both arms, twenty seeds each. The native arm must exhibit at least one
+// raw invariant violation (the unprotected migration races are real); the
+// RPA arm must show zero violations outside fault grace windows and a
+// clean quiescent sweep. Low seeds additionally re-run and byte-compare
+// the canonical log: same seed, same stream.
+func TestSeedSweep(t *testing.T) {
+	const seeds = 20
+	for _, sc := range Scenarios() {
+		for seed := int64(1); seed <= seeds; seed++ {
+			native, err := Run(RunParams{Scenario: sc, Arm: ArmNative, Seed: seed})
+			if err != nil {
+				t.Fatalf("%s native seed %d: %v", sc, seed, err)
+			}
+			if native.RawViolations == 0 {
+				t.Errorf("%s native seed %d: no raw violations — the unprotected migration should misbehave", sc, seed)
+			}
+			if len(native.Quiescent) != 0 {
+				t.Errorf("%s native seed %d: %d quiescent violations after full convergence:\n%s",
+					sc, seed, len(native.Quiescent), quiescentLines(native))
+			}
+
+			rpa, err := Run(RunParams{Scenario: sc, Arm: ArmRPA, Seed: seed})
+			if err != nil {
+				t.Fatalf("%s rpa seed %d: %v", sc, seed, err)
+			}
+			if rpa.EffectiveViolations != 0 {
+				t.Errorf("%s rpa seed %d: %d effective (non-grace) violations\n%s",
+					sc, seed, rpa.EffectiveViolations, rpa.Log)
+			}
+			if len(rpa.Quiescent) != 0 {
+				t.Errorf("%s rpa seed %d: %d quiescent violations:\n%s",
+					sc, seed, len(rpa.Quiescent), quiescentLines(rpa))
+			}
+
+			// Determinism: re-running the same params must reproduce the
+			// canonical log byte for byte.
+			if seed <= 5 {
+				for _, prev := range []RunResult{native, rpa} {
+					again, err := Run(RunParams{Scenario: sc, Arm: prev.Arm, Seed: seed})
+					if err != nil {
+						t.Fatalf("%s %s seed %d rerun: %v", sc, prev.Arm, seed, err)
+					}
+					if again.Log != prev.Log {
+						t.Errorf("%s %s seed %d: rerun diverged\n--- first ---\n%s--- rerun ---\n%s",
+							sc, prev.Arm, seed, prev.Log, again.Log)
+					}
+				}
+			}
+		}
+	}
+}
+
+func quiescentLines(r RunResult) string {
+	var b strings.Builder
+	for _, v := range r.Quiescent {
+		b.WriteString(v.String())
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func TestRunRejectsUnknownScenario(t *testing.T) {
+	if _, err := Run(RunParams{Scenario: "nope", Seed: 1}); err == nil {
+		t.Fatal("expected error for unknown scenario")
+	}
+}
+
+func TestPlanDeterministic(t *testing.T) {
+	n1 := triangleNet(11)
+	n2 := triangleNet(11)
+	a := NewPlan(n1, 42, PlanOptions{Count: 8, Span: 80 * time.Millisecond})
+	b := NewPlan(n2, 42, PlanOptions{Count: 8, Span: 80 * time.Millisecond})
+	if len(a.Faults) != 8 || len(b.Faults) != 8 {
+		t.Fatalf("want 8 faults, got %d and %d", len(a.Faults), len(b.Faults))
+	}
+	for i := range a.Faults {
+		if a.Faults[i] != b.Faults[i] {
+			t.Errorf("fault %d differs: %v vs %v", i, a.Faults[i], b.Faults[i])
+		}
+		if a.Faults[i].At < 0 || a.Faults[i].At >= 80*time.Millisecond {
+			t.Errorf("fault %d outside span: %v", i, a.Faults[i].At)
+		}
+	}
+	if a.PushDelay != b.PushDelay {
+		t.Errorf("push delay differs: %v vs %v", a.PushDelay, b.PushDelay)
+	}
+	c := NewPlan(triangleNet(11), 43, PlanOptions{Count: 8, Span: 80 * time.Millisecond})
+	same := c.PushDelay == a.PushDelay
+	for i := range a.Faults {
+		if a.Faults[i] != c.Faults[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical plans")
+	}
+}
+
+func TestFaultAndArmStrings(t *testing.T) {
+	f := Fault{Kind: FaultRestart, Device: "x", Duration: time.Millisecond, WarmFIB: true}
+	if !strings.Contains(f.String(), "restart") || !strings.Contains(f.String(), "warm=true") {
+		t.Errorf("restart fault rendered %q", f)
+	}
+	d := Fault{Kind: FaultDelayUpdates, Session: "s", Delay: time.Millisecond}
+	if !strings.Contains(d.String(), "delay=") {
+		t.Errorf("delay fault rendered %q", d)
+	}
+	if FaultKind(99).String() != "fault(99)" {
+		t.Errorf("out-of-range kind rendered %q", FaultKind(99))
+	}
+	if ArmNative.String() != "native" || ArmRPA.String() != "rpa" {
+		t.Error("arm names wrong")
+	}
+}
+
+// lineNet builds a -- b -- c: the endpoints have exactly one session each,
+// so severing either link would isolate a device.
+func lineNet(seed int64) *fabric.Network {
+	tp := topo.New()
+	tp.AddDevice(topo.Device{ID: "a", Layer: topo.LayerFSW})
+	tp.AddDevice(topo.Device{ID: "b", Layer: topo.LayerSSW})
+	tp.AddDevice(topo.Device{ID: "c", Layer: topo.LayerFSW})
+	tp.AddLink("a", "b", 100)
+	tp.AddLink("b", "c", 100)
+	return fabric.New(tp, fabric.Options{Seed: seed})
+}
+
+// triangleNet builds a full mesh of three devices: every session is
+// redundant, so any single fault is within blast-radius bounds.
+func triangleNet(seed int64) *fabric.Network {
+	tp := topo.New()
+	tp.AddDevice(topo.Device{ID: "a", Layer: topo.LayerFSW})
+	tp.AddDevice(topo.Device{ID: "b", Layer: topo.LayerSSW})
+	tp.AddDevice(topo.Device{ID: "c", Layer: topo.LayerFSW})
+	tp.AddLink("a", "b", 100)
+	tp.AddLink("b", "c", 100)
+	tp.AddLink("a", "c", 100)
+	return fabric.New(tp, fabric.Options{Seed: seed})
+}
+
+func sessionBetween(t *testing.T, n *fabric.Network, a, b topo.DeviceID) bgp.SessionID {
+	t.Helper()
+	for _, s := range n.SessionList() {
+		if (s.A == a && s.B == b) || (s.A == b && s.B == a) {
+			return s.ID
+		}
+	}
+	t.Fatalf("no session between %s and %s", a, b)
+	return ""
+}
+
+func TestInjectorSuppressesIsolatingFaults(t *testing.T) {
+	n := lineNet(1)
+	n.Converge()
+	sess := sessionBetween(t, n, "a", "b")
+	inj := NewInjector(n, Plan{Faults: []Fault{
+		{Kind: FaultLinkFlap, At: time.Millisecond, Duration: 5 * time.Millisecond, Session: sess},
+		{Kind: FaultRestart, At: 2 * time.Millisecond, Duration: 5 * time.Millisecond, Device: "b", WarmFIB: true},
+	}}, 0)
+	inj.Arm()
+	n.RunFor(50 * time.Millisecond)
+	if inj.Injected() != 0 || inj.Suppressed() != 2 {
+		t.Fatalf("want 0 injected / 2 suppressed, got %d/%d\n%s",
+			inj.Injected(), inj.Suppressed(), strings.Join(inj.Log(), "\n"))
+	}
+	for _, s := range n.SessionList() {
+		if !s.Up {
+			t.Errorf("session %s went down despite suppression", s.ID)
+		}
+	}
+}
+
+func TestInjectorFlapRestoresSession(t *testing.T) {
+	n := triangleNet(1)
+	n.Converge()
+	sess := sessionBetween(t, n, "a", "b")
+	inj := NewInjector(n, Plan{Faults: []Fault{
+		{Kind: FaultLinkFlap, At: time.Millisecond, Duration: 5 * time.Millisecond, Session: sess},
+	}}, 10*time.Millisecond)
+	inj.Arm()
+	n.RunFor(2 * time.Millisecond)
+	if inj.Injected() != 1 {
+		t.Fatalf("flap did not fire: %v", inj.Log())
+	}
+	if n.LiveSessions("a") != 1 {
+		t.Fatalf("a should be down to one live session, has %d", n.LiveSessions("a"))
+	}
+	if !inj.DisturbedAt(n.Now()) {
+		t.Error("mid-flap time not marked disturbed")
+	}
+	n.RunFor(20 * time.Millisecond)
+	if n.LiveSessions("a") != 2 {
+		t.Errorf("flap did not restore: a has %d live sessions", n.LiveSessions("a"))
+	}
+	if inj.DisturbedAt(n.Now() + int64(time.Second)) {
+		t.Error("far future still marked disturbed")
+	}
+}
+
+func TestDropWindowForcesReset(t *testing.T) {
+	n := triangleNet(1)
+	p := netip.MustParsePrefix("10.9.0.0/24")
+	n.OriginateAt("a", p, nil, 0)
+	n.Converge()
+	sess := sessionBetween(t, n, "a", "b")
+	inj := NewInjector(n, Plan{Faults: []Fault{
+		{Kind: FaultDropUpdates, At: 0, Duration: 10 * time.Millisecond, Session: sess},
+	}}, 10*time.Millisecond)
+	inj.Arm()
+	// A withdrawal inside the drop window is lost; the forced reset at the
+	// window end must resync b anyway.
+	n.After(2*time.Millisecond, func() { n.WithdrawAt("a", p) })
+	n.Converge()
+	log := strings.Join(inj.Log(), "\n")
+	if !strings.Contains(log, "drop-window-end") {
+		t.Fatalf("no drop-window-end in log:\n%s", log)
+	}
+	if !strings.Contains(log, "dropped=") {
+		t.Fatalf("drop count missing from log:\n%s", log)
+	}
+	if key := n.Speaker("b").FIB().EntryKey(p); key != "" {
+		t.Errorf("b still holds withdrawn prefix after reset resync: %q", key)
+	}
+}
+
+func TestQuiescentDetectsBlackhole(t *testing.T) {
+	n := triangleNet(1)
+	p := netip.MustParsePrefix("10.1.0.0/24")
+	n.OriginateAt("a", p, nil, 0)
+	n.Converge()
+	ghost := netip.MustParsePrefix("10.99.0.0/24") // nobody originates this
+	vs := CheckQuiescent(CheckConfig{
+		Net:      n,
+		Demands:  []traffic.Demand{{Source: "c", Prefix: ghost, Volume: 10}},
+		Prefixes: []netip.Prefix{p},
+	})
+	if !hasInvariant(vs, InvNoBlackhole) {
+		t.Fatalf("expected %s violation, got %v", InvNoBlackhole, vs)
+	}
+}
+
+func TestQuiescentDetectsLoopAndDeadHop(t *testing.T) {
+	n := lineNet(1)
+	n.Converge()
+	sess := sessionBetween(t, n, "a", "b")
+	p := netip.MustParsePrefix("10.2.0.0/24")
+	// Hand-craft broken forwarding state: a and b bounce the prefix over
+	// the same session, and c points at a session that does not exist.
+	n.Speaker("a").FIB().Install(p, []fib.NextHop{{ID: string(sess), Weight: 1}})
+	n.Speaker("b").FIB().Install(p, []fib.NextHop{{ID: string(sess), Weight: 1}})
+	n.Speaker("c").FIB().Install(p, []fib.NextHop{{ID: "s9999:ghost--ghost", Weight: 1}})
+	vs := CheckQuiescent(CheckConfig{
+		Net:      n,
+		Demands:  []traffic.Demand{{Source: "a", Prefix: p, Volume: 10}},
+		Prefixes: []netip.Prefix{p},
+	})
+	if !hasInvariant(vs, InvNoLoop) {
+		t.Errorf("expected %s violation, got %v", InvNoLoop, vs)
+	}
+	if !hasInvariant(vs, InvWeightSanity) {
+		t.Errorf("expected %s violation for dead-session hop, got %v", InvWeightSanity, vs)
+	}
+}
+
+func TestQuiescentDetectsNonPositiveWeight(t *testing.T) {
+	n := triangleNet(1)
+	n.Converge()
+	sess := sessionBetween(t, n, "a", "b")
+	p := netip.MustParsePrefix("10.3.0.0/24")
+	n.Speaker("a").FIB().Install(p, []fib.NextHop{{ID: string(sess), Weight: 0}})
+	vs := CheckQuiescent(CheckConfig{Net: n, Prefixes: []netip.Prefix{p}})
+	if !hasInvariant(vs, InvWeightSanity) {
+		t.Fatalf("expected %s violation for zero weight, got %v", InvWeightSanity, vs)
+	}
+}
+
+func hasInvariant(vs []Violation, name string) bool {
+	for _, v := range vs {
+		if v.Invariant == name {
+			return true
+		}
+	}
+	return false
+}
+
+func TestViolationString(t *testing.T) {
+	v := Violation{
+		Invariant: InvNoBlackhole, Device: "x",
+		Prefix: netip.MustParsePrefix("10.0.0.0/24"),
+		Time:   123, InGrace: true, Detail: "d",
+	}
+	s := v.String()
+	for _, want := range []string{"t=123", InvNoBlackhole, "grace", "device=x", "10.0.0.0/24", "d"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("violation %q missing %q", s, want)
+		}
+	}
+}
+
+func TestMonitorFlagsGraceAndEffective(t *testing.T) {
+	n := triangleNet(1)
+	p := netip.MustParsePrefix("10.4.0.0/24")
+	n.OriginateAt("a", p, nil, 0)
+	n.Converge()
+
+	inj := NewInjector(n, Plan{Faults: []Fault{
+		// Delay fault: opens a disturbance window without severing.
+		{Kind: FaultDelayUpdates, At: 0, Duration: 4 * time.Millisecond, Delay: 2 * time.Millisecond,
+			Session: sessionBetween(t, n, "a", "c")},
+	}}, 20*time.Millisecond)
+	mon := NewMonitor(CheckConfig{
+		Net:      n,
+		Demands:  []traffic.Demand{{Source: "c", Prefix: p, Volume: 10}},
+		Prefixes: []netip.Prefix{p},
+	}, inj)
+	mon.Attach()
+	inj.Arm()
+
+	// Inside the disturbance window, break c's route; every blackhole
+	// sample should be grace-flagged.
+	n.After(time.Millisecond, func() {
+		n.Speaker("c").FIB().Remove(p)
+		n.Speaker("c").FIB().Install(netip.MustParsePrefix("10.250.0.0/24"),
+			[]fib.NextHop{{ID: string(sessionBetween(t, n, "a", "c")), Weight: 1}})
+	})
+	n.RunFor(2 * time.Millisecond)
+	if mon.Raw() == 0 {
+		t.Fatal("monitor saw no violations for removed route")
+	}
+	if mon.Effective() != 0 {
+		t.Fatalf("in-grace violations counted as effective: %d", mon.Effective())
+	}
+
+	// Past the window plus grace, the same breakage is effective. The
+	// poke runs as an engine event so the sampler fires after it.
+	n.RunFor(40 * time.Millisecond)
+	n.After(time.Millisecond, func() {
+		n.Speaker("c").FIB().Install(netip.MustParsePrefix("10.251.0.0/24"),
+			[]fib.NextHop{{ID: string(sessionBetween(t, n, "a", "c")), Weight: 1}})
+	})
+	n.RunFor(5 * time.Millisecond)
+	if mon.Effective() == 0 {
+		t.Fatal("post-grace violation not counted as effective")
+	}
+	if len(mon.Transitions()) == 0 {
+		t.Error("no transition lines logged")
+	}
+	if len(mon.Violations()) != mon.Raw() {
+		t.Error("violation count mismatch")
+	}
+}
+
+func TestWrapDeployDelaysPush(t *testing.T) {
+	n := triangleNet(1)
+	n.Converge()
+	inj := NewInjector(n, Plan{PushDelay: 5 * time.Millisecond}, 0)
+	deployed := false
+	push := inj.WrapDeploy(func(dev topo.DeviceID, cfg *core.Config) error {
+		deployed = true
+		return nil
+	})
+	if err := push("a", nil); err != nil {
+		t.Fatal(err)
+	}
+	if deployed {
+		t.Fatal("push ran synchronously despite planned delay")
+	}
+	n.RunFor(10 * time.Millisecond)
+	if !deployed {
+		t.Fatal("delayed push never ran")
+	}
+
+	// Without a planned delay the hook passes through untouched.
+	inj2 := NewInjector(n, Plan{}, 0)
+	direct := false
+	p2 := inj2.WrapDeploy(func(dev topo.DeviceID, cfg *core.Config) error {
+		direct = true
+		return nil
+	})
+	if err := p2("a", nil); err != nil || !direct {
+		t.Fatal("pass-through push did not run synchronously")
+	}
+}

@@ -1,0 +1,159 @@
+// Package chaos is the deterministic fault-injection harness for the
+// emulated fleet: a seeded planner draws faults (link flaps, session
+// resets, delayed/lost UPDATE streams, controller push delay, routing-
+// daemon restarts with a warm FIB), an injector replays them on the
+// virtual clock against a live migration scenario, and invariant checkers
+// assert — both continuously through the telemetry tap and after
+// quiescence — that the fleet never loops, never black-holes advertised
+// prefixes, honors MinNextHop/KeepFibWarm, advertises consistently with
+// the least-favorable rule (§5.3.1), and keeps FIB weights sane.
+//
+// Everything derives from one seed and runs on the fabric's virtual
+// clock, so a failing run reproduces exactly: same seed, same fault
+// times, same event interleavings, same violations, byte for byte.
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"centralium/internal/bgp"
+	"centralium/internal/fabric"
+	"centralium/internal/topo"
+)
+
+// FaultKind enumerates the injectable fault types.
+type FaultKind int
+
+// Fault kinds.
+const (
+	// FaultLinkFlap takes one session down for Duration, then restores it.
+	FaultLinkFlap FaultKind = iota
+	// FaultSessionReset bounces one session: down, then re-established
+	// after a short hold — the classic BGP session reset, forcing a full
+	// Adj-RIB resync.
+	FaultSessionReset
+	// FaultDelayUpdates stretches every message on one session by Delay
+	// for Duration — a congested or degraded control channel. FIFO order
+	// is preserved, so this reorders deliveries across sessions, not
+	// within one.
+	FaultDelayUpdates
+	// FaultDropUpdates silently discards every message on one session for
+	// Duration, then resets the session. The reset models what real BGP
+	// does when a TCP stream breaks: state resynchronizes from scratch
+	// rather than diverging forever.
+	FaultDropUpdates
+	// FaultRestart restarts one device's routing daemon: all sessions
+	// drop, the FIB optionally stays warm (graceful restart), and
+	// sessions return after Duration.
+	FaultRestart
+)
+
+var faultNames = [...]string{
+	FaultLinkFlap:     "link-flap",
+	FaultSessionReset: "session-reset",
+	FaultDelayUpdates: "delay-updates",
+	FaultDropUpdates:  "drop-updates",
+	FaultRestart:      "restart",
+}
+
+// String names the fault kind.
+func (k FaultKind) String() string {
+	if int(k) < len(faultNames) {
+		return faultNames[k]
+	}
+	return fmt.Sprintf("fault(%d)", int(k))
+}
+
+// Fault is one planned injection.
+type Fault struct {
+	Kind FaultKind
+	// At is the injection time relative to the moment the plan is armed.
+	At time.Duration
+	// Duration is the fault window: flap down-time, delay/drop window, or
+	// restart downtime.
+	Duration time.Duration
+	// Session targets session-scoped faults (flap, reset, delay, drop).
+	Session bgp.SessionID
+	// Device targets device-scoped faults (restart).
+	Device topo.DeviceID
+	// Delay is the extra per-message latency for FaultDelayUpdates.
+	Delay time.Duration
+	// WarmFIB keeps forwarding state across a FaultRestart.
+	WarmFIB bool
+}
+
+// String renders the fault for the canonical run log.
+func (f Fault) String() string {
+	switch f.Kind {
+	case FaultRestart:
+		return fmt.Sprintf("%s device=%s at=%s dur=%s warm=%v", f.Kind, f.Device, f.At, f.Duration, f.WarmFIB)
+	case FaultDelayUpdates:
+		return fmt.Sprintf("%s session=%s at=%s dur=%s delay=%s", f.Kind, f.Session, f.At, f.Duration, f.Delay)
+	default:
+		return fmt.Sprintf("%s session=%s at=%s dur=%s", f.Kind, f.Session, f.At, f.Duration)
+	}
+}
+
+// Plan is a full seeded fault schedule.
+type Plan struct {
+	Seed   int64
+	Faults []Fault
+	// PushDelay, when nonzero, delays every controller RPA push by this
+	// much virtual time (the slow-controller fault). Drawn with the rest
+	// of the plan so both arms of an experiment consume the seed
+	// identically.
+	PushDelay time.Duration
+}
+
+// PlanOptions bounds the planner's draws.
+type PlanOptions struct {
+	// Count is the number of faults to draw (default 4).
+	Count int
+	// Span is the window fault times are drawn from (default 100ms) —
+	// typically the migration span plus some tail.
+	Span time.Duration
+}
+
+// NewPlan draws a deterministic fault schedule for the network from the
+// seed. The planner has its own RNG — it never touches the fabric's — so
+// the same (topology, seed, options) always yields the same plan
+// regardless of what the emulation does. Faults are drawn over up
+// sessions and transit (non-source, non-origin) restart candidates; the
+// injector applies its own fire-time safety gating on top.
+func NewPlan(n *fabric.Network, seed int64, opts PlanOptions) Plan {
+	if opts.Count <= 0 {
+		opts.Count = 4
+	}
+	if opts.Span <= 0 {
+		opts.Span = 100 * time.Millisecond
+	}
+	rng := rand.New(rand.NewSource(seed))
+	sessions := n.SessionList()
+	devices := n.UpDevices()
+
+	plan := Plan{Seed: seed}
+	if rng.Intn(2) == 0 {
+		plan.PushDelay = time.Duration(2+rng.Intn(6)) * time.Millisecond
+	}
+	for i := 0; i < opts.Count; i++ {
+		f := Fault{
+			Kind:     FaultKind(rng.Intn(len(faultNames))),
+			At:       time.Duration(rng.Int63n(int64(opts.Span))),
+			Duration: time.Duration(5+rng.Intn(25)) * time.Millisecond,
+		}
+		switch f.Kind {
+		case FaultRestart:
+			f.Device = devices[rng.Intn(len(devices))]
+			f.WarmFIB = true
+		default:
+			f.Session = sessions[rng.Intn(len(sessions))].ID
+			if f.Kind == FaultDelayUpdates {
+				f.Delay = time.Duration(2+rng.Intn(8)) * time.Millisecond
+			}
+		}
+		plan.Faults = append(plan.Faults, f)
+	}
+	return plan
+}

@@ -1,0 +1,223 @@
+package chaos
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+
+	"centralium/internal/bgp"
+	"centralium/internal/fabric"
+	"centralium/internal/topo"
+	"centralium/internal/traffic"
+)
+
+// Invariant names, used in Violation records and the canonical run log.
+const (
+	InvNoLoop       = "no-forwarding-loop"
+	InvNoBlackhole  = "no-blackhole"
+	InvMinNextHop   = "min-next-hop"
+	InvLeastFavAdv  = "least-favorable-advertisement"
+	InvWeightSanity = "weight-sanity"
+)
+
+// Violation is one invariant breach.
+type Violation struct {
+	Invariant string
+	Device    topo.DeviceID
+	Prefix    netip.Prefix
+	// Time is the virtual timestamp of the observation.
+	Time int64
+	// InGrace marks violations observed inside a fault disturbance window
+	// (injection through restore plus the reconvergence grace tail): the
+	// fleet is allowed to be wrong while chaos is actively being done to
+	// it, but not after.
+	InGrace bool
+	Detail  string
+}
+
+// String renders the violation for the canonical run log.
+func (v Violation) String() string {
+	g := ""
+	if v.InGrace {
+		g = " grace"
+	}
+	loc := ""
+	if v.Device != "" {
+		loc = " device=" + string(v.Device)
+	}
+	if v.Prefix.IsValid() {
+		loc += " prefix=" + v.Prefix.String()
+	}
+	return fmt.Sprintf("t=%d violation %s%s%s: %s", v.Time, v.Invariant, g, loc, v.Detail)
+}
+
+// CheckConfig scopes an invariant sweep.
+type CheckConfig struct {
+	Net *fabric.Network
+	// Demands is the traffic matrix the loop/black-hole checks propagate.
+	Demands []traffic.Demand
+	// Prefixes are the destinations whose decision and Adj-RIB-Out state
+	// the per-device checks inspect.
+	Prefixes []netip.Prefix
+	// Protected are the devices under a MinNextHop-bearing RPA; the
+	// min-next-hop check is strict there (it is a no-op elsewhere, since
+	// unconstrained devices report MnhRequired == 0).
+	Protected []topo.DeviceID
+}
+
+// CheckQuiescent runs every invariant against the converged fleet. Call
+// it only after Converge: transient disagreement during propagation is
+// legal, lasting disagreement is not. The returned violations are sorted
+// by construction (device iteration is sorted) and never grace-flagged.
+func CheckQuiescent(cfg CheckConfig) []Violation {
+	var out []Violation
+	now := cfg.Net.Now()
+
+	// Traffic-level checks: propagate the demand matrix and require every
+	// flow to terminate at an origin.
+	pr := &traffic.Propagator{Net: cfg.Net}
+	res := pr.Run(cfg.Demands)
+	if res.HasLoop() {
+		out = append(out, Violation{
+			Invariant: InvNoLoop, Time: now,
+			Detail: fmt.Sprintf("%.4f of traffic still circulating after max hops", res.Looped/max1(res.Injected)),
+		})
+	}
+	if bh := res.BlackholedFraction(); bh > 1e-9 {
+		out = append(out, Violation{
+			Invariant: InvNoBlackhole, Time: now,
+			Detail: fmt.Sprintf("%.4f of traffic black-holed at quiescence", bh),
+		})
+	}
+
+	liveSessions := make(map[string]bool)
+	for _, s := range cfg.Net.SessionList() {
+		if s.Up {
+			liveSessions[string(s.ID)] = true
+		}
+	}
+
+	for _, dev := range cfg.Net.UpDevices() {
+		sp := cfg.Net.Speaker(dev)
+		for _, p := range cfg.Prefixes {
+			out = append(out, checkMinNextHop(sp, dev, p, now)...)
+			out = append(out, checkLeastFavorable(sp, dev, p, now)...)
+		}
+		out = append(out, checkWeightSanity(sp, dev, now, liveSessions)...)
+	}
+	return out
+}
+
+// checkMinNextHop asserts the §4.4.2 contract on a device whose last
+// decision ran under a min-next-hop constraint: either the constraint
+// held, or the route was withdrawn — and if KeepFibWarmIfMnhViolated was
+// set, forwarding state survived the withdrawal.
+func checkMinNextHop(sp *bgp.Speaker, dev topo.DeviceID, p netip.Prefix, now int64) []Violation {
+	d, ok := sp.Decision(p)
+	if !ok || d.MnhRequired <= 0 {
+		return nil
+	}
+	var out []Violation
+	if d.MnhWithdrawn {
+		warm := sp.FIB().IsWarm(p)
+		if d.KeepWarmOnViolation && !warm {
+			out = append(out, Violation{
+				Invariant: InvMinNextHop, Device: dev, Prefix: p, Time: now,
+				Detail: "min-next-hop withdrawal with KeepFibWarm set, but FIB entry is not warm",
+			})
+		}
+		if !d.KeepWarmOnViolation && sp.FIB().EntryKey(p) != "" {
+			out = append(out, Violation{
+				Invariant: InvMinNextHop, Device: dev, Prefix: p, Time: now,
+				Detail: "min-next-hop withdrawal without KeepFibWarm, but forwarding state remains",
+			})
+		}
+	} else if !d.Withdrawn && d.DistinctNextHops < d.MnhRequired {
+		out = append(out, Violation{
+			Invariant: InvMinNextHop, Device: dev, Prefix: p, Time: now,
+			Detail: fmt.Sprintf("advertising with %d distinct next hops, constraint requires %d", d.DistinctNextHops, d.MnhRequired),
+		})
+	}
+	return out
+}
+
+// checkLeastFavorable asserts the §5.3.1 advertisement rule: a speaker in
+// least-favorable mode that selected multiple paths must advertise the
+// longest AS path among them, and everything in its Adj-RIB-Out must
+// carry at least that length plus its own prepend — so downstream
+// speakers can never prefer the advertiser over the paths it selected.
+func checkLeastFavorable(sp *bgp.Speaker, dev topo.DeviceID, p netip.Prefix, now int64) []Violation {
+	if sp.AdvertiseMode() != bgp.AdvertiseLeastFavorable {
+		return nil
+	}
+	d, ok := sp.Decision(p)
+	if !ok || d.Originated || d.Withdrawn || d.SelectedPaths == 0 {
+		return nil
+	}
+	var out []Violation
+	if d.AdvertisedPathLen != d.MaxSelectedPathLen {
+		out = append(out, Violation{
+			Invariant: InvLeastFavAdv, Device: dev, Prefix: p, Time: now,
+			Detail: fmt.Sprintf("advertised path length %d, least favorable selected is %d", d.AdvertisedPathLen, d.MaxSelectedPathLen),
+		})
+	}
+	ribOut := sp.AdjRIBOut(p)
+	sessions := make([]bgp.SessionID, 0, len(ribOut))
+	for sess := range ribOut {
+		sessions = append(sessions, sess)
+	}
+	sort.Slice(sessions, func(i, j int) bool { return sessions[i] < sessions[j] })
+	for _, sess := range sessions {
+		if ar := ribOut[sess]; ar.PathLen < d.AdvertisedPathLen+1 {
+			out = append(out, Violation{
+				Invariant: InvLeastFavAdv, Device: dev, Prefix: p, Time: now,
+				Detail: fmt.Sprintf("adj-rib-out on %s carries path length %d < selected %d + own ASN", sess, ar.PathLen, d.AdvertisedPathLen),
+			})
+		}
+	}
+	return out
+}
+
+// checkWeightSanity asserts that every installed FIB entry is usable: at
+// least one hop, every weight positive (weight-zero drained paths are
+// never installed), and — for entries the control plane still stands
+// behind (not warm leftovers) — every hop resolving to a live session or
+// local delivery. A stale hop on a dead session is forwarding into a
+// void that the no-blackhole traffic check may not cover if no demand
+// crosses it.
+func checkWeightSanity(sp *bgp.Speaker, dev topo.DeviceID, now int64, liveSessions map[string]bool) []Violation {
+	var out []Violation
+	tbl := sp.FIB()
+	for _, e := range tbl.Snapshot() {
+		if len(e.Hops) == 0 {
+			out = append(out, Violation{
+				Invariant: InvWeightSanity, Device: dev, Prefix: e.Prefix, Time: now,
+				Detail: "installed entry with no next hops",
+			})
+			continue
+		}
+		warm := tbl.IsWarm(e.Prefix)
+		for _, h := range e.Hops {
+			if h.Weight <= 0 {
+				out = append(out, Violation{
+					Invariant: InvWeightSanity, Device: dev, Prefix: e.Prefix, Time: now,
+					Detail: fmt.Sprintf("non-positive weight %d on hop %s", h.Weight, h.ID),
+				})
+			}
+			if !warm && h.ID != bgp.LocalNextHop && !liveSessions[h.ID] {
+				out = append(out, Violation{
+					Invariant: InvWeightSanity, Device: dev, Prefix: e.Prefix, Time: now,
+					Detail: fmt.Sprintf("hop %s references a dead session on a non-warm entry", h.ID),
+				})
+			}
+		}
+	}
+	return out
+}
+
+func max1(v float64) float64 {
+	if v < 1 {
+		return 1
+	}
+	return v
+}

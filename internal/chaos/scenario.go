@@ -1,0 +1,155 @@
+package chaos
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"centralium/internal/core"
+	"centralium/internal/migrate"
+	"centralium/internal/topo"
+)
+
+// Arm selects the experimental arm: the native protocol or the
+// RPA-protected rollout.
+type Arm int
+
+// Arms.
+const (
+	ArmNative Arm = iota
+	ArmRPA
+)
+
+// String names the arm.
+func (a Arm) String() string {
+	if a == ArmRPA {
+		return "rpa"
+	}
+	return "native"
+}
+
+// Scenarios lists the migration scenarios Run accepts.
+func Scenarios() []string { return []string{"decommission", "pod-drain"} }
+
+// RunParams configures one chaos run.
+type RunParams struct {
+	// Scenario is one of Scenarios().
+	Scenario string
+	Arm      Arm
+	// Seed drives everything: topology jitter, fault plan, and fault
+	// targets. Same params, same bytes out.
+	Seed int64
+	// Faults is the planned injection count (default 4; suppression may
+	// fire fewer).
+	Faults int
+	// Grace is the post-fault reconvergence allowance (default 150ms).
+	Grace time.Duration
+	// SampleEvery rate-limits the continuous data-plane checks (default
+	// 1: every dirty event).
+	SampleEvery int
+}
+
+// RunResult summarizes one chaos run.
+type RunResult struct {
+	Scenario string
+	Arm      Arm
+	Seed     int64
+
+	FaultsInjected   int
+	FaultsSuppressed int
+
+	// RawViolations counts every continuous-check violation sample;
+	// EffectiveViolations counts only those outside fault disturbance
+	// windows. A healthy RPA arm has zero effective violations; a native
+	// arm shows raw violations from the migration itself.
+	RawViolations      int
+	EffectiveViolations int
+
+	// Quiescent holds the invariant breaches found after full
+	// convergence; empty on a healthy run of either arm.
+	Quiescent []Violation
+
+	Events int64
+
+	// Log is the canonical event stream of the run — plan, injections,
+	// violation transitions, quiescent findings, summary — byte-identical
+	// across runs of the same params.
+	Log string
+}
+
+// Run executes one migration scenario under chaos: build and converge the
+// rig, deploy the protective RPA (RPA arm only, through the possibly
+// delayed push path), arm the seeded faults, attach the continuous
+// monitor, run the migration to quiescence, then sweep the full invariant
+// suite.
+func Run(p RunParams) (RunResult, error) {
+	var rig *migrate.ChaosRig
+	switch p.Scenario {
+	case "decommission":
+		rig = migrate.DecommissionRig(p.Seed)
+	case "pod-drain":
+		rig = migrate.PodDrainRig(p.Seed)
+	default:
+		return RunResult{}, fmt.Errorf("chaos: unknown scenario %q (have %v)", p.Scenario, Scenarios())
+	}
+	n := rig.Net
+
+	plan := NewPlan(n, p.Seed, PlanOptions{Count: p.Faults, Span: rig.Span + 30*time.Millisecond})
+	inj := NewInjector(n, plan, p.Grace)
+
+	if p.Arm == ArmRPA {
+		push := inj.WrapDeploy(func(dev topo.DeviceID, cfg *core.Config) error {
+			return n.DeployRPA(dev, cfg)
+		})
+		if err := rig.DeployRPA(push); err != nil {
+			return RunResult{}, fmt.Errorf("chaos: %s RPA rollout: %w", rig.Name, err)
+		}
+		n.Converge()
+	}
+
+	cfg := CheckConfig{Net: n, Demands: rig.Demands, Prefixes: rig.Prefixes, Protected: rig.Protected}
+	mon := NewMonitor(cfg, inj)
+	if p.SampleEvery > 0 {
+		mon.SampleEvery = p.SampleEvery
+	}
+	mon.Attach()
+
+	inj.Arm()
+	rig.Migration()
+	events := n.Converge()
+
+	quiescent := CheckQuiescent(cfg)
+
+	res := RunResult{
+		Scenario:            rig.Name,
+		Arm:                 p.Arm,
+		Seed:                p.Seed,
+		FaultsInjected:      inj.Injected(),
+		FaultsSuppressed:    inj.Suppressed(),
+		RawViolations:       mon.Raw(),
+		EffectiveViolations: mon.Effective(),
+		Quiescent:           quiescent,
+		Events:              events,
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "chaos scenario=%s arm=%s seed=%d planned=%d push-delay=%s\n",
+		res.Scenario, res.Arm, res.Seed, len(plan.Faults), plan.PushDelay)
+	for _, f := range plan.Faults {
+		fmt.Fprintf(&b, "plan %s\n", f)
+	}
+	for _, l := range inj.Log() {
+		fmt.Fprintf(&b, "%s\n", l)
+	}
+	for _, l := range mon.Transitions() {
+		fmt.Fprintf(&b, "%s\n", l)
+	}
+	for _, v := range quiescent {
+		fmt.Fprintf(&b, "quiescent %s\n", v)
+	}
+	fmt.Fprintf(&b, "summary injected=%d suppressed=%d raw=%d effective=%d quiescent=%d events=%d t=%d\n",
+		res.FaultsInjected, res.FaultsSuppressed, res.RawViolations, res.EffectiveViolations,
+		len(quiescent), events, n.Now())
+	res.Log = b.String()
+	return res, nil
+}

@@ -1,0 +1,195 @@
+package core
+
+import (
+	"flag"
+	"fmt"
+	"net/netip"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// checkGolden compares got against testdata/<name>.golden, rewriting the
+// file under -update.
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/core -update` to create)", err)
+	}
+	if got != string(want) {
+		t.Fatalf("golden mismatch for %s:\n--- got ---\n%s--- want ---\n%s", name, got, want)
+	}
+}
+
+// TestSignatureKeyGolden pins the canonical PathSignature.Key format. The
+// key is a persistence format of sorts: it feeds cache fingerprints and
+// debug output, so any drift (field order, quoting, community sorting)
+// silently invalidates caches and must show up in review as a golden diff.
+func TestSignatureKeyGolden(t *testing.T) {
+	cases := []struct {
+		name string
+		sig  PathSignature
+	}{
+		{"zero", PathSignature{}},
+		{"aspath-only", PathSignature{ASPathRegex: "^4200000000"}},
+		{"communities-sorted", PathSignature{Communities: []string{"ZEBRA", "BACKBONE_DEFAULT_ROUTE", "MIDDLE"}}},
+		{"peer-and-nexthop", PathSignature{PeerRegex: "^ssw\\.", NextHopRegex: "fsw\\.1\\."}},
+		{"origin-asn", PathSignature{OriginASN: 4200000017}},
+		{"quoting", PathSignature{ASPathRegex: `a"b\c`, Communities: []string{`comm,with"quote`}}},
+		{"everything", PathSignature{
+			ASPathRegex:  "^200 (100 )+$",
+			Communities:  []string{"B", "A"},
+			PeerRegex:    "rsw\\..*",
+			NextHopRegex: "^fadu",
+			OriginASN:    65001,
+		}},
+	}
+	var b strings.Builder
+	for _, tc := range cases {
+		fmt.Fprintf(&b, "%-20s %s\n", tc.name, tc.sig.Key())
+	}
+	checkGolden(t, "signature_keys", b.String())
+
+	// Sorting communities must not change identity; criteria order in the
+	// struct literal obviously cannot either.
+	a := PathSignature{Communities: []string{"X", "A", "M"}}
+	bSig := PathSignature{Communities: []string{"M", "X", "A"}}
+	if a.Key() != bSig.Key() {
+		t.Fatalf("community order changed signature identity: %q vs %q", a.Key(), bSig.Key())
+	}
+}
+
+// TestFingerprintGolden pins RouteAttrs.Fingerprint values. The fingerprint
+// is the Route component of CacheKey; if the hash recipe changes, every
+// cached match result is silently recomputed under new keys — the golden
+// file makes that an explicit, reviewed event.
+func TestFingerprintGolden(t *testing.T) {
+	base := RouteAttrs{
+		Prefix:      netip.MustParsePrefix("10.2.3.0/24"),
+		ASPath:      []uint32{4200000007, 4200000001},
+		Communities: []string{"RACK_PREFIX", "POD_1"},
+		LocalPref:   100,
+		MED:         7,
+		Origin:      OriginIGP,
+		NextHop:     "fsw.1.2",
+		Peer:        "fsw.1.2",
+	}
+	mutate := func(f func(*RouteAttrs)) RouteAttrs {
+		r := base
+		r.ASPath = append([]uint32(nil), base.ASPath...)
+		r.Communities = append([]string(nil), base.Communities...)
+		f(&r)
+		return r
+	}
+	cases := []struct {
+		name string
+		r    RouteAttrs
+	}{
+		{"empty", RouteAttrs{}},
+		{"base", base},
+		{"aspath-differs", mutate(func(r *RouteAttrs) { r.ASPath[1] = 4200000002 })},
+		{"community-order-differs", mutate(func(r *RouteAttrs) { r.Communities[0], r.Communities[1] = r.Communities[1], r.Communities[0] })},
+		{"origin-differs", mutate(func(r *RouteAttrs) { r.Origin = OriginIncomplete })},
+		{"bandwidth-differs", mutate(func(r *RouteAttrs) { r.LinkBandwidthGbps = 12.5 })},
+		{"peer-nexthop-swap", mutate(func(r *RouteAttrs) { r.NextHop, r.Peer = "a", "b" })},
+		// The separator byte between fields must prevent concatenation
+		// collisions ("ab"+"c" vs "a"+"bc").
+		{"boundary-ab-c", RouteAttrs{NextHop: "ab", Peer: "c"}},
+		{"boundary-a-bc", RouteAttrs{NextHop: "a", Peer: "bc"}},
+	}
+	var b strings.Builder
+	seen := make(map[uint64]string)
+	for _, tc := range cases {
+		fp := tc.r.Fingerprint()
+		fmt.Fprintf(&b, "%-24s %016x\n", tc.name, fp)
+		if prev, dup := seen[fp]; dup {
+			t.Fatalf("fingerprint collision between %s and %s", prev, tc.name)
+		}
+		seen[fp] = tc.name
+	}
+	checkGolden(t, "fingerprints", b.String())
+}
+
+// TestCacheAccounting exercises the Table 2 hit/miss bookkeeping,
+// including the disabled path (the "w/o cache" ablation row) and the
+// wholesale-clear eviction at capacity.
+func TestCacheAccounting(t *testing.T) {
+	c := NewCache(2)
+	k1 := CacheKey{Statement: "s", Set: 0, Route: 1}
+	k2 := CacheKey{Statement: "s", Set: 0, Route: 2}
+	k3 := CacheKey{Statement: "s", Set: 1, Route: 1}
+
+	if _, ok := c.Get(k1); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put(k1, true)
+	if v, ok := c.Get(k1); !ok || !v {
+		t.Fatalf("Get after Put = %v,%v", v, ok)
+	}
+	if h, m := c.Stats(); h != 1 || m != 1 {
+		t.Fatalf("stats = %d hits, %d misses; want 1, 1", h, m)
+	}
+
+	// Filling to capacity then adding one more wholesale-clears: the
+	// survivors are gone, only the newest entry remains.
+	c.Put(k2, false)
+	if c.Len() != 2 {
+		t.Fatalf("len = %d, want 2", c.Len())
+	}
+	c.Put(k3, true)
+	if c.Len() != 1 {
+		t.Fatalf("len after overflow = %d, want 1 (wholesale clear)", c.Len())
+	}
+	if _, ok := c.Get(k1); ok {
+		t.Fatal("evicted entry still readable")
+	}
+	if v, ok := c.Get(k3); !ok || !v {
+		t.Fatal("newest entry lost in the clear")
+	}
+
+	// Disabled: every Get is a counted miss (the ablation denominator) and
+	// Put is a no-op, even for previously cached keys.
+	h0, m0 := c.Stats()
+	c.SetEnabled(false)
+	if c.Len() != 0 {
+		t.Fatalf("disable did not clear: len = %d", c.Len())
+	}
+	c.Put(k1, true)
+	if _, ok := c.Get(k1); ok {
+		t.Fatal("disabled cache returned a hit")
+	}
+	if h, m := c.Stats(); h != h0 || m != m0+1 {
+		t.Fatalf("disabled stats = %d,%d; want hits unchanged (%d) and one more miss (%d)", h, m, h0, m0+1)
+	}
+
+	// Re-enabling starts cold but keeps cumulative counters.
+	c.SetEnabled(true)
+	c.Put(k1, true)
+	if v, ok := c.Get(k1); !ok || !v {
+		t.Fatal("re-enabled cache not functional")
+	}
+
+	// Clear drops entries but not counters.
+	hBefore, mBefore := c.Stats()
+	c.Clear()
+	if c.Len() != 0 {
+		t.Fatal("Clear left entries")
+	}
+	if h, m := c.Stats(); h != hBefore || m != mBefore {
+		t.Fatal("Clear reset the counters")
+	}
+}

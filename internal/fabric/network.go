@@ -52,6 +52,11 @@ type session struct {
 	a, b topo.DeviceID
 	gbps float64
 	up   bool
+	// epoch counts teardowns. A message scheduled for delivery carries the
+	// epoch it was sent under; if the session bounced while it was in
+	// flight the message dies with its TCP connection instead of being
+	// delivered into the new incarnation after resync.
+	epoch int
 }
 
 // Node is one emulated switch: the device record plus its BGP speaker.
@@ -64,6 +69,20 @@ type Node struct {
 // Up reports whether the device is administratively up.
 func (n *Node) Up() bool { return n.up }
 
+// Perturbation adjusts one scheduled message delivery: fault injection for
+// the chaos harness. ExtraDelay stretches the delivery; Drop discards the
+// message entirely. A dropped message models a broken TCP stream, so
+// callers that drop should eventually reset the session to resynchronize
+// state (the chaos injector does).
+type Perturbation struct {
+	Drop       bool
+	ExtraDelay time.Duration
+}
+
+// Perturber inspects one in-flight message and returns its perturbation.
+// The zero Perturbation delivers normally.
+type Perturber func(sess bgp.SessionID, from, to topo.DeviceID, u bgp.Update) Perturbation
+
 // Network is the emulated fleet.
 type Network struct {
 	Topo *topo.Topology
@@ -75,6 +94,8 @@ type Network struct {
 	// fifo tracks the last scheduled delivery time per (session, receiver)
 	// so messages on one session stay ordered, as over TCP.
 	fifo map[string]int64
+	// perturb, when set, is consulted for every outgoing message.
+	perturb Perturber
 }
 
 // New builds the emulation: one speaker per device, one session per link.
@@ -135,6 +156,7 @@ func (n *Network) teardown(s *session) {
 		return
 	}
 	s.up = false
+	s.epoch++
 	n.nodes[s.a].Speaker.RemovePeer(s.id)
 	n.flush(s.a)
 	n.nodes[s.b].Speaker.RemovePeer(s.id)
@@ -158,20 +180,27 @@ func (n *Network) flush(dev topo.DeviceID) {
 		if j := int64(n.opts.Jitter); j > 0 {
 			delay += n.eng.rng.Int63n(j)
 		}
+		if n.perturb != nil {
+			pb := n.perturb(m.Session, dev, target, m.Update)
+			if pb.Drop {
+				continue
+			}
+			delay += int64(pb.ExtraDelay)
+		}
 		at := n.eng.now + delay
 		key := string(m.Session) + ">" + string(target)
 		if last := n.fifo[key]; at <= last {
 			at = last + 1
 		}
 		n.fifo[key] = at
-		u, sess, tgt := m.Update, m.Session, target
+		u, sess, tgt, ep := m.Update, m.Session, target, s.epoch
 		n.eng.schedule(at, func() {
 			tn := n.nodes[tgt]
 			if tn == nil || !tn.up {
 				return
 			}
-			if cur := n.sessions[sess]; cur == nil || !cur.up {
-				return // session went down while in flight
+			if cur := n.sessions[sess]; cur == nil || !cur.up || cur.epoch != ep {
+				return // session went down (or bounced) while in flight
 			}
 			tn.Speaker.HandleUpdate(sess, u)
 			n.flush(tgt)
@@ -320,6 +349,114 @@ func (n *Network) SetLinkUp(a, b topo.DeviceID, up bool) {
 			n.teardown(s)
 		}
 	}
+}
+
+// SetPerturber installs (or, with nil, removes) the message perturber.
+// The perturber is consulted once per outgoing message, after the normal
+// latency draw, so installing one does not change the RNG consumption
+// pattern — runs with and without a perturber stay seed-comparable up to
+// the first perturbed message.
+func (n *Network) SetPerturber(fn Perturber) { n.perturb = fn }
+
+// SessionInfo is the externally visible state of one session.
+type SessionInfo struct {
+	ID   bgp.SessionID
+	A, B topo.DeviceID
+	Up   bool
+}
+
+// SessionList returns every session sorted by ID — the fault planner's
+// sampling universe.
+func (n *Network) SessionList() []SessionInfo {
+	out := make([]SessionInfo, 0, len(n.sessions))
+	for _, s := range n.sessions {
+		out = append(out, SessionInfo{ID: s.id, A: s.a, B: s.b, Up: s.up})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// SetSessionUp fails or restores one session by ID (finer grained than
+// SetLinkUp, which acts on every parallel session of a link). Restoring is
+// a no-op unless both endpoints are up. Returns false for unknown IDs.
+func (n *Network) SetSessionUp(id bgp.SessionID, up bool) bool {
+	s := n.sessions[id]
+	if s == nil {
+		return false
+	}
+	if up {
+		if n.nodes[s.a].up && n.nodes[s.b].up {
+			n.establish(s)
+		}
+	} else {
+		n.teardown(s)
+	}
+	return true
+}
+
+// LiveSessions counts a device's currently established sessions. The chaos
+// injector uses it to bound blast radius: a fault that would sever a
+// device's last live session is suppressed rather than partitioning the
+// fleet.
+func (n *Network) LiveSessions(dev topo.DeviceID) int {
+	count := 0
+	for _, s := range n.sessions {
+		if (s.a == dev || s.b == dev) && s.up {
+			count++
+		}
+	}
+	return count
+}
+
+// RestartDevice emulates a routing-daemon restart: every session drops at
+// once, and after downFor the sessions that were up come back (provided
+// their far ends are still up). With warmFIB the forwarding table is
+// snapshotted before the crash and re-installed warm — the
+// graceful-restart dataplane behavior KeepFibWarmIfMnhViolated leans on —
+// so traffic keeps flowing on stale state while BGP reconverges. Without
+// it the FIB empties with the sessions, as on a cold reboot. Messages in
+// flight at the crash die with their session epoch; none leak into the
+// restarted sessions.
+func (n *Network) RestartDevice(dev topo.DeviceID, downFor time.Duration, warmFIB bool) {
+	node := n.nodes[dev]
+	if node == nil || !node.up {
+		return
+	}
+	var snap []fib.Entry
+	if warmFIB {
+		snap = node.Speaker.FIB().Snapshot()
+	}
+	ids := n.sessionsOf(dev)
+	var torn []bgp.SessionID
+	for _, sid := range ids {
+		s := n.sessions[sid]
+		if s.up {
+			n.teardown(s)
+			torn = append(torn, sid)
+		}
+	}
+	if warmFIB {
+		tbl := node.Speaker.FIB()
+		for _, e := range snap {
+			tbl.Install(e.Prefix, e.Hops)
+			tbl.MarkWarm(e.Prefix)
+		}
+	}
+	n.eng.after(ns(downFor), func() {
+		if !node.up {
+			return // powered off while restarting
+		}
+		for _, sid := range torn {
+			s := n.sessions[sid]
+			other := s.a
+			if other == dev {
+				other = s.b
+			}
+			if n.nodes[other].up {
+				n.establish(s)
+			}
+		}
+	})
 }
 
 // sessionsOf returns the session IDs incident to a device, sorted.

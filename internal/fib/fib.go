@@ -257,6 +257,25 @@ func (t *Table) Prefixes() []netip.Prefix {
 	return out
 }
 
+// Entry is one row of a table snapshot: a prefix and its (normalized)
+// next-hop set.
+type Entry struct {
+	Prefix netip.Prefix
+	Hops   []NextHop
+}
+
+// Snapshot returns a copy of every installed entry, sorted by prefix. The
+// chaos harness uses it to emulate a control-plane restart with a warm
+// ASIC: forwarding state survives while the routing process reboots.
+func (t *Table) Snapshot() []Entry {
+	out := make([]Entry, 0, len(t.entries))
+	for _, p := range t.Prefixes() {
+		g := t.entries[p]
+		out = append(out, Entry{Prefix: p, Hops: append([]NextHop(nil), g.hops...)})
+	}
+	return out
+}
+
 // Stats snapshots the table's counters.
 type Stats struct {
 	Entries    int // prefixes installed

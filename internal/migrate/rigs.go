@@ -1,0 +1,224 @@
+package migrate
+
+// Chaos rigs: the migration scenarios repackaged so that the chaos harness
+// (internal/chaos) can compose them with fault injection. RunScenario1/2/3
+// measure a scenario end to end and own their whole lifecycle; a rig
+// instead hands the pieces to the caller — the converged network, the
+// traffic matrix, the protective RPA rollout as a function of the deploy
+// hook (so pushes can be delayed or failed), and the migration schedule —
+// and lets the harness interleave faults, monitors, and invariant checks.
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"centralium/internal/controller"
+	"centralium/internal/core"
+	"centralium/internal/fabric"
+	"centralium/internal/topo"
+	"centralium/internal/traffic"
+	"centralium/internal/workload"
+)
+
+// DeployFunc pushes one RPA config to a device. The chaos injector wraps
+// the plain fabric deploy to emulate slow or reordered controller pushes.
+type DeployFunc func(dev topo.DeviceID, cfg *core.Config) error
+
+// ChaosRig is one migration scenario packaged for fault injection.
+type ChaosRig struct {
+	// Name identifies the scenario in logs ("decommission", "pod-drain").
+	Name string
+
+	// Net is the built fabric, converged to its pre-migration steady state.
+	Net *fabric.Network
+
+	// Demands is the traffic matrix the invariant checkers propagate.
+	Demands []traffic.Demand
+
+	// Prefixes are the destinations whose reachability the checkers assert.
+	Prefixes []netip.Prefix
+
+	// Sources are the demand-originating devices.
+	Sources []topo.DeviceID
+
+	// Protected are the devices carrying the scenario's protective RPA on
+	// the RPA arm; the MinNextHop/KeepFibWarm invariant inspects them.
+	Protected []topo.DeviceID
+
+	// DeployRPA runs the scenario's protective rollout, routing every
+	// config push through the given hook. Only the RPA arm calls it.
+	DeployRPA func(push DeployFunc) error
+
+	// Span is the virtual time from the first scheduled migration step to
+	// just past the last — the window fault planners aim for.
+	Span time.Duration
+
+	// Migration schedules the scenario's drain steps on the virtual clock
+	// (relative to now). The caller converges afterwards.
+	Migration func()
+}
+
+// Decommission-rig geometry: the Figure 4 mesh at the RunScenario2
+// defaults, decommissioning number 0.
+const (
+	decomPlanes       = 2
+	decomGrids        = 4
+	decomPerGroup     = 4
+	decomFSWsPerPlane = 2
+	decomNumber       = 0
+	decomMinPercent   = 75
+)
+
+// DecommissionRig builds the Figure 4 last-router scenario as a chaos rig:
+// all FADUs of one number drain with stagger, then the matching SSWs. The
+// native arm black-holes transiently when the last same-numbered FADU
+// drains; the RPA arm (capacity-protection at 75% with a warm FIB) does
+// not.
+func DecommissionRig(seed int64) *ChaosRig {
+	mesh := topo.BuildMesh(topo.MeshParams{
+		Planes: decomPlanes, Grids: decomGrids, PerGroup: decomPerGroup, FSWsPerPlane: decomFSWsPerPlane,
+	})
+	n := fabric.New(mesh, fabric.Options{Seed: seed})
+	for i := 0; i < 2; i++ {
+		n.OriginateAt(topo.EBID(i), DefaultRoute, []string{BackboneCommunity}, 0)
+	}
+	n.Converge()
+
+	num := decomNumber
+	var targets []topo.DeviceID
+	for plane := 0; plane < decomPlanes; plane++ {
+		targets = append(targets, topo.SSWID(plane, num))
+	}
+	var sources []topo.DeviceID
+	for _, d := range mesh.ByLayer(topo.LayerFSW) {
+		sources = append(sources, d.ID)
+	}
+
+	rig := &ChaosRig{
+		Name:      "decommission",
+		Net:       n,
+		Demands:   traffic.UniformDemands(mesh.ByLayer(topo.LayerFSW), DefaultRoute, 100),
+		Prefixes:  []netip.Prefix{DefaultRoute},
+		Sources:   sources,
+		Protected: targets,
+	}
+	rig.DeployRPA = func(push DeployFunc) error {
+		intent := controller.CapacityProtectionIntent(targets, BackboneCommunity, decomMinPercent, true, decomGrids)
+		ctl := &controller.Controller{
+			Topo:   mesh,
+			Deploy: func(d topo.DeviceID, cfg *core.Config) error { return push(d, cfg) },
+			Settle: func() { n.Converge() },
+		}
+		return ctl.Run(controller.Rollout{Intent: intent, OriginAltitude: topo.LayerEB.Altitude()})
+	}
+	rig.Span = time.Duration(decomGrids+decomPlanes) * 20 * time.Millisecond
+	rig.Migration = func() {
+		i := 0
+		for grid := 0; grid < decomGrids; grid++ {
+			g := grid
+			n.After(time.Duration(i)*20*time.Millisecond, func() {
+				n.SetDrained(topo.FADUID(g, num), true)
+			})
+			i++
+		}
+		for plane := 0; plane < decomPlanes; plane++ {
+			pl := plane
+			n.After(time.Duration(i)*20*time.Millisecond, func() {
+				n.SetDrained(topo.SSWID(pl, num), true)
+			})
+			i++
+		}
+	}
+	return rig
+}
+
+// Pod-drain-rig geometry: a two-pod fabric where pod 1's FSWs undergo
+// rolling maintenance, one spine plane at a time, keeping the last plane
+// live.
+const (
+	drainPods         = 2
+	drainRSWsPerPod   = 3
+	drainPlanes       = 3
+	drainSSWsPerPlane = 2
+	drainSourcePod    = 0
+	drainTargetPod    = 1
+)
+
+// PodDrainRig builds a rolling-FSW-maintenance scenario on the full fabric
+// topology. An SSW on plane f reaches pod P's rack prefixes only through
+// FSW(P,f) — a single-candidate transit — so draining that FSW races its
+// withdrawal through the SSWs against traffic still arriving from the
+// other pod: the native arm black-holes transiently at the plane's SSWs.
+// The RPA arm pre-steers source-pod traffic off the doomed planes with
+// weight-zero route attributes on the source RSWs, so the drains withdraw
+// paths that no longer carry anything.
+func PodDrainRig(seed int64) *ChaosRig {
+	fab := topo.BuildFabric(topo.FabricParams{
+		Pods: drainPods, RSWsPerPod: drainRSWsPerPod,
+		FSWsPerPod: drainPlanes, Planes: drainPlanes, SSWsPerPlane: drainSSWsPerPlane,
+		Grids: 1, FADUsPerGrid: 2, FAUUsPerGrid: 2, EBs: 2,
+	})
+	n := fabric.New(fab, fabric.Options{Seed: seed})
+	origins := workload.SeedRackPrefixes(n)
+	n.Converge()
+
+	// Track only the target pod's prefixes, sourced from the other pod.
+	var prefixes []netip.Prefix
+	var demands []traffic.Demand
+	var sources []topo.DeviceID
+	for r := 0; r < drainRSWsPerPod; r++ {
+		sources = append(sources, topo.RSWID(drainSourcePod, r))
+	}
+	for r := 0; r < drainRSWsPerPod; r++ {
+		p := workload.RackPrefix(drainTargetPod, r)
+		if _, ok := origins[p]; !ok {
+			panic(fmt.Sprintf("pod-drain rig: missing origin for %v", p))
+		}
+		prefixes = append(prefixes, p)
+		for _, src := range sources {
+			demands = append(demands, traffic.Demand{Source: src, Prefix: p, Volume: 100})
+		}
+	}
+
+	rig := &ChaosRig{
+		Name:      "pod-drain",
+		Net:       n,
+		Demands:   demands,
+		Prefixes:  prefixes,
+		Sources:   sources,
+		Protected: sources, // the RPA arm's route-attribute configs live on the source RSWs
+	}
+
+	// Doomed planes: all but the last.
+	var doomedFSWs []topo.DeviceID
+	for f := 0; f < drainPlanes-1; f++ {
+		doomedFSWs = append(doomedFSWs, topo.FSWID(drainSourcePod, f))
+	}
+	rig.DeployRPA = func(push DeployFunc) error {
+		// Weight zero toward the source pod's own FSWs on the doomed
+		// planes: traffic leaves the RSW only via the surviving plane, so
+		// the target pod's drains withdraw idle paths.
+		intent := controller.DrainWeightIntent(sources,
+			core.Destination{Community: workload.RackCommunity},
+			controller.DeviceRegex(doomedFSWs...))
+		ctl := &controller.Controller{
+			Topo:   fab,
+			Deploy: func(d topo.DeviceID, cfg *core.Config) error { return push(d, cfg) },
+			Settle: func() { n.Converge() },
+		}
+		return ctl.Run(controller.Rollout{Intent: intent, OriginAltitude: topo.LayerRSW.Altitude()})
+	}
+	rig.Span = time.Duration(drainPlanes-1) * 25 * time.Millisecond
+	rig.Migration = func() {
+		i := 0
+		for f := 0; f < drainPlanes-1; f++ {
+			plane := f
+			n.After(time.Duration(i)*25*time.Millisecond, func() {
+				n.SetDrained(topo.FSWID(drainTargetPod, plane), true)
+			})
+			i++
+		}
+	}
+	return rig
+}
