@@ -362,6 +362,34 @@ func BenchmarkTapDisabled(b *testing.B) {
 	b.Run("noop-tap", func(b *testing.B) { bench(b, telemetry.TapFunc(func(telemetry.Event) {})) })
 }
 
+// --- Convergence scaling: sequential vs batch-parallel engine ----------------
+
+// BenchmarkConvergence measures a cold-start fleet convergence (backbone
+// default route + rack prefixes) at three fabric sizes, on the sequential
+// and the batch-parallel engine. Both modes produce byte-identical results
+// (the differential tests enforce it); the benchmark prices the wall-clock
+// difference, which tracks physical cores. results/BENCH_parallel.json is
+// the committed snapshot. The 1kdevice size takes minutes per run
+// sequentially — use -bench 'Convergence/(small|medium)' for a quick pass.
+func BenchmarkConvergence(b *testing.B) {
+	for _, sc := range experiments.ConvergenceScales() {
+		for _, workers := range []int{1, 4} {
+			b.Run(fmt.Sprintf("%s/workers-%d", sc.Name, workers), func(b *testing.B) {
+				var events, batched int64
+				for i := 0; i < b.N; i++ {
+					st := experiments.RunConvergence(sc, 42, workers)
+					if st.Events == 0 {
+						b.Fatal("no events")
+					}
+					events, batched = st.Events, st.Batched
+				}
+				b.ReportMetric(float64(events), "events")
+				b.ReportMetric(float64(batched), "batched")
+			})
+		}
+	}
+}
+
 // --- Phase-2 substrate benchmarks --------------------------------------------
 
 func BenchmarkOpenRFlooding(b *testing.B) {

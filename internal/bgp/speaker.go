@@ -14,9 +14,17 @@ import (
 // prefixes; the traffic model treats it as final delivery.
 const LocalNextHop = "local"
 
-// Speaker is one emulated BGP daemon. It is single-threaded by design: the
-// fabric engine serializes all calls, mirroring a real daemon's decision
-// thread.
+// Speaker is one emulated BGP daemon. It is single-threaded by design,
+// mirroring a real daemon's decision thread, and owns no state shared with
+// other speakers: peers, Adj-RIB-In, prefix state, FIB table, and the RPA
+// evaluator are all per-instance, and every side effect is handed off
+// through two explicit channels — the outbox (drained via TakeOutbox by
+// whoever drives the speaker) and the telemetry tap (set via SetTap). That
+// containment is the worker-safety contract the fabric's batch-parallel
+// engine relies on: a speaker may be driven from any goroutine as long as
+// no two goroutines touch the same speaker concurrently (the engine
+// guarantees this by partitioning each event window by target device, with
+// a per-node buffering tap and deferred outbox routing).
 type Speaker struct {
 	cfg   Config
 	peers map[SessionID]*peer

@@ -1,0 +1,48 @@
+package chaos
+
+import (
+	"fmt"
+	"testing"
+
+	"centralium/internal/fabric"
+)
+
+// TestDifferentialParallelLogs proves the batch-parallel fabric engine is
+// observationally equivalent on the full chaos pipeline: every scenario ×
+// arm × 10 seeds runs once sequentially and once with the fleet default at
+// 4 workers, and the canonical logs — fault plan, injections, violation
+// transitions, quiescent findings, summary — must be byte-identical.
+//
+// The chaos monitor's OnEvent hook serializes the monitored phase, so the
+// parallel win here is the rig build and RPA-deploy convergence; what this
+// test pins down is that opting a whole suite into CENTRALIUM_PARALLEL can
+// never change chaos results, only wall-clock.
+func TestDifferentialParallelLogs(t *testing.T) {
+	prev := fabric.SetDefaultWorkers(1)
+	defer fabric.SetDefaultWorkers(prev)
+
+	for _, scenario := range Scenarios() {
+		for _, arm := range []Arm{ArmNative, ArmRPA} {
+			for seed := int64(1); seed <= 10; seed++ {
+				name := fmt.Sprintf("%s/%s/seed%d", scenario, arm, seed)
+				fabric.SetDefaultWorkers(1)
+				seq, err := Run(RunParams{Scenario: scenario, Arm: arm, Seed: seed})
+				if err != nil {
+					t.Fatalf("%s sequential: %v", name, err)
+				}
+				fabric.SetDefaultWorkers(4)
+				par, err := Run(RunParams{Scenario: scenario, Arm: arm, Seed: seed})
+				if err != nil {
+					t.Fatalf("%s parallel: %v", name, err)
+				}
+				if seq.Log != par.Log {
+					t.Errorf("%s: canonical log diverged between sequential and parallel runs\nsequential:\n%s\nparallel:\n%s",
+						name, seq.Log, par.Log)
+				}
+				if seq.Events != par.Events {
+					t.Errorf("%s: event counts diverged: sequential %d, parallel %d", name, seq.Events, par.Events)
+				}
+			}
+		}
+	}
+}

@@ -62,7 +62,7 @@ type RunResult struct {
 	// EffectiveViolations counts only those outside fault disturbance
 	// windows. A healthy RPA arm has zero effective violations; a native
 	// arm shows raw violations from the migration itself.
-	RawViolations      int
+	RawViolations       int
 	EffectiveViolations int
 
 	// Quiescent holds the invariant breaches found after full

@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"centralium/internal/fabric"
+)
+
+func TestConvergenceScalesShape(t *testing.T) {
+	scales := ConvergenceScales()
+	if len(scales) != 3 {
+		t.Fatalf("got %d scales, want 3", len(scales))
+	}
+	for i, want := range []string{"small", "medium", "1kdevice"} {
+		if scales[i].Name != want {
+			t.Errorf("scale %d = %q, want %q", i, scales[i].Name, want)
+		}
+	}
+	if scales[2].RackRSWsPerPod != 1 {
+		t.Errorf("1kdevice RackRSWsPerPod = %d, want 1 (event-budget trim)", scales[2].RackRSWsPerPod)
+	}
+}
+
+// TestRunConvergenceDifferential is the experiments-layer equivalence
+// check: the scale scenario's deterministic columns (events, virtual time,
+// prefixes) must be identical across engine modes, and the parallel run
+// must actually batch.
+func TestRunConvergenceDifferential(t *testing.T) {
+	sc := ConvergenceScales()[0] // small: seconds, not minutes
+	seq := RunConvergence(sc, 42, 1)
+	par := RunConvergence(sc, 42, 4)
+	if seq.Events == 0 || seq.Devices == 0 {
+		t.Fatalf("degenerate sequential run: %+v", seq)
+	}
+	if seq.Batched != 0 {
+		t.Errorf("sequential run batched %d events, want 0", seq.Batched)
+	}
+	if par.Batched == 0 {
+		t.Error("parallel run never took the batch path")
+	}
+	if par.Events != seq.Events || par.Virtual != seq.Virtual || par.Prefixes != seq.Prefixes {
+		t.Errorf("modes diverged: sequential %+v, parallel %+v", seq, par)
+	}
+}
+
+func TestScaleParallelOutput(t *testing.T) {
+	sc := ConvergenceScales()[0]
+	out := ScaleParallel(42, sc, []int{1, 2})
+	for _, want := range []string{"scale=small", "workers", "speedup", "identical across modes: true"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ScaleParallel output missing %q:\n%s", want, out)
+		}
+	}
+	rows := ScaleParallelRows(42, sc, []int{1, 2})
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rows))
+	}
+	if rows[0].Label != "workers=1" || rows[1].Label != "workers=2" {
+		t.Errorf("row labels = %q, %q", rows[0].Label, rows[1].Label)
+	}
+	if rows[0].Values["events"] != rows[1].Values["events"] {
+		t.Errorf("row events diverged: %v vs %v", rows[0].Values["events"], rows[1].Values["events"])
+	}
+	if rows[1].Values["batched"] == 0 {
+		t.Error("parallel row batched = 0")
+	}
+	for _, key := range []string{"devices", "sessions", "virtual_ms", "wall_ms", "cores"} {
+		if _, ok := rows[0].Values[key]; !ok {
+			t.Errorf("row missing value %q", key)
+		}
+	}
+}
+
+func TestScaleParallelRegistration(t *testing.T) {
+	e, ok := Get("scale-parallel")
+	if !ok {
+		t.Fatal("scale-parallel not registered")
+	}
+	if !e.Slow {
+		t.Error("scale-parallel not marked Slow; benchtab -all would take minutes")
+	}
+	if _, ok := rowsRegistry["scale-parallel"]; !ok {
+		t.Error("scale-parallel has no rows producer; -json emits no rows")
+	}
+}
+
+func TestScaleParallelModes(t *testing.T) {
+	prev := fabric.SetDefaultWorkers(1)
+	defer fabric.SetDefaultWorkers(prev)
+	if got := scaleParallelModes(); got[0] != 1 || got[1] != 4 {
+		t.Errorf("modes with sequential default = %v, want [1 4]", got)
+	}
+	fabric.SetDefaultWorkers(8)
+	if got := scaleParallelModes(); got[0] != 1 || got[1] != 8 {
+		t.Errorf("modes with default 8 = %v, want [1 8]", got)
+	}
+}
+
+// TestExperimentsDifferential runs every deterministic-output experiment on
+// both engines and asserts the rendered tables are byte-identical — the
+// benchtab half of the differential equivalence obligation. Experiments
+// whose output includes wall-clock or process-level measurements
+// (sweep-scale, fig11, fig12, scale-parallel) are exercised by
+// TestRunConvergenceDifferential on their deterministic columns instead;
+// chaos has its own 10-seed differential suite in internal/chaos.
+func TestExperimentsDifferential(t *testing.T) {
+	prev := fabric.SetDefaultWorkers(1)
+	defer fabric.SetDefaultWorkers(prev)
+	ids := []string{"fig2", "fig4", "fig5", "fig9", "fig10", "fig13", "sweep-fig4", "sweep-fig5", "sweep-mnh"}
+	for _, id := range ids {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			fabric.SetDefaultWorkers(1)
+			seq, err := Run(id, 42)
+			if err != nil {
+				t.Fatalf("sequential: %v", err)
+			}
+			fabric.SetDefaultWorkers(4)
+			par, err := Run(id, 42)
+			if err != nil {
+				t.Fatalf("parallel: %v", err)
+			}
+			if seq != par {
+				t.Errorf("%s output diverged between engines:\nsequential:\n%s\nparallel:\n%s", id, seq, par)
+			}
+		})
+	}
+}

@@ -1,0 +1,259 @@
+package fabric
+
+import (
+	"fmt"
+	"net/netip"
+	"strings"
+	"testing"
+	"time"
+
+	"centralium/internal/telemetry"
+	"centralium/internal/topo"
+)
+
+// The differential harness: every scenario runs once sequentially and once
+// under the parallel engine with the same seed, and the two runs must be
+// byte-identical — same telemetry stream (content, order, timestamps), same
+// fleet FIB, same clock, same event count. This is the proof obligation of
+// the batch-parallel engine (DESIGN.md, "Batch-parallel engine").
+
+// recordTap renders every tap event to a line so two runs can be compared
+// byte-for-byte, ordering and timestamps included.
+type recordTap struct {
+	lines []string
+}
+
+func (r *recordTap) Emit(ev telemetry.Event) {
+	r.lines = append(r.lines, fmt.Sprintf("%+v", ev))
+}
+
+// fleetDigest renders every up device's FIB, sorted by device then prefix.
+func fleetDigest(n *Network) string {
+	var b strings.Builder
+	for _, id := range n.UpDevices() {
+		for _, e := range n.Speaker(id).FIB().Snapshot() {
+			fmt.Fprintf(&b, "%s %s %v\n", id, e.Prefix, e.Hops)
+		}
+	}
+	return b.String()
+}
+
+// diffScenario drives one network through a migration-flavored script that
+// exercises every delivery-path feature the parallel engine must preserve:
+// multi-origin convergence, drain, link flap, session-epoch death
+// (RestartDevice), device decommission, and timed runs.
+func diffScenario(n *Network) {
+	prefixA := netip.MustParsePrefix("0.0.0.0/0")
+	prefixB := netip.MustParsePrefix("10.0.0.0/8")
+	for i, eb := range n.Topo.ByLayer(topo.LayerEB) {
+		n.OriginateAt(eb.ID, prefixA, []string{"BACKBONE_DEFAULT_ROUTE"}, 0)
+		if i == 0 {
+			n.OriginateAt(eb.ID, prefixB, nil, 0)
+		}
+	}
+	for _, rsw := range n.Topo.ByLayer(topo.LayerRSW) {
+		n.OriginateAt(rsw.ID, netip.MustParsePrefix(fmt.Sprintf("192.168.%d.0/24", rsw.Index)), nil, 0)
+	}
+	n.Converge()
+
+	fadus := n.Topo.ByLayer(topo.LayerFADU)
+	fauus := n.Topo.ByLayer(topo.LayerFAUU)
+	ssws := n.Topo.ByLayer(topo.LayerSSW)
+
+	// Maintenance drain with a concurrent link flap.
+	n.SetDrained(fadus[0].ID, true)
+	n.After(2*time.Millisecond, func() { n.SetLinkUp(fadus[1].ID, fauus[0].ID, false) })
+	n.RunFor(20 * time.Millisecond)
+	n.SetLinkUp(fadus[1].ID, fauus[0].ID, true)
+	n.Converge()
+
+	// Daemon restart (cold): in-flight messages die with their epoch.
+	n.RestartDevice(ssws[0].ID, 5*time.Millisecond, false)
+	n.RunFor(2 * time.Millisecond) // mid-restart traffic
+	n.Converge()
+
+	// Decommission one spine and undrain the FADU.
+	n.SetDeviceUp(ssws[1].ID, false)
+	n.SetDrained(fadus[0].ID, false)
+	n.Converge()
+}
+
+func buildDiffNet(seed int64, workers int) (*Network, *recordTap) {
+	tp := topo.BuildFabric(topo.FabricParams{})
+	n := New(tp, Options{Seed: seed, Workers: workers})
+	tap := &recordTap{}
+	n.SetTap(tap)
+	return n, tap
+}
+
+// TestDifferentialParallelEquivalence is the core equivalence proof: 10
+// seeds, sequential vs 4-worker parallel, byte-identical telemetry stream
+// and fleet FIB. It also asserts the parallel run really exercised the
+// batch path (EventsBatched > 0) — equivalence by silent fallback would be
+// vacuous.
+func TestDifferentialParallelEquivalence(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			seqNet, seqTap := buildDiffNet(seed, 1)
+			diffScenario(seqNet)
+			parNet, parTap := buildDiffNet(seed, 4)
+			diffScenario(parNet)
+
+			if parNet.EventsBatched() == 0 {
+				t.Fatal("parallel run never took the batch path; equivalence test is vacuous")
+			}
+			if got, want := parNet.EventsProcessed(), seqNet.EventsProcessed(); got != want {
+				t.Errorf("events processed: parallel %d, sequential %d", got, want)
+			}
+			if got, want := parNet.Now(), seqNet.Now(); got != want {
+				t.Errorf("final clock: parallel %d, sequential %d", got, want)
+			}
+			if got, want := fleetDigest(parNet), fleetDigest(seqNet); got != want {
+				t.Errorf("fleet FIB digest diverged:\n%s", firstDiff(want, got))
+			}
+			seqStream := strings.Join(seqTap.lines, "\n")
+			parStream := strings.Join(parTap.lines, "\n")
+			if seqStream != parStream {
+				t.Errorf("telemetry stream diverged (%d vs %d events):\n%s",
+					len(seqTap.lines), len(parTap.lines), firstDiff(seqStream, parStream))
+			}
+		})
+	}
+}
+
+// TestDifferentialWorkerWidths checks that every fan-out width produces the
+// same bytes — the contract is width-independent, not just "4 matches 1".
+func TestDifferentialWorkerWidths(t *testing.T) {
+	ref, refTap := buildDiffNet(99, 1)
+	diffScenario(ref)
+	refDigest := fleetDigest(ref)
+	refStream := strings.Join(refTap.lines, "\n")
+	for _, w := range []int{2, 3, 8} {
+		n, tap := buildDiffNet(99, w)
+		diffScenario(n)
+		if d := fleetDigest(n); d != refDigest {
+			t.Errorf("workers=%d: FIB digest diverged:\n%s", w, firstDiff(refDigest, d))
+		}
+		if s := strings.Join(tap.lines, "\n"); s != refStream {
+			t.Errorf("workers=%d: telemetry stream diverged:\n%s", w, firstDiff(refStream, s))
+		}
+	}
+}
+
+// TestDifferentialNoTap runs the same scenario without a telemetry tap: the
+// parallel engine must not depend on the buffering shim being active.
+func TestDifferentialNoTap(t *testing.T) {
+	tp := topo.BuildFabric(topo.FabricParams{})
+	seqNet := New(tp, Options{Seed: 7, Workers: 1})
+	diffScenario(seqNet)
+	parNet := New(topo.BuildFabric(topo.FabricParams{}), Options{Seed: 7, Workers: 4})
+	diffScenario(parNet)
+	if parNet.EventsBatched() == 0 {
+		t.Fatal("parallel run never took the batch path")
+	}
+	if got, want := fleetDigest(parNet), fleetDigest(seqNet); got != want {
+		t.Errorf("fleet FIB digest diverged:\n%s", firstDiff(want, got))
+	}
+	if got, want := parNet.EventsProcessed(), seqNet.EventsProcessed(); got != want {
+		t.Errorf("events processed: parallel %d, sequential %d", got, want)
+	}
+}
+
+// TestDifferentialHooksSerialize pins the hook contract: with an OnEvent
+// hook registered the engine steps sequentially (hooks observe global state
+// between every two events), so EventsBatched stays zero and the hook sees
+// the exact sequential interleaving.
+func TestDifferentialHooksSerialize(t *testing.T) {
+	run := func(workers int) ([]int64, *Network) {
+		tp := topo.BuildFabric(topo.FabricParams{})
+		n := New(tp, Options{Seed: 3, Workers: workers})
+		var clocks []int64
+		n.OnEvent(func(now int64) { clocks = append(clocks, now) })
+		for _, eb := range tp.ByLayer(topo.LayerEB) {
+			n.OriginateAt(eb.ID, netip.MustParsePrefix("0.0.0.0/0"), []string{"BACKBONE_DEFAULT_ROUTE"}, 0)
+		}
+		n.Converge()
+		return clocks, n
+	}
+	seqClocks, _ := run(1)
+	parClocks, parNet := run(4)
+	if parNet.EventsBatched() != 0 {
+		t.Errorf("EventsBatched = %d with hooks registered, want 0 (serial fallback)", parNet.EventsBatched())
+	}
+	if len(seqClocks) != len(parClocks) {
+		t.Fatalf("hook call counts diverged: %d vs %d", len(seqClocks), len(parClocks))
+	}
+	for i := range seqClocks {
+		if seqClocks[i] != parClocks[i] {
+			t.Fatalf("hook clock %d diverged: %d vs %d", i, seqClocks[i], parClocks[i])
+		}
+	}
+}
+
+// TestDifferentialMidRunSwitch flips the engine mode between phases of one
+// run; because both modes are byte-identical, the hybrid run must match a
+// pure sequential run.
+func TestDifferentialMidRunSwitch(t *testing.T) {
+	ref, refTap := buildDiffNet(11, 1)
+	diffScenario(ref)
+
+	n, tap := buildDiffNet(11, 4)
+	prefixA := netip.MustParsePrefix("0.0.0.0/0")
+	prefixB := netip.MustParsePrefix("10.0.0.0/8")
+	for i, eb := range n.Topo.ByLayer(topo.LayerEB) {
+		n.OriginateAt(eb.ID, prefixA, []string{"BACKBONE_DEFAULT_ROUTE"}, 0)
+		if i == 0 {
+			n.OriginateAt(eb.ID, prefixB, nil, 0)
+		}
+	}
+	for _, rsw := range n.Topo.ByLayer(topo.LayerRSW) {
+		n.OriginateAt(rsw.ID, netip.MustParsePrefix(fmt.Sprintf("192.168.%d.0/24", rsw.Index)), nil, 0)
+	}
+	n.Converge()
+	if n.Workers() != 4 {
+		t.Fatalf("Workers() = %d, want 4", n.Workers())
+	}
+	n.SetWorkers(1) // drop to sequential mid-run
+
+	fadus := n.Topo.ByLayer(topo.LayerFADU)
+	fauus := n.Topo.ByLayer(topo.LayerFAUU)
+	ssws := n.Topo.ByLayer(topo.LayerSSW)
+	n.SetDrained(fadus[0].ID, true)
+	n.After(2*time.Millisecond, func() { n.SetLinkUp(fadus[1].ID, fauus[0].ID, false) })
+	n.RunFor(20 * time.Millisecond)
+	n.SetLinkUp(fadus[1].ID, fauus[0].ID, true)
+	n.Converge()
+
+	n.SetWorkers(6) // and back up to parallel
+	n.RestartDevice(ssws[0].ID, 5*time.Millisecond, false)
+	n.RunFor(2 * time.Millisecond)
+	n.Converge()
+	n.SetDeviceUp(ssws[1].ID, false)
+	n.SetDrained(fadus[0].ID, false)
+	n.Converge()
+
+	if got, want := fleetDigest(n), fleetDigest(ref); got != want {
+		t.Errorf("fleet FIB digest diverged:\n%s", firstDiff(want, got))
+	}
+	if got, want := strings.Join(tap.lines, "\n"), strings.Join(refTap.lines, "\n"); got != want {
+		t.Errorf("telemetry stream diverged:\n%s", firstDiff(want, got))
+	}
+}
+
+// firstDiff locates the first divergent line of two multi-line strings for
+// a readable failure message.
+func firstDiff(want, got string) string {
+	wl, gl := strings.Split(want, "\n"), strings.Split(got, "\n")
+	n := len(wl)
+	if len(gl) < n {
+		n = len(gl)
+	}
+	for i := 0; i < n; i++ {
+		if wl[i] != gl[i] {
+			return fmt.Sprintf("line %d:\n  want: %s\n  got:  %s", i+1, wl[i], gl[i])
+		}
+	}
+	return fmt.Sprintf("line counts differ: want %d, got %d", len(wl), len(gl))
+}

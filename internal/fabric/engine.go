@@ -5,6 +5,12 @@
 // transients (first/last-router funneling, WCMP next-hop-group explosion) —
 // while keeping every run exactly reproducible.
 //
+// The engine has two execution modes that produce byte-identical results:
+// sequential (one event at a time) and batch-parallel (events inside a
+// conservative lookahead window are partitioned by target device and fanned
+// across a worker pool, with all externally visible side effects merged in
+// sorted event order). See DESIGN.md, "Batch-parallel engine".
+//
 // This package is the substitute for Meta's production fleet (see
 // DESIGN.md, substitution table).
 package fabric
@@ -12,15 +18,39 @@ package fabric
 import (
 	"container/heap"
 	"fmt"
+	"math"
 	"math/rand"
 	"time"
+
+	"centralium/internal/bgp"
+	"centralium/internal/telemetry"
+	"centralium/internal/topo"
 )
 
-// event is one scheduled callback.
+// delivery is one in-flight UPDATE: the structured form of a message event.
+// Carrying the target device (instead of an opaque closure) is what lets
+// the parallel engine partition same-window events by device.
+type delivery struct {
+	sess bgp.SessionID
+	to   topo.DeviceID
+	u    bgp.Update
+	// epoch is the session incarnation the message was sent under; if the
+	// session bounced while the message was in flight it dies with its TCP
+	// connection instead of being delivered into the new incarnation.
+	epoch int
+}
+
+// event is one scheduled engine entry: either a control callback (fn) or a
+// message delivery (dlv). out/taps buffer a delivery's side effects during
+// the parallel phase so the merge phase can replay them in event order.
 type event struct {
 	at  int64 // virtual nanoseconds
 	seq int64 // tie-break for equal timestamps: FIFO
 	fn  func()
+	dlv *delivery
+
+	out  []bgp.OutMsg
+	taps []telemetry.Event
 }
 
 type eventHeap []*event
@@ -51,7 +81,20 @@ type engine struct {
 	rng   *rand.Rand
 
 	processed int64
-	hooks     []func(now int64)
+	// batched counts events that executed through the parallel batch path;
+	// tests and benchmarks use it to confirm fan-out actually engaged.
+	batched int64
+	hooks   []func(now int64)
+
+	// net executes deliveries (the engine owns ordering, the network owns
+	// semantics).
+	net *Network
+	// workers is the parallel fan-out width; <=1 runs fully sequentially.
+	workers int
+	// lookahead is the minimum delay of any scheduled delivery (the
+	// network's BaseLatency): events less than lookahead apart cannot be
+	// causally related, which is what makes window-parallelism safe.
+	lookahead int64
 }
 
 func newEngine(seed int64) *engine {
@@ -67,6 +110,15 @@ func (e *engine) schedule(at int64, fn func()) {
 	heap.Push(&e.queue, &event{at: at, seq: e.seq, fn: fn})
 }
 
+// scheduleDelivery enqueues a message delivery at the given virtual time.
+func (e *engine) scheduleDelivery(at int64, d *delivery) {
+	if at < e.now {
+		at = e.now
+	}
+	e.seq++
+	heap.Push(&e.queue, &event{at: at, seq: e.seq, dlv: d})
+}
+
 // after enqueues fn delay nanoseconds from now.
 func (e *engine) after(delay int64, fn func()) { e.schedule(e.now+delay, fn) }
 
@@ -74,46 +126,95 @@ func (e *engine) after(delay int64, fn func()) { e.schedule(e.now+delay, fn) }
 // non-converging protocol bug rather than a big workload.
 const DefaultMaxEvents = 5_000_000
 
+// noDeadline disables the deadline check in runCore.
+const noDeadline = math.MaxInt64
+
 // run processes events until the queue is empty or maxEvents is hit; it
 // returns the number processed and whether the queue drained.
 func (e *engine) run(maxEvents int64) (int64, bool) {
-	if maxEvents <= 0 {
-		maxEvents = DefaultMaxEvents
-	}
-	var n int64
-	for len(e.queue) > 0 && n < maxEvents {
-		ev := heap.Pop(&e.queue).(*event)
-		e.now = ev.at
-		ev.fn()
-		n++
-		e.processed++
-		for _, h := range e.hooks {
-			h(e.now)
-		}
-	}
+	n := e.runCore(noDeadline, maxEvents)
 	return n, len(e.queue) == 0
 }
 
 // runUntil processes events with timestamps <= deadline.
 func (e *engine) runUntil(deadline int64, maxEvents int64) int64 {
+	n := e.runCore(deadline, maxEvents)
+	if e.now < deadline {
+		e.now = deadline
+	}
+	return n
+}
+
+// runCore is the shared event loop. Sequential mode pops one event at a
+// time. Parallel mode additionally batches runs of consecutive delivery
+// events that fall inside one lookahead window and hands them to the
+// network's batch executor, which preserves sequential semantics exactly.
+//
+// Per-event hooks (OnEvent) observe global fleet state between every two
+// events, which is inherently serializing: while any hook is registered the
+// loop steps sequentially regardless of the worker count, so hook-driven
+// consumers (transient samplers, the chaos monitor) see exactly the
+// sequential interleaving.
+func (e *engine) runCore(deadline int64, maxEvents int64) int64 {
 	if maxEvents <= 0 {
 		maxEvents = DefaultMaxEvents
 	}
 	var n int64
 	for len(e.queue) > 0 && n < maxEvents && e.queue[0].at <= deadline {
+		if e.workers > 1 && len(e.hooks) == 0 && e.queue[0].dlv != nil {
+			batch := e.collectBatch(deadline, maxEvents-n)
+			if len(batch) > 1 {
+				e.net.execBatch(batch)
+				n += int64(len(batch))
+				e.processed += int64(len(batch))
+				e.batched += int64(len(batch))
+				continue
+			}
+			// Window of one: run it serially (no fan-out overhead).
+			ev := batch[0]
+			e.now = ev.at
+			e.net.deliver(ev.dlv)
+			n++
+			e.processed++
+			continue
+		}
 		ev := heap.Pop(&e.queue).(*event)
 		e.now = ev.at
-		ev.fn()
+		if ev.dlv != nil {
+			e.net.deliver(ev.dlv)
+		} else {
+			ev.fn()
+		}
 		n++
 		e.processed++
 		for _, h := range e.hooks {
 			h(e.now)
 		}
 	}
-	if e.now < deadline {
-		e.now = deadline
-	}
 	return n
+}
+
+// collectBatch pops the maximal run of consecutive delivery events whose
+// timestamps fall within one lookahead window of the head (and within the
+// deadline and event budget). Any event processed in the window schedules
+// new events no earlier than head.at+lookahead, so the collected batch is
+// exactly the set of events the sequential engine would process over the
+// same span; a control event (fn) bounds the window because it may mutate
+// shared fleet state (sessions, device power) mid-span.
+func (e *engine) collectBatch(deadline, budget int64) []*event {
+	horizon := e.queue[0].at + e.lookahead
+	if horizon < e.queue[0].at { // overflow guard for astronomical clocks
+		horizon = math.MaxInt64
+	}
+	var batch []*event
+	for len(e.queue) > 0 && int64(len(batch)) < budget {
+		h := e.queue[0]
+		if h.dlv == nil || h.at >= horizon || h.at > deadline {
+			break
+		}
+		batch = append(batch, heap.Pop(&e.queue).(*event))
+	}
+	return batch
 }
 
 // Duration helpers: the virtual clock counts nanoseconds.

@@ -3,7 +3,10 @@ package fabric
 import (
 	"fmt"
 	"net/netip"
+	"os"
 	"sort"
+	"strconv"
+	"sync/atomic"
 	"time"
 
 	"centralium/internal/bgp"
@@ -13,13 +16,46 @@ import (
 	"centralium/internal/topo"
 )
 
+// defaultWorkers is the fleet-wide default for Options.Workers == 0. It is
+// seeded from CENTRALIUM_PARALLEL so a whole test suite (or CI job) can opt
+// into the parallel engine without code changes; SetDefaultWorkers overrides
+// it programmatically (cmd/benchtab -parallel). Atomic so concurrent tests
+// that build networks while another adjusts the default stay race-clean —
+// and because parallel mode is byte-identical to sequential, the value in
+// effect never changes results, only wall-clock.
+var defaultWorkers atomic.Int64
+
+func init() {
+	defaultWorkers.Store(1)
+	if v := os.Getenv("CENTRALIUM_PARALLEL"); v != "" {
+		if k, err := strconv.Atoi(v); err == nil && k > 0 {
+			defaultWorkers.Store(int64(k))
+		}
+	}
+}
+
+// SetDefaultWorkers sets the worker count used by networks built with
+// Options.Workers == 0 and returns the previous default. Values below 1
+// are clamped to 1 (sequential).
+func SetDefaultWorkers(w int) int {
+	if w < 1 {
+		w = 1
+	}
+	return int(defaultWorkers.Swap(int64(w)))
+}
+
+// DefaultWorkers returns the current fleet-wide default worker count.
+func DefaultWorkers() int { return int(defaultWorkers.Load()) }
+
 // Options configures the emulation.
 type Options struct {
 	// Seed drives all randomness (message jitter). Same seed, same run.
 	Seed int64
 
 	// BaseLatency is the fixed per-message propagation delay
-	// (default 1ms).
+	// (default 1ms). It is also the parallel engine's lookahead: no
+	// message arrives sooner than BaseLatency after it was sent, so
+	// deliveries less than BaseLatency apart are causally independent.
 	BaseLatency time.Duration
 
 	// Jitter is the maximum extra random delay per message (default 5ms).
@@ -30,19 +66,34 @@ type Options struct {
 	// ASN are filled in from the device regardless. Nil gets the default:
 	// multipath on, ECMP, least-favorable advertisement.
 	SpeakerConfig func(d *topo.Device) bgp.Config
+
+	// Workers selects the engine execution mode: 1 is fully sequential,
+	// N>1 fans same-window event handling across N goroutines with a
+	// deterministic merge — byte-identical output, less wall-clock on
+	// multicore hosts. 0 uses the fleet default (CENTRALIUM_PARALLEL env
+	// or SetDefaultWorkers), which is sequential unless overridden.
+	Workers int
 }
 
 func (o *Options) setDefaults() {
-	if o.BaseLatency == 0 {
+	if o.BaseLatency <= 0 {
 		o.BaseLatency = time.Millisecond
 	}
-	if o.Jitter == 0 {
+	if o.Jitter < 0 {
+		o.Jitter = 0
+	} else if o.Jitter == 0 {
 		o.Jitter = 5 * time.Millisecond
 	}
 	if o.SpeakerConfig == nil {
 		o.SpeakerConfig = func(*topo.Device) bgp.Config {
 			return bgp.Config{Multipath: true}
 		}
+	}
+	if o.Workers == 0 {
+		o.Workers = DefaultWorkers()
+	}
+	if o.Workers < 1 {
+		o.Workers = 1
 	}
 }
 
@@ -64,6 +115,16 @@ type Node struct {
 	Device  *topo.Device
 	Speaker *bgp.Speaker
 	up      bool
+
+	// vnow is the virtual time of the event currently (or last) dispatched
+	// to this node. The speaker's clock reads max(vnow, engine now) so tap
+	// events carry correct per-event timestamps even while a parallel
+	// worker drives the node ahead of the engine's merged clock.
+	vnow int64
+	// tap is the per-node telemetry shim: it forwards to the network tap,
+	// except while a parallel worker owns the node, when it buffers so the
+	// merge phase can emit the fleet stream in sequential event order.
+	tap *nodeTap
 }
 
 // Up reports whether the device is administratively up.
@@ -96,6 +157,8 @@ type Network struct {
 	fifo map[string]int64
 	// perturb, when set, is consulted for every outgoing message.
 	perturb Perturber
+	// tap is the fleet-wide telemetry sink; per-node shims route to it.
+	tap telemetry.Tap
 }
 
 // New builds the emulation: one speaker per device, one session per link.
@@ -110,15 +173,25 @@ func New(t *topo.Topology, opts Options) *Network {
 		sessions: make(map[bgp.SessionID]*session),
 		fifo:     make(map[string]int64),
 	}
+	n.eng.net = n
+	n.eng.workers = opts.Workers
+	n.eng.lookahead = int64(opts.BaseLatency)
 	for _, d := range t.Devices() {
 		cfg := opts.SpeakerConfig(d)
 		cfg.ID = string(d.ID)
 		cfg.ASN = d.ASN
-		n.nodes[d.ID] = &Node{
-			Device:  d,
-			Speaker: bgp.NewSpeaker(cfg, func() int64 { return n.eng.now }),
-			up:      true,
-		}
+		node := &Node{Device: d, up: true}
+		node.tap = &nodeTap{net: n}
+		// The clock is max(node dispatch time, engine clock): identical to
+		// the engine clock on the sequential path, and the per-event time
+		// while a parallel worker drives the node ahead of the merge.
+		node.Speaker = bgp.NewSpeaker(cfg, func() int64 {
+			if node.vnow > n.eng.now {
+				return node.vnow
+			}
+			return n.eng.now
+		})
+		n.nodes[d.ID] = node
 	}
 	for li, l := range t.Links() {
 		s := &session{
@@ -166,8 +239,16 @@ func (n *Network) teardown(s *session) {
 // flush drains one speaker's outbox, scheduling deliveries with base
 // latency plus seeded jitter, preserving per-session FIFO order.
 func (n *Network) flush(dev topo.DeviceID) {
-	node := n.nodes[dev]
-	for _, m := range node.Speaker.TakeOutbox() {
+	n.routeMsgs(dev, n.nodes[dev].Speaker.TakeOutbox())
+}
+
+// routeMsgs schedules one batch of outgoing messages from dev. This is the
+// serialization point of both engine modes: jitter draws, perturber calls,
+// and FIFO bookkeeping happen here, in event order, so a parallel run
+// consumes the RNG (and consults the chaos perturber) in exactly the
+// sequential order.
+func (n *Network) routeMsgs(dev topo.DeviceID, msgs []bgp.OutMsg) {
+	for _, m := range msgs {
 		s := n.sessions[m.Session]
 		if s == nil || !s.up {
 			continue
@@ -185,7 +266,12 @@ func (n *Network) flush(dev topo.DeviceID) {
 			if pb.Drop {
 				continue
 			}
-			delay += int64(pb.ExtraDelay)
+			// Only stretches are honored: a (hypothetical) negative
+			// ExtraDelay would break the lookahead invariant that no
+			// message arrives sooner than BaseLatency after it was sent.
+			if pb.ExtraDelay > 0 {
+				delay += int64(pb.ExtraDelay)
+			}
 		}
 		at := n.eng.now + delay
 		key := string(m.Session) + ">" + string(target)
@@ -193,19 +279,23 @@ func (n *Network) flush(dev topo.DeviceID) {
 			at = last + 1
 		}
 		n.fifo[key] = at
-		u, sess, tgt, ep := m.Update, m.Session, target, s.epoch
-		n.eng.schedule(at, func() {
-			tn := n.nodes[tgt]
-			if tn == nil || !tn.up {
-				return
-			}
-			if cur := n.sessions[sess]; cur == nil || !cur.up || cur.epoch != ep {
-				return // session went down (or bounced) while in flight
-			}
-			tn.Speaker.HandleUpdate(sess, u)
-			n.flush(tgt)
-		})
+		n.eng.scheduleDelivery(at, &delivery{sess: m.Session, to: target, u: m.Update, epoch: s.epoch})
 	}
+}
+
+// deliver executes one delivery event sequentially: pre-checks against the
+// current session/device state, UPDATE handling, and an immediate flush.
+func (n *Network) deliver(d *delivery) {
+	tn := n.nodes[d.to]
+	if tn == nil || !tn.up {
+		return
+	}
+	if cur := n.sessions[d.sess]; cur == nil || !cur.up || cur.epoch != d.epoch {
+		return // session went down (or bounced) while in flight
+	}
+	tn.vnow = n.eng.now
+	tn.Speaker.HandleUpdate(d.sess, d.u)
+	n.flush(d.to)
 }
 
 // Node returns the node for a device (nil if unknown).
@@ -220,17 +310,45 @@ func (n *Network) Now() int64 { return n.eng.now }
 // EventsProcessed returns the total events processed so far.
 func (n *Network) EventsProcessed() int64 { return n.eng.processed }
 
+// EventsBatched returns how many events executed through the parallel
+// batch path (0 on a sequential run): the differential tests assert it is
+// nonzero to prove the fan-out machinery — not a silent fallback — produced
+// the identical results.
+func (n *Network) EventsBatched() int64 { return n.eng.batched }
+
 // OnEvent registers a hook invoked after every processed event — the
 // sampling point for transient metrics (funneling, NHG occupancy).
 func (n *Network) OnEvent(h func(now int64)) { n.eng.hooks = append(n.eng.hooks, h) }
 
 // SetTap attaches one telemetry tap to every speaker in the fabric (nil
 // detaches). Speaker clocks are the engine's virtual clock, so the fleet
-// stream is deterministically timestamped under a fixed seed.
+// stream is deterministically timestamped under a fixed seed. Speakers emit
+// through a per-node shim: on the sequential path it forwards straight to
+// t, and under the parallel engine it buffers per worker so the merged
+// fleet stream is byte-identical to a sequential run.
 func (n *Network) SetTap(t telemetry.Tap) {
+	n.tap = t
 	for _, node := range n.nodes {
-		node.Speaker.SetTap(t)
+		if t == nil {
+			node.Speaker.SetTap(nil) // keep the zero-cost disabled hot path
+		} else {
+			node.Speaker.SetTap(node.tap)
+		}
 	}
+}
+
+// Workers reports the engine's configured parallel fan-out width (1 =
+// sequential).
+func (n *Network) Workers() int { return n.eng.workers }
+
+// SetWorkers changes the engine execution mode between events; because
+// parallel mode is byte-identical to sequential, switching mid-run never
+// changes results. Values below 1 clamp to 1.
+func (n *Network) SetWorkers(w int) {
+	if w < 1 {
+		w = 1
+	}
+	n.eng.workers = w
 }
 
 // Converge processes events until the network quiesces. It panics if the
