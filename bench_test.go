@@ -390,6 +390,30 @@ func BenchmarkConvergence(b *testing.B) {
 	}
 }
 
+// --- Checkpoint/restore: warm-started sweeps ---------------------------------
+
+// BenchmarkWarmStartSweep prices the snapshot subsystem's payoff: the
+// what-if sweep builds one converged Figure 4 mesh per drained SSW when
+// cold, versus one build plus cheap checkpoint forks when warm. Output is
+// byte-identical either way (TestWarmStartMatchesCold enforces it);
+// results/BENCH_checkpoint.json is the committed snapshot of the ratio.
+func BenchmarkWarmStartSweep(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		warm bool
+	}{{"cold", false}, {"warm", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			prev := experiments.SetWarmStart(mode.warm)
+			defer experiments.SetWarmStart(prev)
+			for i := 0; i < b.N; i++ {
+				if experiments.SweepWhatIf(42) == "" {
+					b.Fatal("empty sweep")
+				}
+			}
+		})
+	}
+}
+
 // --- Phase-2 substrate benchmarks --------------------------------------------
 
 func BenchmarkOpenRFlooding(b *testing.B) {

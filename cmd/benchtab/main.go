@@ -9,11 +9,18 @@
 //	benchtab -all
 //	benchtab -exp fig4 -json            # one machine-readable report per line
 //	benchtab -parallel 4 -exp scale-parallel
+//	benchtab -warm -exp sweep-mnh
 //
 // -parallel N runs every experiment's fabric on the batch-parallel engine
 // with N workers. Parallel mode is byte-identical to sequential (the
 // differential tests enforce it), so -parallel never changes any table —
 // only wall-clock on multicore hosts.
+//
+// -warm warm-starts the sweep experiments: each sweep's shared
+// pre-migration base is built once, checkpointed, and forked per
+// measurement (see internal/snapshot) instead of rebuilt from scratch.
+// Like -parallel, it never changes a table — the warm-vs-cold equality
+// tests enforce byte-identical output.
 package main
 
 import (
@@ -35,11 +42,15 @@ func main() {
 		jsonOut  = flag.Bool("json", false, "emit one JSON report per experiment instead of text")
 		parallel = flag.Int("parallel", 0, "fabric engine worker count (0/1 = sequential; results are byte-identical either way)")
 		slow     = flag.Bool("slow", false, "include slow (multi-minute) experiments in -all")
+		warm     = flag.Bool("warm", false, "warm-start sweeps from forked checkpoints of shared bases (byte-identical tables, less wall-clock)")
 	)
 	flag.Parse()
 
 	if *parallel > 1 {
 		fabric.SetDefaultWorkers(*parallel)
+	}
+	if *warm {
+		experiments.SetWarmStart(true)
 	}
 
 	switch {

@@ -1,0 +1,90 @@
+package chaos
+
+import (
+	"os"
+	"testing"
+
+	"centralium/internal/snapshot"
+)
+
+// TestCheckpointReplay: an unhealthy run with CheckpointDir set drops a
+// snapshot of its last clean pre-migration quiescent point, and Replay on
+// that file alone reproduces the run — canonical log and counters —
+// byte-for-byte.
+func TestCheckpointReplay(t *testing.T) {
+	dir := t.TempDir()
+	cases := []RunParams{
+		{Scenario: "decommission", Arm: ArmNative, Seed: 2, CheckpointDir: dir},
+		{Scenario: "pod-drain", Arm: ArmNative, Seed: 1, CheckpointDir: dir},
+	}
+	for _, p := range cases {
+		orig, err := Run(p)
+		if err != nil {
+			t.Fatalf("%s seed %d: %v", p.Scenario, p.Seed, err)
+		}
+		if orig.EffectiveViolations == 0 && len(orig.Quiescent) == 0 {
+			t.Fatalf("%s seed %d: expected an unhealthy native run for this test", p.Scenario, p.Seed)
+		}
+		if orig.Checkpoint == "" {
+			t.Fatalf("%s seed %d: unhealthy run did not drop a checkpoint", p.Scenario, p.Seed)
+		}
+		if _, err := os.Stat(orig.Checkpoint); err != nil {
+			t.Fatalf("checkpoint file: %v", err)
+		}
+
+		replayed, err := Replay(orig.Checkpoint)
+		if err != nil {
+			t.Fatalf("%s seed %d: replay: %v", p.Scenario, p.Seed, err)
+		}
+		if replayed.Log != orig.Log {
+			t.Errorf("%s seed %d: replay diverged\n--- original ---\n%s--- replay ---\n%s",
+				p.Scenario, p.Seed, orig.Log, replayed.Log)
+		}
+		if replayed.Events != orig.Events ||
+			replayed.FaultsInjected != orig.FaultsInjected ||
+			replayed.RawViolations != orig.RawViolations ||
+			replayed.EffectiveViolations != orig.EffectiveViolations {
+			t.Errorf("%s seed %d: replay counters differ: %+v vs %+v",
+				p.Scenario, p.Seed, replayed, orig)
+		}
+	}
+}
+
+// TestHealthyRunDropsNoCheckpoint: the RPA arm survives the same seeds, so
+// no checkpoint appears.
+func TestHealthyRunDropsNoCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	res, err := Run(RunParams{Scenario: "decommission", Arm: ArmRPA, Seed: 2, CheckpointDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EffectiveViolations != 0 || len(res.Quiescent) != 0 {
+		t.Fatalf("expected a healthy RPA run, got %d effective / %d quiescent",
+			res.EffectiveViolations, len(res.Quiescent))
+	}
+	if res.Checkpoint != "" {
+		t.Fatalf("healthy run dropped a checkpoint: %s", res.Checkpoint)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("checkpoint dir not empty: %v", entries)
+	}
+}
+
+func TestReplayRejectsNonChaosSnapshot(t *testing.T) {
+	// A plain (non-chaos) snapshot has no chaos metadata.
+	snap, err := snapshot.Capture(lineNet(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/plain.csnp"
+	if err := snap.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Replay(path); err == nil {
+		t.Fatal("replay of a non-chaos snapshot must fail")
+	}
+}

@@ -2,11 +2,15 @@ package chaos
 
 import (
 	"fmt"
+	"path/filepath"
+	"strconv"
 	"strings"
 	"time"
 
 	"centralium/internal/core"
+	"centralium/internal/fabric"
 	"centralium/internal/migrate"
+	"centralium/internal/snapshot"
 	"centralium/internal/topo"
 )
 
@@ -47,6 +51,13 @@ type RunParams struct {
 	// SampleEvery rate-limits the continuous data-plane checks (default
 	// 1: every dirty event).
 	SampleEvery int
+
+	// CheckpointDir, when set, auto-drops a snapshot of the last clean
+	// pre-migration quiescent point whenever the run ends unhealthy
+	// (effective violations or quiescent breaches). The snapshot carries
+	// the run parameters in its metadata, so Replay reproduces the failing
+	// run byte-for-byte from the file alone.
+	CheckpointDir string
 }
 
 // RunResult summarizes one chaos run.
@@ -75,6 +86,10 @@ type RunResult struct {
 	// violation transitions, quiescent findings, summary — byte-identical
 	// across runs of the same params.
 	Log string
+
+	// Checkpoint is the path of the auto-dropped snapshot (empty when the
+	// run was healthy or CheckpointDir was unset).
+	Checkpoint string
 }
 
 // Run executes one migration scenario under chaos: build and converge the
@@ -92,7 +107,48 @@ func Run(p RunParams) (RunResult, error) {
 	default:
 		return RunResult{}, fmt.Errorf("chaos: unknown scenario %q (have %v)", p.Scenario, Scenarios())
 	}
+	return runOnRig(rig, p)
+}
+
+// BaseNet builds a scenario's pre-migration steady-state network — the
+// state a chaos checkpoint captures — without running any migration.
+// Callers snapshot it once and fork per arm/seed to warm-start sweeps.
+func BaseNet(scenario string, seed int64) (*fabric.Network, error) {
+	switch scenario {
+	case "decommission":
+		return migrate.DecommissionRig(seed).Net, nil
+	case "pod-drain":
+		return migrate.PodDrainRig(seed).Net, nil
+	}
+	return nil, fmt.Errorf("chaos: unknown scenario %q (have %v)", scenario, Scenarios())
+}
+
+// RunOn executes the run on an existing network holding the scenario's
+// pre-migration steady state — typically a restored chaos checkpoint. The
+// fault plan, injections, and monitors re-derive deterministically from the
+// network and seed, so RunOn on a restored checkpoint reproduces the
+// original run's log byte-for-byte.
+func RunOn(n *fabric.Network, p RunParams) (RunResult, error) {
+	rig, err := migrate.RigOn(p.Scenario, n)
+	if err != nil {
+		return RunResult{}, fmt.Errorf("chaos: %w", err)
+	}
+	return runOnRig(rig, p)
+}
+
+func runOnRig(rig *migrate.ChaosRig, p RunParams) (RunResult, error) {
 	n := rig.Net
+
+	// Capture the last clean quiescent point up front (cheap: state only,
+	// no disk) so an unhealthy ending can drop it for replay.
+	var checkpoint *snapshot.Snapshot
+	if p.CheckpointDir != "" {
+		var err error
+		checkpoint, err = snapshot.Capture(n)
+		if err != nil {
+			return RunResult{}, fmt.Errorf("chaos: pre-migration checkpoint: %w", err)
+		}
+	}
 
 	plan := NewPlan(n, p.Seed, PlanOptions{Count: p.Faults, Span: rig.Span + 30*time.Millisecond})
 	inj := NewInjector(n, plan, p.Grace)
@@ -151,5 +207,68 @@ func Run(p RunParams) (RunResult, error) {
 		res.FaultsInjected, res.FaultsSuppressed, res.RawViolations, res.EffectiveViolations,
 		len(quiescent), events, n.Now())
 	res.Log = b.String()
+
+	if checkpoint != nil && (res.EffectiveViolations > 0 || len(res.Quiescent) > 0) {
+		checkpoint.Meta[metaScenario] = rig.Name
+		checkpoint.Meta[metaArm] = p.Arm.String()
+		checkpoint.Meta[metaSeed] = strconv.FormatInt(p.Seed, 10)
+		checkpoint.Meta[metaFaults] = strconv.Itoa(p.Faults)
+		checkpoint.Meta[metaGrace] = p.Grace.String()
+		checkpoint.Meta[metaSampleEvery] = strconv.Itoa(p.SampleEvery)
+		path := filepath.Join(p.CheckpointDir,
+			fmt.Sprintf("chaos-%s-%s-seed%d.csnp", rig.Name, p.Arm, p.Seed))
+		if err := checkpoint.Save(path); err != nil {
+			return res, fmt.Errorf("chaos: save checkpoint: %w", err)
+		}
+		res.Checkpoint = path
+	}
 	return res, nil
+}
+
+// Snapshot metadata keys carrying the run parameters of an auto-dropped
+// chaos checkpoint.
+const (
+	metaScenario    = "chaos.scenario"
+	metaArm         = "chaos.arm"
+	metaSeed        = "chaos.seed"
+	metaFaults      = "chaos.faults"
+	metaGrace       = "chaos.grace"
+	metaSampleEvery = "chaos.sample-every"
+)
+
+// Replay loads an auto-dropped chaos checkpoint and re-runs the failing
+// run from its last clean quiescent point: restore the pre-migration
+// state, re-derive the fault plan from the stored seed, and run the
+// migration under the same injections. The returned result — log included
+// — is byte-identical to the run that dropped the checkpoint.
+func Replay(path string) (RunResult, error) {
+	snap, err := snapshot.Load(path)
+	if err != nil {
+		return RunResult{}, fmt.Errorf("chaos: %w", err)
+	}
+	scenario := snap.Meta[metaScenario]
+	if scenario == "" {
+		return RunResult{}, fmt.Errorf("chaos: %s is not a chaos checkpoint (missing %s metadata)", path, metaScenario)
+	}
+	p := RunParams{Scenario: scenario}
+	if snap.Meta[metaArm] == ArmRPA.String() {
+		p.Arm = ArmRPA
+	}
+	if p.Seed, err = strconv.ParseInt(snap.Meta[metaSeed], 10, 64); err != nil {
+		return RunResult{}, fmt.Errorf("chaos: checkpoint metadata %s: %w", metaSeed, err)
+	}
+	if p.Faults, err = strconv.Atoi(snap.Meta[metaFaults]); err != nil {
+		return RunResult{}, fmt.Errorf("chaos: checkpoint metadata %s: %w", metaFaults, err)
+	}
+	if p.Grace, err = time.ParseDuration(snap.Meta[metaGrace]); err != nil {
+		return RunResult{}, fmt.Errorf("chaos: checkpoint metadata %s: %w", metaGrace, err)
+	}
+	if p.SampleEvery, err = strconv.Atoi(snap.Meta[metaSampleEvery]); err != nil {
+		return RunResult{}, fmt.Errorf("chaos: checkpoint metadata %s: %w", metaSampleEvery, err)
+	}
+	n, err := snap.Restore()
+	if err != nil {
+		return RunResult{}, fmt.Errorf("chaos: %w", err)
+	}
+	return RunOn(n, p)
 }

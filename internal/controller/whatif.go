@@ -1,0 +1,40 @@
+package controller
+
+// What-if gating (Section 5.3.2, Section 7.1): before a rollout touches
+// the fleet, fork the emulated fabric's state and try the change there.
+// The fork is a full checkpoint/restore of the live network — same RIBs,
+// FIBs, RPAs, clock, and RNG position — so the simulation sees exactly the
+// state the real push would, and a hazard found on the fork costs nothing.
+
+import (
+	"fmt"
+
+	"centralium/internal/fabric"
+	"centralium/internal/snapshot"
+)
+
+// WhatIf wraps a simulation as a pre-deployment HealthCheck: at check time
+// the live network's state is captured and restored into an independent
+// fork, and simulate runs against the fork. An error blocks the rollout
+// while the live network stays byte-for-byte untouched — the fork absorbs
+// every side effect of the simulated change.
+//
+// The live network must be quiescent when the check runs (no pending
+// control callbacks), which is always true at the pre-deployment point of
+// a Controller.Run.
+func WhatIf(name string, n *fabric.Network, simulate func(fork *fabric.Network) error) HealthCheck {
+	return HealthCheck{
+		Name: "what-if " + name,
+		Check: func() error {
+			snap, err := snapshot.Capture(n)
+			if err != nil {
+				return fmt.Errorf("what-if %q: capture live state: %w", name, err)
+			}
+			fork, err := snap.Restore()
+			if err != nil {
+				return fmt.Errorf("what-if %q: fork: %w", name, err)
+			}
+			return simulate(fork)
+		},
+	}
+}

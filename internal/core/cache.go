@@ -1,5 +1,7 @@
 package core
 
+import "sort"
+
 // CacheKey identifies one (statement, path set, route) match computation.
 type CacheKey struct {
 	Statement string
@@ -75,3 +77,58 @@ func (c *Cache) Len() int { return len(c.entries) }
 
 // Stats returns cumulative hit and miss counts.
 func (c *Cache) Stats() (hits, misses uint64) { return c.hits, c.misses }
+
+// CacheEntry is one memoized match result.
+type CacheEntry struct {
+	Key   CacheKey
+	Value bool
+}
+
+// CacheState is the complete serializable state of a Cache, entries sorted
+// by key so identical caches export identical states.
+type CacheState struct {
+	Max     int
+	Enabled bool
+	Hits    uint64
+	Misses  uint64
+	Entries []CacheEntry
+}
+
+// ExportState captures the cache for checkpointing; the result shares no
+// memory with the cache.
+func (c *Cache) ExportState() CacheState {
+	st := CacheState{Max: c.max, Enabled: c.enabled, Hits: c.hits, Misses: c.misses}
+	if len(c.entries) > 0 {
+		st.Entries = make([]CacheEntry, 0, len(c.entries))
+		for k, v := range c.entries {
+			st.Entries = append(st.Entries, CacheEntry{Key: k, Value: v})
+		}
+		sort.Slice(st.Entries, func(i, j int) bool {
+			a, b := st.Entries[i].Key, st.Entries[j].Key
+			if a.Statement != b.Statement {
+				return a.Statement < b.Statement
+			}
+			if a.Set != b.Set {
+				return a.Set < b.Set
+			}
+			return a.Route < b.Route
+		})
+	}
+	return st
+}
+
+// RestoreState replaces the cache's contents and counters with a
+// checkpointed state, so a restored speaker's cache behaves (hits, misses,
+// evictions) exactly like the uninterrupted one.
+func (c *Cache) RestoreState(st CacheState) {
+	if st.Max > 0 {
+		c.max = st.Max
+	}
+	c.enabled = st.Enabled
+	c.hits = st.Hits
+	c.misses = st.Misses
+	c.entries = make(map[CacheKey]bool, len(st.Entries))
+	for _, e := range st.Entries {
+		c.entries[e.Key] = e.Value
+	}
+}

@@ -14,13 +14,13 @@ func init() {
 	registerRows("chaos", func(seed int64) []Row {
 		var rows []Row
 		for _, sc := range chaos.Scenarios() {
-			for _, arm := range []chaos.Arm{chaos.ArmNative, chaos.ArmRPA} {
-				r, err := chaos.Run(chaos.RunParams{Scenario: sc, Arm: arm, Seed: seed})
-				if err != nil {
-					continue
-				}
+			results, err := chaosBatch(sc, seed, []chaos.Arm{chaos.ArmNative, chaos.ArmRPA})
+			if err != nil {
+				continue
+			}
+			for _, r := range results {
 				rows = append(rows, Row{
-					Label: sc + "/" + arm.String(),
+					Label: r.Scenario + "/" + r.Arm.String(),
 					Values: map[string]float64{
 						"injected":  float64(r.FaultsInjected),
 						"raw":       float64(r.RawViolations),
@@ -46,11 +46,11 @@ func ChaosSweep(seed int64) (string, error) {
 	fmt.Fprintf(&b, "%-14s %-7s %9s %10s %6s %10s %10s\n",
 		"scenario", "arm", "injected", "suppressed", "raw", "effective", "quiescent")
 	for _, sc := range chaos.Scenarios() {
-		for _, arm := range []chaos.Arm{chaos.ArmNative, chaos.ArmRPA} {
-			r, err := chaos.Run(chaos.RunParams{Scenario: sc, Arm: arm, Seed: seed})
-			if err != nil {
-				return "", err
-			}
+		results, err := chaosBatch(sc, seed, []chaos.Arm{chaos.ArmNative, chaos.ArmRPA})
+		if err != nil {
+			return "", err
+		}
+		for _, r := range results {
 			fmt.Fprintf(&b, "%-14s %-7s %9d %10d %6d %10d %10d\n",
 				r.Scenario, r.Arm, r.FaultsInjected, r.FaultsSuppressed,
 				r.RawViolations, r.EffectiveViolations, len(r.Quiescent))

@@ -34,8 +34,11 @@ func SweepFig4(seed int64) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%-7s %11s %16s %13s %16s\n", "grids", "fair share", "native peak/fair", "rpa peak/fair", "native blackhole")
 	for _, grids := range []int{2, 4, 6, 8} {
-		native := migrate.RunScenario2(migrate.Scenario2Params{Seed: seed, Grids: grids})
-		rpa := migrate.RunScenario2(migrate.Scenario2Params{Seed: seed, Grids: grids, UseRPA: true, KeepFibWarm: true})
+		arms := scenario2Batch([]migrate.Scenario2Params{
+			{Seed: seed, Grids: grids},
+			{Seed: seed, Grids: grids, UseRPA: true, KeepFibWarm: true},
+		})
+		native, rpa := arms[0], arms[1]
 		fmt.Fprintf(&b, "%-7d %11.4f %16.1f %13.1f %15.1f%%\n",
 			grids, native.FairShare,
 			native.PeakFADUShare/native.FairShare,
@@ -53,8 +56,11 @@ func SweepFig5(seed int64) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%-10s %12s %10s %12s\n", "prefixes", "native peak", "rpa peak", "native churn")
 	for _, prefixes := range []int{32, 64, 128, 256} {
-		native := migrate.RunScenario3(migrate.Scenario3Params{Seed: seed, Prefixes: prefixes})
-		rpa := migrate.RunScenario3(migrate.Scenario3Params{Seed: seed, Prefixes: prefixes, UseRPA: true})
+		arms := scenario3Batch([]migrate.Scenario3Params{
+			{Seed: seed, Prefixes: prefixes},
+			{Seed: seed, Prefixes: prefixes, UseRPA: true},
+		})
+		native, rpa := arms[0], arms[1]
 		fmt.Fprintf(&b, "%-10d %12d %10d %12d\n", prefixes, native.PeakNHG, rpa.PeakNHG, native.GroupChurn)
 	}
 	b.WriteString("\nthe native transient grows with routing state; the RPA's is constant.\n")
@@ -68,11 +74,13 @@ func SweepFig5(seed int64) string {
 func SweepMinNextHop(seed int64) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%-12s %14s %14s\n", "threshold", "peak funnel", "peak blackhole")
-	for _, pct := range []float64{25, 50, 75, 100} {
-		r := migrate.RunScenario2(migrate.Scenario2Params{
-			Seed: seed, UseRPA: true, KeepFibWarm: true, MinNextHopPercent: pct,
-		})
-		fmt.Fprintf(&b, "%-12s %14.3f %14.3f\n", fmt.Sprintf("%.0f%%", pct), r.PeakFADUShare, r.PeakBlackholed)
+	thresholds := []float64{25, 50, 75, 100}
+	ps := make([]migrate.Scenario2Params, len(thresholds))
+	for i, pct := range thresholds {
+		ps[i] = migrate.Scenario2Params{Seed: seed, UseRPA: true, KeepFibWarm: true, MinNextHopPercent: pct}
+	}
+	for i, r := range scenario2Batch(ps) {
+		fmt.Fprintf(&b, "%-12s %14.3f %14.3f\n", fmt.Sprintf("%.0f%%", thresholds[i]), r.PeakFADUShare, r.PeakBlackholed)
 	}
 	b.WriteString("\nhigher thresholds withdraw earlier: less funneling, earlier capacity shed.\n")
 	return b.String()

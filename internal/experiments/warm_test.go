@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"centralium/internal/migrate"
+)
+
+// withWarmStart runs f with warm-starting forced to on, restoring the
+// previous setting afterwards.
+func withWarmStart(t *testing.T, on bool, f func()) {
+	t.Helper()
+	prev := SetWarmStart(on)
+	defer SetWarmStart(prev)
+	f()
+}
+
+// TestWarmStartMatchesCold is the warm-start correctness contract: every
+// sweep that can warm-start from a forked checkpoint produces the exact
+// bytes the cold path produces. The sweeps chosen cover all three batch
+// helpers (scenario2Batch via sweep-mnh, scenario3Batch via a trimmed
+// Figure 5 point, chaosBatch via the chaos table) plus the fork-per-branch
+// what-if sweep.
+func TestWarmStartMatchesCold(t *testing.T) {
+	const seed = 7
+	sweeps := map[string]func() string{
+		"sweep-mnh":    func() string { return SweepMinNextHop(seed) },
+		"sweep-whatif": func() string { return SweepWhatIf(seed) },
+		"chaos": func() string {
+			out, err := ChaosSweep(seed)
+			if err != nil {
+				t.Fatalf("chaos sweep: %v", err)
+			}
+			return out
+		},
+	}
+	for name, run := range sweeps {
+		t.Run(name, func(t *testing.T) {
+			var cold, warm string
+			withWarmStart(t, false, func() { cold = run() })
+			withWarmStart(t, true, func() { warm = run() })
+			if cold != warm {
+				t.Errorf("warm-started %s diverged from cold run\ncold:\n%s\nwarm:\n%s", name, cold, warm)
+			}
+		})
+	}
+}
+
+// TestWarmStartScenario3Batch covers the Figure 5 batch helper on a single
+// cheap point rather than the full sweep.
+func TestWarmStartScenario3Batch(t *testing.T) {
+	ps := []migrate.Scenario3Params{
+		{Seed: 5, Prefixes: 32},
+		{Seed: 5, Prefixes: 32, UseRPA: true},
+	}
+	var cold, warm []string
+	withWarmStart(t, false, func() {
+		for _, r := range scenario3Batch(ps) {
+			cold = append(cold, fmt.Sprintf("%+v", r))
+		}
+	})
+	withWarmStart(t, true, func() {
+		for _, r := range scenario3Batch(ps) {
+			warm = append(warm, fmt.Sprintf("%+v", r))
+		}
+	})
+	if strings.Join(cold, "|") != strings.Join(warm, "|") {
+		t.Errorf("scenario3 batch diverged:\ncold %v\nwarm %v", cold, warm)
+	}
+}
+
+// TestSweepWhatIfContent sanity-checks the fork-based sweep's table shape.
+func TestSweepWhatIfContent(t *testing.T) {
+	out := SweepWhatIf(3)
+	if !strings.Contains(out, "drained") {
+		t.Errorf("sweep-whatif output incomplete:\n%s", out)
+	}
+	ssw, fadu := 0, 0
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "ssw") {
+			ssw++
+		}
+		if strings.HasPrefix(line, "fadu") {
+			fadu++
+		}
+	}
+	if ssw < 2 || fadu < 2 {
+		t.Errorf("expected one row per SSW and per FADU, got ssw=%d fadu=%d:\n%s", ssw, fadu, out)
+	}
+}

@@ -1,0 +1,103 @@
+package fabric
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestDeterminismLint enforces the substrate's central contract at the
+// source level: the simulation core (fabric engine, BGP speakers, FIB)
+// must never read the wall clock or the global RNG, because checkpoints
+// restored into byte-identical continuation (internal/snapshot) depend on
+// every nondeterministic input flowing through the counted, seeded engine
+// RNG in rng.go and the virtual clock. A new time.Now() or math/rand call
+// anywhere in these packages fails this test before it can fail the
+// differential suites.
+func TestDeterminismLint(t *testing.T) {
+	// Allowed files: the counted engine RNG is the one sanctioned
+	// math/rand consumer.
+	randAllowed := map[string]bool{"rng.go": true}
+	// Skipped subdirectories: bgp/session speaks real TCP to external
+	// daemons and legitimately uses wall-clock deadlines; it is not part
+	// of the deterministic simulation core.
+	skipDirs := map[string]bool{"session": true}
+
+	for _, dir := range []string{".", "../bgp", "../fib"} {
+		err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() {
+				if skipDirs[d.Name()] {
+					return filepath.SkipDir
+				}
+				return nil
+			}
+			if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+				return nil
+			}
+			lintFile(t, path, randAllowed[filepath.Base(path)])
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("walk %s: %v", dir, err)
+		}
+	}
+}
+
+// lintFile flags time.Now calls and, unless allowed, any use of math/rand
+// in one source file. Detection is AST-based (selector expressions against
+// the actual package imports), so comments and strings never false-match.
+func lintFile(t *testing.T, path string, randOK bool) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path, nil, 0)
+	if err != nil {
+		t.Fatalf("parse %s: %v", path, err)
+	}
+
+	// Map local import names to flagged packages.
+	timeNames := map[string]bool{}
+	randNames := map[string]bool{}
+	for _, imp := range f.Imports {
+		p, _ := strconv.Unquote(imp.Path.Value)
+		name := filepath.Base(p)
+		if imp.Name != nil {
+			name = imp.Name.Name
+		}
+		switch p {
+		case "time":
+			timeNames[name] = true
+		case "math/rand", "math/rand/v2":
+			randNames[name] = true
+		}
+	}
+	if len(timeNames) == 0 && len(randNames) == 0 {
+		return
+	}
+
+	ast.Inspect(f, func(node ast.Node) bool {
+		sel, ok := node.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pos := fset.Position(sel.Pos())
+		if timeNames[id.Name] && sel.Sel.Name == "Now" {
+			t.Errorf("%s: time.Now() in the deterministic core — use the virtual clock (Network.Now)", pos)
+		}
+		if randNames[id.Name] && !randOK {
+			t.Errorf("%s: math/rand (%s.%s) in the deterministic core — draw from the counted engine RNG (rng.go)", pos, id.Name, sel.Sel.Name)
+		}
+		return true
+	})
+}

@@ -19,7 +19,6 @@ import (
 	"container/heap"
 	"fmt"
 	"math"
-	"math/rand"
 	"time"
 
 	"centralium/internal/bgp"
@@ -78,7 +77,8 @@ type engine struct {
 	now   int64
 	seq   int64
 	queue eventHeap
-	rng   *rand.Rand
+	seed  int64
+	rng   *seededRNG
 
 	processed int64
 	// batched counts events that executed through the parallel batch path;
@@ -98,7 +98,7 @@ type engine struct {
 }
 
 func newEngine(seed int64) *engine {
-	return &engine{rng: rand.New(rand.NewSource(seed))}
+	return &engine{seed: seed, rng: newSeededRNG(seed, 0)}
 }
 
 // schedule enqueues fn at the given absolute virtual time (clamped to now).

@@ -1,0 +1,53 @@
+package fabric
+
+// The engine's only source of randomness lives in this file. Checkpointing
+// depends on that containment: a snapshot records the seed plus the number
+// of raw draws consumed, and a restore replays a fresh source forward to
+// the same stream position, so a restored run draws exactly the jitter an
+// uninterrupted run would have. The determinism lint test
+// (determinism_lint_test.go) rejects any other math/rand or time.Now usage
+// in fabric, bgp, or fib — new randomness must route through here to stay
+// snapshot-complete.
+
+import "math/rand"
+
+// countedSource wraps the seeded PRNG source and counts raw Int63 draws.
+// Every rand.Rand method ultimately consumes the stream through Int63 (the
+// engine only ever calls Int63n, which is a pure Int63 consumer), so the
+// draw count fully identifies the stream position.
+type countedSource struct {
+	src   rand.Source
+	draws uint64
+}
+
+func (c *countedSource) Int63() int64 {
+	c.draws++
+	return c.src.Int63()
+}
+
+func (c *countedSource) Seed(int64) {
+	panic("fabric: reseeding the engine RNG would desynchronize snapshots")
+}
+
+// seededRNG is the engine RNG: a rand.Rand over a counted source. The
+// embedded Rand serves draws; Draws reports the serializable position.
+type seededRNG struct {
+	*rand.Rand
+	src *countedSource
+}
+
+// Draws returns the number of raw PRNG steps consumed so far.
+func (r *seededRNG) Draws() uint64 { return r.src.draws }
+
+// newSeededRNG builds the engine RNG at a given stream position: seed the
+// base source, discard `draws` raw steps (a restore fast-forwarding to the
+// checkpointed position; zero for a fresh network), then start counting
+// from there.
+func newSeededRNG(seed int64, draws uint64) *seededRNG {
+	base := rand.NewSource(seed)
+	for i := uint64(0); i < draws; i++ {
+		base.Int63()
+	}
+	src := &countedSource{src: base, draws: draws}
+	return &seededRNG{Rand: rand.New(src), src: src}
+}

@@ -1,0 +1,298 @@
+package fabric
+
+// Checkpoint support: NetState is the complete serializable state of a
+// Network — topology, options, virtual clock, event queue, RNG stream
+// position, per-session epochs, per-device speaker state, and FIFO
+// bookkeeping. NewFromState rebuilds an independent Network that continues
+// byte-identically (tap stream, RNG draws, logs) to the captured one.
+//
+// Two things deliberately do not serialize, and ExportState guards both:
+//
+//   - Control events (After callbacks, restart timers) are closures; a
+//     checkpoint is only consistent at a point where the queue holds pure
+//     message deliveries — convergence phases and quiescent states.
+//   - Hooks, taps, and perturbers are live wiring to the host process; the
+//     caller re-attaches them after restore (they carry no protocol state).
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"time"
+
+	"centralium/internal/bgp"
+	"centralium/internal/topo"
+)
+
+// DeliveryState is one serialized in-flight UPDATE.
+type DeliveryState struct {
+	At      int64
+	Seq     int64
+	Session string
+	To      string
+	Epoch   int
+	Update  bgp.Update
+}
+
+// SessionState is one session's dynamic state (identity derives from the
+// topology).
+type SessionState struct {
+	ID    string
+	Up    bool
+	Epoch int
+}
+
+// NodeState is one device's dynamic state plus its full speaker state.
+type NodeState struct {
+	Device  string
+	Up      bool
+	VNow    int64
+	Speaker bgp.SpeakerState
+}
+
+// FIFOState is one (session, receiver) last-delivery-time entry.
+type FIFOState struct {
+	Key string
+	At  int64
+}
+
+// NetState is the complete serializable state of a Network. It is fully
+// self-contained (the topology travels as its JSON export) and shares no
+// memory with the network, so one captured state can seed any number of
+// independent restored networks.
+type NetState struct {
+	Seed        int64
+	BaseLatency time.Duration
+	Jitter      time.Duration
+	Topo        []byte // topo.ExportJSON
+
+	Now       int64
+	Seq       int64
+	Processed int64
+	Batched   int64
+	RNGDraws  uint64
+	Queue     []DeliveryState // sorted by (At, Seq)
+
+	Sessions []SessionState // sorted by ID
+	Nodes    []NodeState    // sorted by device
+	FIFO     []FIFOState    // sorted by key
+}
+
+func cloneUpdate(u bgp.Update) bgp.Update {
+	u.ASPath = append([]uint32(nil), u.ASPath...)
+	u.Communities = append([]string(nil), u.Communities...)
+	return u
+}
+
+// ExportState captures the network for checkpointing. It fails if any
+// pending event is a control callback (see the package comment above): the
+// caller must checkpoint at a quiescent point or during a pure-delivery
+// convergence phase.
+func (n *Network) ExportState() (*NetState, error) {
+	for _, ev := range n.eng.queue {
+		if ev.dlv == nil {
+			return nil, fmt.Errorf("fabric: pending control event at t=%v; checkpoints are only consistent when the queue holds pure message deliveries (quiescent points and convergence phases)", time.Duration(ev.at))
+		}
+	}
+	topoJSON, err := n.Topo.ExportJSON()
+	if err != nil {
+		return nil, fmt.Errorf("fabric: export topology: %w", err)
+	}
+	st := &NetState{
+		Seed:        n.opts.Seed,
+		BaseLatency: n.opts.BaseLatency,
+		Jitter:      n.opts.Jitter,
+		Topo:        topoJSON,
+		Now:         n.eng.now,
+		Seq:         n.eng.seq,
+		Processed:   n.eng.processed,
+		Batched:     n.eng.batched,
+		RNGDraws:    n.eng.rng.Draws(),
+	}
+
+	for _, ev := range n.eng.queue {
+		st.Queue = append(st.Queue, DeliveryState{
+			At:      ev.at,
+			Seq:     ev.seq,
+			Session: string(ev.dlv.sess),
+			To:      string(ev.dlv.to),
+			Epoch:   ev.dlv.epoch,
+			Update:  cloneUpdate(ev.dlv.u),
+		})
+	}
+	sort.Slice(st.Queue, func(i, j int) bool {
+		if st.Queue[i].At != st.Queue[j].At {
+			return st.Queue[i].At < st.Queue[j].At
+		}
+		return st.Queue[i].Seq < st.Queue[j].Seq
+	})
+
+	for _, info := range n.SessionList() {
+		s := n.sessions[info.ID]
+		st.Sessions = append(st.Sessions, SessionState{ID: string(s.id), Up: s.up, Epoch: s.epoch})
+	}
+
+	devs := make([]topo.DeviceID, 0, len(n.nodes))
+	for id := range n.nodes {
+		devs = append(devs, id)
+	}
+	sort.Slice(devs, func(i, j int) bool { return devs[i] < devs[j] })
+	for _, id := range devs {
+		node := n.nodes[id]
+		sp, err := node.Speaker.ExportState()
+		if err != nil {
+			return nil, fmt.Errorf("fabric: %w", err)
+		}
+		st.Nodes = append(st.Nodes, NodeState{
+			Device: string(id), Up: node.up, VNow: node.vnow, Speaker: sp,
+		})
+	}
+
+	keys := make([]string, 0, len(n.fifo))
+	for k := range n.fifo {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		st.FIFO = append(st.FIFO, FIFOState{Key: k, At: n.fifo[k]})
+	}
+	return st, nil
+}
+
+// RestoreOptions tunes a restore. The zero value restores with the fleet
+// default worker count — parallel mode is byte-identical to sequential, so
+// the choice never affects results, only wall-clock.
+type RestoreOptions struct {
+	// Workers selects the engine execution mode, as Options.Workers does
+	// (0 uses the fleet default).
+	Workers int
+
+	// Topo, when non-nil, is adopted as the restored network's topology
+	// instead of re-importing the state's JSON export. The network takes
+	// ownership — callers forking one state many times pass a fresh
+	// Clone() per restore. It must describe the same topology the state
+	// was captured on; the device/session cross-checks below enforce the
+	// shape.
+	Topo *topo.Topology
+}
+
+// NewFromState rebuilds a Network from a checkpoint. Each call yields a
+// fully independent network (state is deep-copied, the topology
+// re-imported), which is what makes cheap what-if forking possible: decode
+// once, restore N times, diverge each branch freely. Taps, hooks, and
+// perturbers start detached; callers re-attach their own wiring.
+func NewFromState(st *NetState, opts RestoreOptions) (*Network, error) {
+	t := opts.Topo
+	if t == nil {
+		var err error
+		t, err = topo.ImportJSON(st.Topo)
+		if err != nil {
+			return nil, fmt.Errorf("fabric: restore topology: %w", err)
+		}
+	}
+	workers := opts.Workers
+	if workers == 0 {
+		workers = DefaultWorkers()
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	n := &Network{
+		Topo: t,
+		opts: Options{
+			Seed:        st.Seed,
+			BaseLatency: st.BaseLatency,
+			Jitter:      st.Jitter,
+			Workers:     workers,
+		},
+		eng: &engine{
+			now:       st.Now,
+			seq:       st.Seq,
+			seed:      st.Seed,
+			rng:       newSeededRNG(st.Seed, st.RNGDraws),
+			processed: st.Processed,
+			batched:   st.Batched,
+		},
+		nodes:    make(map[topo.DeviceID]*Node),
+		sessions: make(map[bgp.SessionID]*session),
+		fifo:     make(map[string]int64, len(st.FIFO)),
+	}
+	n.eng.net = n
+	n.eng.workers = workers
+	n.eng.lookahead = int64(st.BaseLatency)
+
+	for _, ns := range st.Nodes {
+		d := t.Device(topo.DeviceID(ns.Device))
+		if d == nil {
+			return nil, fmt.Errorf("fabric: state names unknown device %q", ns.Device)
+		}
+		node := &Node{Device: d, up: ns.Up, vnow: ns.VNow}
+		node.tap = &nodeTap{net: n}
+		sp, err := bgp.NewSpeakerFromState(ns.Speaker, func() int64 {
+			if node.vnow > n.eng.now {
+				return node.vnow
+			}
+			return n.eng.now
+		})
+		if err != nil {
+			return nil, fmt.Errorf("fabric: restore %s: %w", ns.Device, err)
+		}
+		node.Speaker = sp
+		n.nodes[d.ID] = node
+	}
+	if len(n.nodes) != len(t.Devices()) {
+		return nil, fmt.Errorf("fabric: state has %d devices, topology has %d", len(n.nodes), len(t.Devices()))
+	}
+
+	for li, l := range t.Links() {
+		s := &session{id: sessionIDFor(li, l), a: l.A, b: l.B, gbps: l.CapacityGbps}
+		n.sessions[s.id] = s
+	}
+	if len(st.Sessions) != len(n.sessions) {
+		return nil, fmt.Errorf("fabric: state has %d sessions, topology has %d links", len(st.Sessions), len(n.sessions))
+	}
+	for _, ss := range st.Sessions {
+		s := n.sessions[bgp.SessionID(ss.ID)]
+		if s == nil {
+			return nil, fmt.Errorf("fabric: state names unknown session %q", ss.ID)
+		}
+		s.up = ss.Up
+		s.epoch = ss.Epoch
+	}
+
+	for _, f := range st.FIFO {
+		n.fifo[f.Key] = f.At
+	}
+
+	n.eng.queue = make(eventHeap, 0, len(st.Queue))
+	for _, q := range st.Queue {
+		if n.sessions[bgp.SessionID(q.Session)] == nil {
+			return nil, fmt.Errorf("fabric: queued delivery on unknown session %q", q.Session)
+		}
+		n.eng.queue = append(n.eng.queue, &event{
+			at:  q.At,
+			seq: q.Seq,
+			dlv: &delivery{
+				sess:  bgp.SessionID(q.Session),
+				to:    topo.DeviceID(q.To),
+				u:     cloneUpdate(q.Update),
+				epoch: q.Epoch,
+			},
+		})
+	}
+	heap.Init(&n.eng.queue)
+	return n, nil
+}
+
+// Step processes up to maxEvents pending events (<=0 means the default
+// budget) and reports how many ran and whether the queue drained. The stop
+// point is mode-independent: the parallel engine bounds its batches by the
+// remaining budget, so stepping K events leaves exactly the state a
+// sequential engine would — which makes Step the checkpointing cut point
+// for mid-run snapshots.
+func (n *Network) Step(maxEvents int64) (int64, bool) {
+	return n.eng.run(maxEvents)
+}
+
+// PendingEvents reports how many events are queued.
+func (n *Network) PendingEvents() int { return len(n.eng.queue) }

@@ -308,3 +308,66 @@ func (t *Table) ResetStats() {
 	t.groupChurn = 0
 	t.writes = 0
 }
+
+// TableState is the complete serializable state of a Table: entries with
+// their (normalized) next-hop sets, warm flags, and the cumulative
+// counters. NewFromState reconstructs an equivalent table without the
+// write/churn side effects Install would record.
+type TableState struct {
+	Limit   int
+	Entries []Entry        // sorted by prefix
+	Warm    []netip.Prefix // sorted; subset of Entries' prefixes
+
+	PeakGroups int
+	Overflows  int
+	GroupChurn int
+	Writes     int
+}
+
+// ExportState captures the table for checkpointing. The result shares no
+// memory with the table.
+func (t *Table) ExportState() TableState {
+	st := TableState{
+		Limit:      t.limit,
+		Entries:    t.Snapshot(),
+		PeakGroups: t.peakGroups,
+		Overflows:  t.overflows,
+		GroupChurn: t.groupChurn,
+		Writes:     t.writes,
+	}
+	for _, p := range t.Prefixes() {
+		if t.warmEntries[p] {
+			st.Warm = append(st.Warm, p)
+		}
+	}
+	return st
+}
+
+// NewFromState rebuilds a table from a checkpoint: NHG objects are
+// re-shared by canonical key with correct reference counts, warm flags are
+// re-applied, and the counters are restored verbatim (reconstruction
+// itself counts as zero writes). The observer starts nil; the owner
+// re-attaches telemetry after restore.
+func NewFromState(st TableState) *Table {
+	t := New(st.Limit)
+	for _, e := range st.Entries {
+		key := groupKey(e.Hops)
+		g := t.groups[key]
+		if g == nil {
+			g = &group{key: key, hops: normalizeHops(e.Hops)}
+			t.groups[key] = g
+		}
+		g.refs++
+		t.entries[e.Prefix] = g
+	}
+	for _, p := range st.Warm {
+		if _, ok := t.entries[p]; ok {
+			t.warmEntries[p] = true
+		}
+	}
+	t.peakGroups = st.PeakGroups
+	t.overflows = st.Overflows
+	t.groupChurn = st.GroupChurn
+	t.writes = st.Writes
+	return t
+}

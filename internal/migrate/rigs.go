@@ -84,7 +84,13 @@ func DecommissionRig(seed int64) *ChaosRig {
 		n.OriginateAt(topo.EBID(i), DefaultRoute, []string{BackboneCommunity}, 0)
 	}
 	n.Converge()
+	return decommissionRigOn(n)
+}
 
+// decommissionRigOn packages the decommission scenario around a network
+// already holding its pre-migration steady state.
+func decommissionRigOn(n *fabric.Network) *ChaosRig {
+	mesh := n.Topo
 	num := decomNumber
 	var targets []topo.DeviceID
 	for plane := 0; plane < decomPlanes; plane++ {
@@ -162,6 +168,19 @@ func PodDrainRig(seed int64) *ChaosRig {
 	n := fabric.New(fab, fabric.Options{Seed: seed})
 	origins := workload.SeedRackPrefixes(n)
 	n.Converge()
+	for r := 0; r < drainRSWsPerPod; r++ {
+		p := workload.RackPrefix(drainTargetPod, r)
+		if _, ok := origins[p]; !ok {
+			panic(fmt.Sprintf("pod-drain rig: missing origin for %v", p))
+		}
+	}
+	return podDrainRigOn(n)
+}
+
+// podDrainRigOn packages the pod-drain scenario around a network already
+// holding its pre-migration steady state.
+func podDrainRigOn(n *fabric.Network) *ChaosRig {
+	fab := n.Topo
 
 	// Track only the target pod's prefixes, sourced from the other pod.
 	var prefixes []netip.Prefix
@@ -172,9 +191,6 @@ func PodDrainRig(seed int64) *ChaosRig {
 	}
 	for r := 0; r < drainRSWsPerPod; r++ {
 		p := workload.RackPrefix(drainTargetPod, r)
-		if _, ok := origins[p]; !ok {
-			panic(fmt.Sprintf("pod-drain rig: missing origin for %v", p))
-		}
 		prefixes = append(prefixes, p)
 		for _, src := range sources {
 			demands = append(demands, traffic.Demand{Source: src, Prefix: p, Volume: 100})
@@ -221,4 +237,20 @@ func PodDrainRig(seed int64) *ChaosRig {
 		}
 	}
 	return rig
+}
+
+// RigOn rebuilds a scenario rig around an existing network — typically one
+// restored from a chaos checkpoint — instead of building and converging a
+// fresh fabric. The network must hold the scenario's pre-migration steady
+// state (geometry, originations, convergence), which is exactly what a
+// chaos checkpoint contains; the rig's schedules and rollouts then close
+// over the given network.
+func RigOn(name string, n *fabric.Network) (*ChaosRig, error) {
+	switch name {
+	case "decommission":
+		return decommissionRigOn(n), nil
+	case "pod-drain":
+		return podDrainRigOn(n), nil
+	}
+	return nil, fmt.Errorf("migrate: unknown rig %q", name)
 }

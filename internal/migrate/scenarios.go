@@ -182,12 +182,7 @@ type Scenario2Result struct {
 	Events    int64
 }
 
-// RunScenario2 executes the Figure 4 decommission: all FADUs of one number
-// are drained with jitter, then the matching SSWs. Without RPA, the last
-// live FADU of that number funnels every same-numbered SSW's traffic; with
-// the Section 4.4.2 protection RPA on the SSWs, they withdraw early (at the
-// MinNextHop threshold) and traffic shifts to other SSW numbers.
-func RunScenario2(p Scenario2Params) Scenario2Result {
+func (p *Scenario2Params) setDefaults() {
 	if p.Planes == 0 {
 		p.Planes = 2
 	}
@@ -206,6 +201,14 @@ func RunScenario2(p Scenario2Params) Scenario2Result {
 	if p.SampleEvery <= 0 {
 		p.SampleEvery = 1
 	}
+}
+
+// Scenario2Base builds and converges the scenario's pre-migration fabric.
+// The base depends only on the geometry, seed, and vendor-knob fields — not
+// on UseRPA/KeepFibWarm/MinNextHopPercent — so one base (or one restored
+// snapshot of it) warm-starts every arm of a sweep point.
+func Scenario2Base(p Scenario2Params) *fabric.Network {
+	p.setDefaults()
 	mesh := topo.BuildMesh(topo.MeshParams{
 		Planes: p.Planes, Grids: p.Grids, PerGroup: p.PerGroup, FSWsPerPlane: p.FSWsPerPlane,
 	})
@@ -221,6 +224,25 @@ func RunScenario2(p Scenario2Params) Scenario2Result {
 		n.OriginateAt(topo.EBID(i), DefaultRoute, []string{BackboneCommunity}, 0)
 	}
 	n.Converge()
+	return n
+}
+
+// RunScenario2 executes the Figure 4 decommission: all FADUs of one number
+// are drained with jitter, then the matching SSWs. Without RPA, the last
+// live FADU of that number funnels every same-numbered SSW's traffic; with
+// the Section 4.4.2 protection RPA on the SSWs, they withdraw early (at the
+// MinNextHop threshold) and traffic shifts to other SSW numbers.
+func RunScenario2(p Scenario2Params) Scenario2Result {
+	return RunScenario2On(Scenario2Base(p), p)
+}
+
+// RunScenario2On runs the decommission on an existing pre-migration base —
+// either fresh from Scenario2Base or restored from a snapshot of it.
+// RunScenario2(p) and RunScenario2On(Scenario2Base(p), p) are the same
+// computation, byte for byte.
+func RunScenario2On(n *fabric.Network, p Scenario2Params) Scenario2Result {
+	p.setDefaults()
+	mesh := n.Topo
 
 	num := p.DecommissionNumber
 	if p.UseRPA {
@@ -327,13 +349,7 @@ type Scenario3Result struct {
 	Events     int64
 }
 
-// RunScenario3 executes the Figure 5 event: EBs advertise N prefixes
-// through UUs to a DU over parallel sessions with distributed WCMP; two EBs
-// enter maintenance (export prepend) and every per-session, per-prefix
-// update lands with independent jitter. Without RPA the DU's transient
-// weight vectors explode combinatorially; with a Route Attribute RPA
-// prescribing weights a priori, the DU's groups stay constant.
-func RunScenario3(p Scenario3Params) Scenario3Result {
+func (p *Scenario3Params) setDefaults() {
 	if p.EBs == 0 {
 		p.EBs = 8
 	}
@@ -355,6 +371,13 @@ func RunScenario3(p Scenario3Params) Scenario3Result {
 	if p.NHGLimit == 0 {
 		p.NHGLimit = 128
 	}
+}
+
+// Scenario3Base builds and converges the Figure 5 pre-maintenance fabric:
+// all EB prefixes advertised and settled. The base is independent of
+// UseRPA, so one base warm-starts both arms of a sweep point.
+func Scenario3Base(p Scenario3Params) *fabric.Network {
+	p.setDefaults()
 	tp := topo.BuildFig5(p.EBs, p.UUs, p.DUs, p.SessionsPerPair, 100)
 	n := fabric.New(tp, fabric.Options{
 		Seed: p.Seed,
@@ -381,6 +404,25 @@ func RunScenario3(p Scenario3Params) Scenario3Result {
 		}
 	}
 	n.Converge()
+	return n
+}
+
+// RunScenario3 executes the Figure 5 event: EBs advertise N prefixes
+// through UUs to a DU over parallel sessions with distributed WCMP; two EBs
+// enter maintenance (export prepend) and every per-session, per-prefix
+// update lands with independent jitter. Without RPA the DU's transient
+// weight vectors explode combinatorially; with a Route Attribute RPA
+// prescribing weights a priori, the DU's groups stay constant.
+func RunScenario3(p Scenario3Params) Scenario3Result {
+	return RunScenario3On(Scenario3Base(p), p)
+}
+
+// RunScenario3On runs the maintenance event on an existing pre-maintenance
+// base — fresh from Scenario3Base or restored from a snapshot of it.
+// RunScenario3(p) and RunScenario3On(Scenario3Base(p), p) are the same
+// computation, byte for byte.
+func RunScenario3On(n *fabric.Network, p Scenario3Params) Scenario3Result {
+	p.setDefaults()
 
 	if p.UseRPA {
 		// Prescribe equal weights a priori on the DU (and UUs), so

@@ -1,0 +1,34 @@
+package qualify
+
+import (
+	"fmt"
+
+	"centralium/internal/controller"
+	"centralium/internal/fabric"
+)
+
+// Gate packages a qualification spec as a controller pre-deployment check.
+// At check time the spec's network is what-if forked (checkpoint/restore of
+// its full state), the intent is deployed on the fork through the real
+// rollout path with transient invariant sampling, and any violation —
+// transient or steady-state — blocks the live push with the full report in
+// the error. The live network never sees the simulated deployment.
+//
+// This closes the Section 7.1 loop: the same invariant suite that
+// qualifies binaries offline runs as an inline gate in front of every
+// production rollout, against the fleet's current state rather than a
+// canned scenario.
+func Gate(spec Spec) controller.HealthCheck {
+	return controller.WhatIf(spec.Name, spec.Net, func(fork *fabric.Network) error {
+		forked := spec
+		forked.Net = fork
+		rep, err := Run(forked)
+		if err != nil {
+			return err
+		}
+		if !rep.Passed {
+			return fmt.Errorf("qualification failed on fork:\n%s", rep)
+		}
+		return nil
+	})
+}

@@ -1,0 +1,122 @@
+package qualify
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"centralium/internal/controller"
+	"centralium/internal/core"
+	"centralium/internal/fabric"
+	"centralium/internal/migrate"
+	"centralium/internal/snapshot"
+	"centralium/internal/topo"
+	"centralium/internal/traffic"
+)
+
+func fingerprintNet(t *testing.T, n *fabric.Network) []byte {
+	t.Helper()
+	snap, err := snapshot.Capture(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := snap.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return enc
+}
+
+// TestWhatIfGateBlocksHazardousRollout is the acceptance path for the
+// what-if gate: the Figure 10 uncoordinated-rollout hazard (equalization
+// RPA pushed top-down) is caught on a fork of the live fabric, the real
+// push is blocked, and the live network stays byte-for-byte untouched.
+func TestWhatIfGateBlocksHazardousRollout(t *testing.T) {
+	n := fig10Net(3)
+	before := fingerprintNet(t, n)
+
+	intent := controller.PathEqualizationIntent(n.Topo,
+		[]topo.Layer{topo.LayerFSW, topo.LayerSSW, topo.LayerFA}, migrate.BackboneCommunity)
+	spec := Spec{
+		Name:           "equalization-top-down",
+		Net:            n,
+		Intent:         intent,
+		OriginAltitude: topo.LayerEB.Altitude(),
+		Removal:        true, // top-down: the hazardous order
+		Workload:       traffic.UniformDemands(n.Topo.ByLayer(topo.LayerFSW), migrate.DefaultRoute, 100),
+		Invariants: []Invariant{
+			NoBlackholes(),
+			FunnelBound(fas(), 0.75),
+		},
+	}
+
+	ctl := &controller.Controller{
+		Topo:   n.Topo,
+		Deploy: func(dev topo.DeviceID, cfg *core.Config) error { return n.DeployRPA(dev, cfg) },
+		Settle: func() { n.Converge() },
+	}
+	err := ctl.Run(controller.Rollout{
+		Intent:         intent,
+		OriginAltitude: topo.LayerEB.Altitude(),
+		Removal:        true,
+		Pre:            []controller.HealthCheck{Gate(spec)},
+	})
+	if err == nil {
+		t.Fatal("hazardous rollout passed the what-if gate")
+	}
+	if !strings.Contains(err.Error(), "pre-deployment check") ||
+		!strings.Contains(err.Error(), "funnel-bound") {
+		t.Fatalf("unexpected gate error: %v", err)
+	}
+	if ctl.Deployments() != 0 {
+		t.Fatalf("gate blocked the rollout but %d devices were deployed", ctl.Deployments())
+	}
+	after := fingerprintNet(t, n)
+	if !bytes.Equal(before, after) {
+		t.Fatal("what-if simulation leaked into the live network")
+	}
+}
+
+// TestWhatIfGatePassesSafeRollout: the same intent in the safe bottom-up
+// order clears the gate and the live rollout proceeds.
+func TestWhatIfGatePassesSafeRollout(t *testing.T) {
+	n := fig10Net(3)
+	intent := controller.PathEqualizationIntent(n.Topo,
+		[]topo.Layer{topo.LayerFSW, topo.LayerSSW, topo.LayerFA}, migrate.BackboneCommunity)
+	spec := Spec{
+		Name:           "equalization-bottom-up",
+		Net:            n,
+		Intent:         intent,
+		OriginAltitude: topo.LayerEB.Altitude(),
+		Workload:       traffic.UniformDemands(n.Topo.ByLayer(topo.LayerFSW), migrate.DefaultRoute, 100),
+		Invariants: []Invariant{
+			NoBlackholes(),
+			NoLoops(),
+			FunnelBound(fas(), 0.75),
+			MinPaths(topo.FAID(0), "0.0.0.0/0", 2),
+		},
+	}
+
+	ctl := &controller.Controller{
+		Topo:   n.Topo,
+		Deploy: func(dev topo.DeviceID, cfg *core.Config) error { return n.DeployRPA(dev, cfg) },
+		Settle: func() { n.Converge() },
+	}
+	err := ctl.Run(controller.Rollout{
+		Intent:         intent,
+		OriginAltitude: topo.LayerEB.Altitude(),
+		Pre:            []controller.HealthCheck{Gate(spec)},
+	})
+	if err != nil {
+		t.Fatalf("safe rollout blocked: %v", err)
+	}
+	if ctl.Deployments() == 0 {
+		t.Fatal("gate passed but nothing deployed")
+	}
+	// The live network now carries the RPA on every target.
+	for _, dev := range intent.Devices() {
+		if n.Speaker(dev).Stats().RPASelections == 0 && n.Speaker(dev).RPAConfig() == nil {
+			t.Fatalf("%s has no RPA after the gated rollout", dev)
+		}
+	}
+}

@@ -1,0 +1,62 @@
+package snapshot
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// FuzzSnapshotRoundTrip holds two lines: (1) any bytes that decode must
+// re-encode to a snapshot that decodes back deep-equal (the codec is a
+// bijection on its own output), and (2) no input — truncated, bit-flipped,
+// or adversarial — may panic or allocate unboundedly; malformed input gets
+// a clean error.
+func FuzzSnapshotRoundTrip(f *testing.F) {
+	for _, seed := range []int64{1, 42} {
+		n := buildRich(f, seed, 1)
+		churn(n)
+		snap, err := Capture(n)
+		if err != nil {
+			f.Fatal(err)
+		}
+		snap.Meta["fuzz"] = "seed"
+		enc, err := snap.Encode()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(enc)
+		f.Add(enc[:len(enc)/2])
+	}
+	f.Add([]byte{})
+	f.Add([]byte("CSNP"))
+	f.Add([]byte("CSNP\x01"))
+	f.Add([]byte("not a snapshot at all"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		snap, err := Decode(data)
+		if err != nil {
+			return // clean rejection is always acceptable
+		}
+		enc, err := snap.Encode()
+		if err != nil {
+			t.Fatalf("decoded snapshot failed to encode: %v", err)
+		}
+		again, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("re-encoded snapshot failed to decode: %v", err)
+		}
+		if !reflect.DeepEqual(snap.state, again.state) {
+			t.Fatal("decode(encode(decode(data))) != decode(data)")
+		}
+		if !reflect.DeepEqual(snap.Meta, again.Meta) {
+			t.Fatal("meta not stable across re-encode")
+		}
+		enc2, err := again.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(enc, enc2) {
+			t.Fatal("encode not deterministic on decoded state")
+		}
+	})
+}

@@ -139,6 +139,27 @@ func New() *Topology {
 	}
 }
 
+// Clone returns an independent deep copy: mutating either topology (link
+// removals, decommissions) never touches the other. It is the cheap path
+// for fanning one imported topology out to many forked networks, where
+// re-parsing the JSON export per fork would dominate the restore cost.
+func (t *Topology) Clone() *Topology {
+	c := &Topology{
+		devices: make(map[DeviceID]*Device, len(t.devices)),
+		links:   append([]Link(nil), t.links...),
+		adj:     make(map[DeviceID][]int, len(t.adj)),
+		nextASN: t.nextASN,
+	}
+	for id, d := range t.devices {
+		cd := *d
+		c.devices[id] = &cd
+	}
+	for id, idx := range t.adj {
+		c.adj[id] = append([]int(nil), idx...)
+	}
+	return c
+}
+
 // AddDevice inserts a device, assigning it the next free ASN. It panics on a
 // duplicate ID: topologies are built by code, so a duplicate is a programming
 // error, not an input error.
