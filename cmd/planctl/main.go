@@ -1,0 +1,228 @@
+// Command planctl drives the migration campaign planner: it searches
+// deployment schedules for an RPA migration by forking a converged
+// fabric snapshot and pushing every candidate through the real rollout
+// path, then reports the safest schedule found.
+//
+// Usage:
+//
+//	planctl plan -scenario fig10 -seed 1 -bare -batch 1,2
+//	planctl plan -scenario decommission -checkpoint search.json
+//	planctl plan -resume search.json
+//	planctl plan -scenario fig10 -snapshot state.csnp
+//	planctl score -scenario fig10 -schedule "fsw.pod0.0 > ssw.pl0.0,ssw.pl0.1"
+//	planctl explain -scenario fig10 -schedule "fa.0,fa.1 > ssw.pl0.0"
+//	planctl scenarios
+//
+// plan runs the beam search (resumable via -checkpoint/-resume); score
+// evaluates one explicit schedule end to end; explain does the same and
+// breaks the cost down per phase against the §5.3.2 bottom-up baseline.
+// -scenario names the migration (intent, workload, drains); -snapshot
+// optionally replaces the scenario's base state with a captured .csnp.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"centralium/internal/planner"
+	"centralium/internal/snapshot"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	mode := os.Args[1]
+	if mode == "scenarios" {
+		for _, name := range planner.ScenarioNames() {
+			fmt.Println(name)
+		}
+		return
+	}
+
+	fs := flag.NewFlagSet("planctl "+mode, flag.ExitOnError)
+	var (
+		scenario = fs.String("scenario", "fig10", "named migration scenario (see `planctl scenarios`)")
+		snapPath = fs.String("snapshot", "", "captured .csnp to plan on instead of the scenario's base state")
+		seed     = fs.Int64("seed", 1, "search seed (same seed, same snapshot: identical winner)")
+		beam     = fs.Int("beam", 0, "beam width (0: planner default)")
+		random   = fs.Int("random", 0, "seeded random-batch candidates per node (0: default, -1: none)")
+		batches  = fs.String("batch", "1,2", "comma-separated batch sizes to search on the bottom-up wave")
+		mnh      = fs.String("mnh", "", "comma-separated MinNextHop percent overrides to search")
+		bare     = fs.Bool("bare", false, "also search unprotected (bare) waves")
+		workers  = fs.Int("workers", 0, "evaluation pool width (0: CENTRALIUM_PARALLEL); never changes results")
+		sched    = fs.String("schedule", "", "schedule text to evaluate (score/explain)")
+		ckpt     = fs.String("checkpoint", "", "write a resumable search checkpoint here after every level")
+		resume   = fs.String("resume", "", "resume the search from this checkpoint file")
+	)
+	fs.Parse(os.Args[2:])
+
+	if err := run(mode, *scenario, *snapPath, *sched, *ckpt, *resume, planner.Params{
+		Seed:        *seed,
+		Beam:        *beam,
+		RandomCands: *random,
+		BatchSizes:  parseInts(*batches),
+		MinNextHops: parseInts(*mnh),
+		SearchBare:  *bare,
+		Workers:     *workers,
+	}); err != nil {
+		fmt.Fprintf(os.Stderr, "planctl: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: planctl <plan|score|explain|scenarios> [flags]")
+	fmt.Fprintln(os.Stderr, "       planctl plan -scenario fig10 -seed 1 [-bare] [-checkpoint f] [-resume f]")
+	fmt.Fprintln(os.Stderr, "       planctl score -scenario fig10 -schedule \"dev1 > dev2,dev3\"")
+}
+
+// run dispatches one planctl invocation. overrides carries the
+// search-shape flags; the scenario supplies intent, workload, and drains.
+func run(mode, scenario, snapPath, schedText, ckpt, resume string, overrides planner.Params) error {
+	snap, p, err := planner.ScenarioSetup(scenario, overrides.Seed)
+	if err != nil {
+		return err
+	}
+	if snapPath != "" {
+		if snap, err = snapshot.Load(snapPath); err != nil {
+			return err
+		}
+	}
+	p.Seed = overrides.Seed
+	p.Beam = overrides.Beam
+	p.RandomCands = overrides.RandomCands
+	p.SearchBare = overrides.SearchBare
+	p.Workers = overrides.Workers
+	if len(overrides.BatchSizes) > 0 {
+		p.BatchSizes = overrides.BatchSizes
+	}
+	if len(overrides.MinNextHops) > 0 {
+		p.MinNextHops = overrides.MinNextHops
+	}
+
+	switch mode {
+	case "plan":
+		return plan(snap, p, ckpt, resume)
+	case "score", "explain":
+		if schedText == "" {
+			return fmt.Errorf("%s needs -schedule", mode)
+		}
+		sched, err := planner.Parse(schedText)
+		if err != nil {
+			return err
+		}
+		rep, err := planner.ScoreSchedule(snap, p, sched)
+		if err != nil {
+			return err
+		}
+		if mode == "score" {
+			fmt.Printf("schedule: %s\nscore:    %s\n", sched, rep.Total)
+			return nil
+		}
+		return explain(snap, p, sched, rep)
+	default:
+		usage()
+		return fmt.Errorf("unknown mode %q", mode)
+	}
+}
+
+// plan runs (or resumes) the beam search, checkpointing between levels
+// when asked, and prints the winner against the bottom-up baseline.
+func plan(snap *snapshot.Snapshot, p planner.Params, ckpt, resume string) error {
+	var (
+		s   *planner.Search
+		err error
+	)
+	if resume != "" {
+		data, rerr := os.ReadFile(resume)
+		if rerr != nil {
+			return rerr
+		}
+		if s, err = planner.ResumeSearch(data); err != nil {
+			return err
+		}
+	} else if s, err = planner.NewSearch(snap, p); err != nil {
+		return err
+	}
+	for {
+		done, err := s.Step()
+		if err != nil {
+			return err
+		}
+		if ckpt != "" {
+			data, cerr := s.Checkpoint()
+			if cerr != nil {
+				return cerr
+			}
+			if cerr := os.WriteFile(ckpt, data, 0o644); cerr != nil {
+				return cerr
+			}
+		}
+		if done {
+			break
+		}
+	}
+	res, err := s.Result()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("winner:    %s\n           %s\n", res.Winner, res.Score)
+	fmt.Printf("bottom-up: %s\n           %s\n", res.Baseline, res.BaselineScore)
+	if res.FromBaseline {
+		fmt.Println("note: the search found nothing safer; the bottom-up baseline stands.")
+	}
+	fmt.Printf("search:    %d steps evaluated, %d memo hits, %d completed schedules, %d levels\n",
+		res.Stats.StepsEvaluated, res.Stats.MemoHits, res.Stats.Completed, res.Stats.Levels)
+	return nil
+}
+
+// explain prints the per-phase cost breakdown of one schedule next to
+// the §5.3.2 bottom-up baseline's total.
+func explain(snap *snapshot.Snapshot, p planner.Params, sched planner.Schedule, rep *planner.Report) error {
+	s, err := planner.NewSearch(snap, p)
+	if err != nil {
+		return err
+	}
+	baseline := s.BaselineSchedule()
+	baseRep, err := planner.ScoreSchedule(snap, p, baseline)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("schedule: %s\n\n%s\n", sched, rep)
+	fmt.Printf("bottom-up baseline: %s\n           %s\n", baseline, baseRep.Total)
+	switch {
+	case rep.Total.Cmp(baseRep.Total) < 0:
+		fmt.Println("verdict: safer than the bottom-up baseline.")
+	case rep.Total.Cmp(baseRep.Total) > 0:
+		fmt.Println("verdict: worse than the bottom-up baseline.")
+	default:
+		fmt.Println("verdict: equal to the bottom-up baseline.")
+	}
+	return nil
+}
+
+// parseInts parses a comma-separated integer list; empty gives nil.
+func parseInts(s string) []int {
+	if s == "" {
+		return nil
+	}
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		v, err := strconv.Atoi(f)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "planctl: bad integer %q in list\n", f)
+			os.Exit(2)
+		}
+		out = append(out, v)
+	}
+	return out
+}

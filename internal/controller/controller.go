@@ -130,14 +130,45 @@ type Rollout struct {
 	// DB-attached controller with a truth-reporting backend.
 	MaxStragglerFraction float64
 
+	// Schedule, when non-nil, overrides the altitude-derived wave order
+	// with an explicit deployment schedule: each inner slice is one wave,
+	// deployed in order. Devices not present in the intent are dropped.
+	// This is how the campaign planner (internal/planner) pushes a
+	// searched schedule through the same rollout path the §5.3.2 default
+	// uses, and how the random-order ablation arm runs.
+	Schedule [][]topo.DeviceID
+
+	// Approval, when set, is consulted with the final wave schedule after
+	// the pre-deployment checks pass and before the first device is
+	// touched. An error blocks the rollout. The planner's Approver binds
+	// here so a gate (qualify.Gate) can demand a planner-approved
+	// schedule in front of every live push.
+	Approval func(waves [][]topo.DeviceID) error
+
 	// Pre and Post health checks (Section 5: controller functions 1 and 4).
 	Pre, Post []HealthCheck
 }
 
 // Waves returns the deployment batches in order: devices grouped by layer,
 // ordered by distance from the origin altitude (descending for deployment,
-// ascending for removal), with deterministic order within a wave.
+// ascending for removal), with deterministic order within a wave. An
+// explicit Rollout.Schedule short-circuits the altitude derivation.
 func (c *Controller) Waves(r Rollout) [][]topo.DeviceID {
+	if r.Schedule != nil {
+		waves := make([][]topo.DeviceID, 0, len(r.Schedule))
+		for _, wave := range r.Schedule {
+			var kept []topo.DeviceID
+			for _, d := range wave {
+				if _, ok := r.Intent[d]; ok {
+					kept = append(kept, d)
+				}
+			}
+			if len(kept) > 0 {
+				waves = append(waves, kept)
+			}
+		}
+		return waves
+	}
 	byDist := make(map[int][]topo.DeviceID)
 	for _, d := range r.Intent.Devices() {
 		dev := c.Topo.Device(d)
@@ -181,6 +212,11 @@ func (c *Controller) Run(r Rollout) error {
 	for _, hc := range r.Pre {
 		if err := hc.Check(); err != nil {
 			return fmt.Errorf("controller: pre-deployment check %q failed: %w", hc.Name, err)
+		}
+	}
+	if r.Approval != nil {
+		if err := r.Approval(c.Waves(r)); err != nil {
+			return fmt.Errorf("controller: schedule approval failed: %w", err)
 		}
 	}
 	// Publish intent so the consistency loop can detect stragglers.

@@ -1,0 +1,45 @@
+package controller
+
+// Deployment-order strategies beyond the §5.3.2 altitude derivation. The
+// random-order schedule is the ablation arm of the Figure 10 experiment
+// (E12) and one of the candidate families the campaign planner searches;
+// it must be reproducible from a seed, so the shuffle draws from a local
+// splitmix64 stream rather than the global math/rand source (the
+// determinism lint enforces this for the whole package).
+
+import "centralium/internal/topo"
+
+// splitmix64 is the standard SplitMix64 step: a tiny, allocation-free,
+// seedable PRNG that is identical on every platform.
+type splitmix64 uint64
+
+func (s *splitmix64) next() uint64 {
+	*s += 0x9e3779b97f4a7c15
+	z := uint64(*s)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// intn returns a uniform draw in [0, n) (n must be positive).
+func (s *splitmix64) intn(n int) int {
+	return int(s.next() % uint64(n))
+}
+
+// RandomOrderWaves builds the uncoordinated-rollout ablation schedule: one
+// device per wave, in a seeded Fisher-Yates shuffle of the intent's target
+// set. The same seed always yields the same order, independent of map
+// iteration and worker count.
+func RandomOrderWaves(in Intent, seed int64) [][]topo.DeviceID {
+	devs := in.Devices()
+	rng := splitmix64(seed)
+	for i := len(devs) - 1; i > 0; i-- {
+		j := rng.intn(i + 1)
+		devs[i], devs[j] = devs[j], devs[i]
+	}
+	waves := make([][]topo.DeviceID, len(devs))
+	for i, d := range devs {
+		waves[i] = []topo.DeviceID{d}
+	}
+	return waves
+}

@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"centralium/internal/controller"
+	"centralium/internal/planner"
+)
+
+func init() {
+	register("planner", "E12 / §5.3.2: searched deployment schedules vs bottom-up and random order", func(seed int64) (string, error) {
+		return PlannerExperiment(seed)
+	})
+	registerRows("planner", func(seed int64) []Row {
+		rows, _ := PlannerRows(seed)
+		return rows
+	})
+}
+
+// plannerSeeds is the E12 sweep width: the base seed plus the next four.
+const plannerSeeds = 5
+
+// plannerArm is one (seed, strategy) measurement.
+type plannerArm struct {
+	Seed     int64
+	Strategy string
+	Score    planner.Score
+}
+
+// plannerSweep plans the fig10 scenario for each sweep seed and scores
+// the three arms: the §5.3.2 bottom-up baseline, the random-order
+// ablation (one device per wave, seeded shuffle), and the beam-searched
+// winner.
+func plannerSweep(seed int64) ([]plannerArm, error) {
+	var arms []plannerArm
+	for s := seed; s < seed+plannerSeeds; s++ {
+		snap, p, err := planner.ScenarioSetup("fig10", s)
+		if err != nil {
+			return nil, err
+		}
+		p.SearchBare = true
+		p.BatchSizes = []int{1, 2}
+		res, err := planner.Plan(snap, p)
+		if err != nil {
+			return nil, fmt.Errorf("seed %d: %w", s, err)
+		}
+		randSched := planner.FromWaves(controller.RandomOrderWaves(p.Intent, s))
+		randRep, err := planner.ScoreSchedule(snap, p, randSched)
+		if err != nil {
+			return nil, fmt.Errorf("seed %d: random arm: %w", s, err)
+		}
+		arms = append(arms,
+			plannerArm{Seed: s, Strategy: "bottom-up", Score: res.BaselineScore},
+			plannerArm{Seed: s, Strategy: "random", Score: randRep.Total},
+			plannerArm{Seed: s, Strategy: "planner", Score: res.Score},
+		)
+	}
+	return arms, nil
+}
+
+// PlannerExperiment renders the E12 comparison across the seed sweep.
+func PlannerExperiment(seed int64) (string, error) {
+	arms, err := plannerSweep(seed)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 10 scenario (equalization RPA over FSW/SSW/FA), %d seeds; each\n", plannerSeeds)
+	fmt.Fprintf(&b, "schedule scored end-to-end on forks of the same converged base:\n\n")
+	fmt.Fprintf(&b, "%4s %-10s %10s %11s %10s %6s %7s\n",
+		"seed", "strategy", "peak-share", "blackhole", "converge", "nhg", "churn")
+	for _, a := range arms {
+		fmt.Fprintf(&b, "%4d %-10s %10.3f %9.2fms %8.2fms %6d %7d\n",
+			a.Seed, a.Strategy, a.Score.PeakShare, float64(a.Score.BlackholeNs)/1e6,
+			float64(a.Score.ConvergeNs)/1e6, a.Score.PeakNHG, a.Score.Churn)
+	}
+	b.WriteString("\nthe planner schedule matches or beats bottom-up on peak funneling and\n")
+	b.WriteString("black-hole window for every seed, within 10% on convergence time\n")
+	b.WriteString("(enforced by the search's dominance guard; asserted in tests).\n")
+	return b.String(), nil
+}
+
+// PlannerRows is the machine-readable form of the E12 sweep.
+func PlannerRows(seed int64) ([]Row, error) {
+	arms, err := plannerSweep(seed)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Row, 0, len(arms))
+	for _, a := range arms {
+		rows = append(rows, Row{
+			Label: fmt.Sprintf("seed%d-%s", a.Seed, a.Strategy),
+			Values: map[string]float64{
+				"seed":         float64(a.Seed),
+				"peak_share":   a.Score.PeakShare,
+				"blackhole_ns": float64(a.Score.BlackholeNs),
+				"converge_ns":  float64(a.Score.ConvergeNs),
+				"peak_nhg":     float64(a.Score.PeakNHG),
+				"churn":        float64(a.Score.Churn),
+			},
+		})
+	}
+	return rows, nil
+}

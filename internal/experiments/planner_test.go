@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPlannerSweepAcceptance is the E12 acceptance bar: across the seed
+// sweep the searched schedule must match or beat the §5.3.2 bottom-up
+// baseline on peak funneling and black-hole window, and never regress
+// convergence time by more than 10%.
+func TestPlannerSweepAcceptance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("planner sweep in short mode")
+	}
+	arms, err := plannerSweep(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arms) != 3*plannerSeeds {
+		t.Fatalf("got %d arms, want %d", len(arms), 3*plannerSeeds)
+	}
+	byStrategy := map[int64]map[string]plannerArm{}
+	for _, a := range arms {
+		if byStrategy[a.Seed] == nil {
+			byStrategy[a.Seed] = map[string]plannerArm{}
+		}
+		byStrategy[a.Seed][a.Strategy] = a
+	}
+	for seed, m := range byStrategy {
+		base, plan := m["bottom-up"].Score, m["planner"].Score
+		if plan.BlackholeNs > base.BlackholeNs {
+			t.Errorf("seed %d: planner blackhole %d > baseline %d", seed, plan.BlackholeNs, base.BlackholeNs)
+		}
+		if plan.PeakShare > base.PeakShare {
+			t.Errorf("seed %d: planner peak %v > baseline %v", seed, plan.PeakShare, base.PeakShare)
+		}
+		if 10*plan.ConvergeNs > 11*base.ConvergeNs {
+			t.Errorf("seed %d: planner converge %d regresses baseline %d by >10%%", seed, plan.ConvergeNs, base.ConvergeNs)
+		}
+	}
+
+	out, err := Run("planner", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"bottom-up", "random", "planner", "peak-share", "blackhole"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("experiment output missing %q:\n%s", want, out)
+		}
+	}
+	rows, err := PlannerRows(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3*plannerSeeds {
+		t.Fatalf("got %d rows, want %d", len(rows), 3*plannerSeeds)
+	}
+}

@@ -70,6 +70,76 @@ const (
 	decomMinPercent   = 75
 )
 
+// ProtectiveIntent returns a named scenario's protective RPA intent and
+// the rollout origin altitude — the same intent the rig's DeployRPA
+// pushes, exposed separately so the campaign planner can search its
+// deployment schedule instead of replaying the fixed rollout.
+func ProtectiveIntent(name string) (controller.Intent, int, error) {
+	switch name {
+	case "decommission":
+		in := controller.CapacityProtectionIntent(decomTargets(), BackboneCommunity, decomMinPercent, true, decomGrids)
+		return in, topo.LayerEB.Altitude(), nil
+	case "pod-drain":
+		in := controller.DrainWeightIntent(drainSources(),
+			core.Destination{Community: workload.RackCommunity},
+			controller.DeviceRegex(drainDoomedFSWs()...))
+		return in, topo.LayerRSW.Altitude(), nil
+	}
+	return nil, 0, fmt.Errorf("migrate: unknown scenario %q", name)
+}
+
+// DrainSchedule returns a named scenario's migration body: the devices
+// drained, in order, and the stagger between consecutive drains. The
+// rigs' Migration closures replay exactly this schedule.
+func DrainSchedule(name string) ([]topo.DeviceID, time.Duration, error) {
+	switch name {
+	case "decommission":
+		var out []topo.DeviceID
+		for grid := 0; grid < decomGrids; grid++ {
+			out = append(out, topo.FADUID(grid, decomNumber))
+		}
+		for plane := 0; plane < decomPlanes; plane++ {
+			out = append(out, topo.SSWID(plane, decomNumber))
+		}
+		return out, 20 * time.Millisecond, nil
+	case "pod-drain":
+		var out []topo.DeviceID
+		for f := 0; f < drainPlanes-1; f++ {
+			out = append(out, topo.FSWID(drainTargetPod, f))
+		}
+		return out, 25 * time.Millisecond, nil
+	}
+	return nil, 0, fmt.Errorf("migrate: unknown scenario %q", name)
+}
+
+// decomTargets lists the SSWs carrying the decommission protection RPA.
+func decomTargets() []topo.DeviceID {
+	var targets []topo.DeviceID
+	for plane := 0; plane < decomPlanes; plane++ {
+		targets = append(targets, topo.SSWID(plane, decomNumber))
+	}
+	return targets
+}
+
+// drainSources lists the source-pod RSWs carrying the pod-drain RPA.
+func drainSources() []topo.DeviceID {
+	var sources []topo.DeviceID
+	for r := 0; r < drainRSWsPerPod; r++ {
+		sources = append(sources, topo.RSWID(drainSourcePod, r))
+	}
+	return sources
+}
+
+// drainDoomedFSWs lists the source pod's FSWs on the doomed planes (all
+// but the last).
+func drainDoomedFSWs() []topo.DeviceID {
+	var doomed []topo.DeviceID
+	for f := 0; f < drainPlanes-1; f++ {
+		doomed = append(doomed, topo.FSWID(drainSourcePod, f))
+	}
+	return doomed
+}
+
 // DecommissionRig builds the Figure 4 last-router scenario as a chaos rig:
 // all FADUs of one number drain with stagger, then the matching SSWs. The
 // native arm black-holes transiently when the last same-numbered FADU
@@ -91,11 +161,7 @@ func DecommissionRig(seed int64) *ChaosRig {
 // already holding its pre-migration steady state.
 func decommissionRigOn(n *fabric.Network) *ChaosRig {
 	mesh := n.Topo
-	num := decomNumber
-	var targets []topo.DeviceID
-	for plane := 0; plane < decomPlanes; plane++ {
-		targets = append(targets, topo.SSWID(plane, num))
-	}
+	targets := decomTargets()
 	var sources []topo.DeviceID
 	for _, d := range mesh.ByLayer(topo.LayerFSW) {
 		sources = append(sources, d.ID)
@@ -109,34 +175,40 @@ func decommissionRigOn(n *fabric.Network) *ChaosRig {
 		Sources:   sources,
 		Protected: targets,
 	}
-	rig.DeployRPA = func(push DeployFunc) error {
-		intent := controller.CapacityProtectionIntent(targets, BackboneCommunity, decomMinPercent, true, decomGrids)
+	rig.DeployRPA = rigRollout(rig.Name, n)
+	drains, stagger, _ := DrainSchedule(rig.Name)
+	rig.Span = time.Duration(len(drains)) * stagger
+	rig.Migration = rigMigration(n, drains, stagger)
+	return rig
+}
+
+// rigRollout binds a scenario's protective intent to the rig's
+// deploy-hook rollout shape.
+func rigRollout(name string, n *fabric.Network) func(push DeployFunc) error {
+	return func(push DeployFunc) error {
+		intent, origin, err := ProtectiveIntent(name)
+		if err != nil {
+			return err
+		}
 		ctl := &controller.Controller{
-			Topo:   mesh,
+			Topo:   n.Topo,
 			Deploy: func(d topo.DeviceID, cfg *core.Config) error { return push(d, cfg) },
 			Settle: func() { n.Converge() },
 		}
-		return ctl.Run(controller.Rollout{Intent: intent, OriginAltitude: topo.LayerEB.Altitude()})
+		return ctl.Run(controller.Rollout{Intent: intent, OriginAltitude: origin})
 	}
-	rig.Span = time.Duration(decomGrids+decomPlanes) * 20 * time.Millisecond
-	rig.Migration = func() {
-		i := 0
-		for grid := 0; grid < decomGrids; grid++ {
-			g := grid
-			n.After(time.Duration(i)*20*time.Millisecond, func() {
-				n.SetDrained(topo.FADUID(g, num), true)
+}
+
+// rigMigration schedules a drain sequence on the rig's virtual clock.
+func rigMigration(n *fabric.Network, drains []topo.DeviceID, stagger time.Duration) func() {
+	return func() {
+		for i, dev := range drains {
+			d := dev
+			n.After(time.Duration(i)*stagger, func() {
+				n.SetDrained(d, true)
 			})
-			i++
-		}
-		for plane := 0; plane < decomPlanes; plane++ {
-			pl := plane
-			n.After(time.Duration(i)*20*time.Millisecond, func() {
-				n.SetDrained(topo.SSWID(pl, num), true)
-			})
-			i++
 		}
 	}
-	return rig
 }
 
 // Pod-drain-rig geometry: a two-pod fabric where pod 1's FSWs undergo
@@ -180,15 +252,10 @@ func PodDrainRig(seed int64) *ChaosRig {
 // podDrainRigOn packages the pod-drain scenario around a network already
 // holding its pre-migration steady state.
 func podDrainRigOn(n *fabric.Network) *ChaosRig {
-	fab := n.Topo
-
 	// Track only the target pod's prefixes, sourced from the other pod.
 	var prefixes []netip.Prefix
 	var demands []traffic.Demand
-	var sources []topo.DeviceID
-	for r := 0; r < drainRSWsPerPod; r++ {
-		sources = append(sources, topo.RSWID(drainSourcePod, r))
-	}
+	sources := drainSources()
 	for r := 0; r < drainRSWsPerPod; r++ {
 		p := workload.RackPrefix(drainTargetPod, r)
 		prefixes = append(prefixes, p)
@@ -206,36 +273,13 @@ func podDrainRigOn(n *fabric.Network) *ChaosRig {
 		Protected: sources, // the RPA arm's route-attribute configs live on the source RSWs
 	}
 
-	// Doomed planes: all but the last.
-	var doomedFSWs []topo.DeviceID
-	for f := 0; f < drainPlanes-1; f++ {
-		doomedFSWs = append(doomedFSWs, topo.FSWID(drainSourcePod, f))
-	}
-	rig.DeployRPA = func(push DeployFunc) error {
-		// Weight zero toward the source pod's own FSWs on the doomed
-		// planes: traffic leaves the RSW only via the surviving plane, so
-		// the target pod's drains withdraw idle paths.
-		intent := controller.DrainWeightIntent(sources,
-			core.Destination{Community: workload.RackCommunity},
-			controller.DeviceRegex(doomedFSWs...))
-		ctl := &controller.Controller{
-			Topo:   fab,
-			Deploy: func(d topo.DeviceID, cfg *core.Config) error { return push(d, cfg) },
-			Settle: func() { n.Converge() },
-		}
-		return ctl.Run(controller.Rollout{Intent: intent, OriginAltitude: topo.LayerRSW.Altitude()})
-	}
-	rig.Span = time.Duration(drainPlanes-1) * 25 * time.Millisecond
-	rig.Migration = func() {
-		i := 0
-		for f := 0; f < drainPlanes-1; f++ {
-			plane := f
-			n.After(time.Duration(i)*25*time.Millisecond, func() {
-				n.SetDrained(topo.FSWID(drainTargetPod, plane), true)
-			})
-			i++
-		}
-	}
+	// The RPA weights zero toward the source pod's own FSWs on the doomed
+	// planes: traffic leaves the RSW only via the surviving plane, so the
+	// target pod's drains withdraw idle paths.
+	rig.DeployRPA = rigRollout(rig.Name, n)
+	drains, stagger, _ := DrainSchedule(rig.Name)
+	rig.Span = time.Duration(len(drains)) * stagger
+	rig.Migration = rigMigration(n, drains, stagger)
 	return rig
 }
 

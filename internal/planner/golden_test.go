@@ -1,0 +1,143 @@
+package planner
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"centralium/internal/fabric"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite the planner golden schedule files")
+
+// goldenPlan runs the pinned fig10 search the golden file captures.
+func goldenPlan(t *testing.T, workers int) *Result {
+	t.Helper()
+	snap, p, err := ScenarioSetup("fig10", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.SearchBare = true
+	p.BatchSizes = []int{1, 2}
+	p.MinNextHops = []int{50}
+	p.Workers = workers
+	res, err := Plan(snap, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestGoldenSchedule pins the winning schedule byte-for-byte: the same
+// seed must produce this exact schedule at any worker width. The golden
+// file is the determinism contract's artifact — a change here means the
+// search semantics changed, which must be deliberate (-update-golden).
+func TestGoldenSchedule(t *testing.T) {
+	res := goldenPlan(t, 1)
+	got := res.Winner.String() + "\n"
+
+	path := filepath.Join("testdata", "fig10_seed1.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update-golden to create): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("winning schedule drifted from golden:\n got: %q\nwant: %q", got, string(want))
+	}
+}
+
+// TestWorkerWidthIndependence is the determinism contract across the
+// evaluation pool: serial (1 worker) and parallel (4 workers, the CI
+// CENTRALIUM_PARALLEL width) searches must produce byte-identical
+// winners, scores, and search statistics.
+func TestWorkerWidthIndependence(t *testing.T) {
+	serial := goldenPlan(t, 1)
+
+	// Exercise the fleet-default path too: Workers=0 picks up
+	// fabric.DefaultWorkers, which CI pins via CENTRALIUM_PARALLEL=4.
+	prev := fabric.SetDefaultWorkers(4)
+	defer fabric.SetDefaultWorkers(prev)
+	parallel := goldenPlan(t, 0)
+
+	if serial.Winner.String() != parallel.Winner.String() {
+		t.Fatalf("worker width changed the winner:\n  1: %s\n  4: %s", serial.Winner, parallel.Winner)
+	}
+	if serial.Score != parallel.Score {
+		t.Fatalf("worker width changed the score:\n  1: %s\n  4: %s", serial.Score, parallel.Score)
+	}
+	if serial.Stats != parallel.Stats {
+		t.Fatalf("worker width changed the search stats:\n  1: %+v\n  4: %+v", serial.Stats, parallel.Stats)
+	}
+	if serial.Baseline.String() != parallel.Baseline.String() || serial.BaselineScore != parallel.BaselineScore {
+		t.Fatal("worker width changed the baseline evaluation")
+	}
+}
+
+// TestCheckpointResumeIdentity freezes the search mid-flight at every
+// level boundary, resumes from the serialized checkpoint, and requires
+// the byte-identical winner the uninterrupted run produces.
+func TestCheckpointResumeIdentity(t *testing.T) {
+	full := goldenPlan(t, 2)
+
+	snap, p, err := ScenarioSetup("fig10", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.SearchBare = true
+	p.BatchSizes = []int{1, 2}
+	p.MinNextHops = []int{50}
+	p.Workers = 2
+
+	for interrupt := 1; ; interrupt++ {
+		s, err := NewSearch(snap, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		done := false
+		for i := 0; i < interrupt && !done; i++ {
+			if done, err = s.Step(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		data, err := s.Checkpoint()
+		if err != nil {
+			t.Fatal(err)
+		}
+		resumed, err := ResumeSearch(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for {
+			d, err := resumed.Step()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d {
+				break
+			}
+		}
+		res, err := resumed.Result()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Winner.String() != full.Winner.String() {
+			t.Fatalf("interrupt after level %d changed the winner:\n resumed: %s\n    full: %s",
+				interrupt, res.Winner, full.Winner)
+		}
+		if res.Score != full.Score {
+			t.Fatalf("interrupt after level %d changed the score: %s vs %s", interrupt, res.Score, full.Score)
+		}
+		if done {
+			return // interrupted past the final level; every boundary covered
+		}
+	}
+}

@@ -1,0 +1,40 @@
+package planner
+
+// Seeded randomness for candidate generation. The planner never touches
+// the global math/rand source (the determinism lint forbids it); every
+// random draw comes from a stream derived purely from (seed, level, node
+// index), so candidate sets are identical at any worker count.
+
+// mix folds values into a seed with the SplitMix64 finalizer.
+func mix(vs ...int64) uint64 {
+	h := uint64(0x9e3779b97f4a7c15)
+	for _, v := range vs {
+		h ^= uint64(v)
+		h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9
+		h = (h ^ (h >> 27)) * 0x94d049bb133111eb
+		h ^= h >> 31
+	}
+	return h
+}
+
+// rand64 is a SplitMix64 stream.
+type rand64 uint64
+
+// newRand derives an independent stream for one (seed, level, node).
+func newRand(vs ...int64) *rand64 {
+	r := rand64(mix(vs...))
+	return &r
+}
+
+func (r *rand64) next() uint64 {
+	*r += 0x9e3779b97f4a7c15
+	z := uint64(*r)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// intn returns a uniform draw in [0, n); n must be positive.
+func (r *rand64) intn(n int) int {
+	return int(r.next() % uint64(n))
+}

@@ -1,0 +1,364 @@
+package planner
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"centralium/internal/controller"
+	"centralium/internal/core"
+	"centralium/internal/fabric"
+	"centralium/internal/snapshot"
+	"centralium/internal/telemetry"
+	"centralium/internal/topo"
+	"centralium/internal/traffic"
+)
+
+// Score is the planner's safety-ordered schedule cost. Fields accumulate
+// over the schedule's steps plus the terminal migration phase.
+type Score struct {
+	// BlackholeNs is the integrated virtual time during which the
+	// workload's black-holed fraction exceeded the epsilon — the
+	// black-hole window duration.
+	BlackholeNs int64 `json:"blackhole_ns"`
+	// PeakShare is the worst transient traffic share observed on any
+	// watched device (the funneling metric of Figures 2/4/10).
+	PeakShare float64 `json:"peak_share"`
+	// ConvergeNs is the total virtual time the schedule consumed.
+	ConvergeNs int64 `json:"converge_ns"`
+	// PeakNHG is the worst next-hop-group occupancy seen in FIB writes.
+	PeakNHG int `json:"peak_nhg"`
+	// Churn counts routing events (Adj-RIB-In + best-path) on the tap.
+	Churn int64 `json:"churn"`
+	// Alerts counts pathology-detector alerts fired during evaluation.
+	Alerts int `json:"alerts"`
+	// Steps is the schedule length.
+	Steps int `json:"steps"`
+}
+
+// Cmp is the planner's total preorder, safety-first: black-hole window,
+// then peak funneling, then convergence time, then NHG pressure, churn,
+// and schedule length. Ties are broken by the caller on the canonical
+// schedule text, which makes selection fully deterministic.
+func (s Score) Cmp(o Score) int {
+	switch {
+	case s.BlackholeNs != o.BlackholeNs:
+		return cmpI64(s.BlackholeNs, o.BlackholeNs)
+	case s.PeakShare != o.PeakShare:
+		return cmpF64(s.PeakShare, o.PeakShare)
+	case s.ConvergeNs != o.ConvergeNs:
+		return cmpI64(s.ConvergeNs, o.ConvergeNs)
+	case s.PeakNHG != o.PeakNHG:
+		return cmpI64(int64(s.PeakNHG), int64(o.PeakNHG))
+	case s.Churn != o.Churn:
+		return cmpI64(s.Churn, o.Churn)
+	default:
+		return cmpI64(int64(s.Steps), int64(o.Steps))
+	}
+}
+
+func cmpI64(a, b int64) int {
+	if a < b {
+		return -1
+	}
+	if a > b {
+		return 1
+	}
+	return 0
+}
+
+func cmpF64(a, b float64) int {
+	if a < b {
+		return -1
+	}
+	if a > b {
+		return 1
+	}
+	return 0
+}
+
+func (s Score) String() string {
+	return fmt.Sprintf("blackhole=%.2fms peak-share=%.3f converge=%.2fms nhg=%d churn=%d alerts=%d steps=%d",
+		float64(s.BlackholeNs)/1e6, s.PeakShare, float64(s.ConvergeNs)/1e6, s.PeakNHG, s.Churn, s.Alerts, s.Steps)
+}
+
+// add folds one phase outcome into the accumulated score.
+func (s Score) add(o StepOutcome, countStep bool) Score {
+	s.BlackholeNs += o.BlackholeNs
+	if o.PeakShare > s.PeakShare {
+		s.PeakShare = o.PeakShare
+	}
+	s.ConvergeNs += o.ConvergeNs
+	if o.PeakNHG > s.PeakNHG {
+		s.PeakNHG = o.PeakNHG
+	}
+	s.Churn += o.Churn
+	s.Alerts += o.Alerts
+	if countStep {
+		s.Steps++
+	}
+	return s
+}
+
+// StepOutcome is the measured transient of one schedule phase (a
+// deployment wave, or the terminal migration phase) on a fork.
+type StepOutcome struct {
+	Label       string  `json:"label"`
+	BlackholeNs int64   `json:"blackhole_ns"`
+	PeakShare   float64 `json:"peak_share"`
+	ConvergeNs  int64   `json:"converge_ns"`
+	PeakNHG     int     `json:"peak_nhg"`
+	Churn       int64   `json:"churn"`
+	Alerts      int     `json:"alerts"`
+	Events      int64   `json:"events"`
+}
+
+// Report is a full per-phase breakdown of one schedule's evaluation — the
+// planctl explain view.
+type Report struct {
+	Schedule Schedule
+	Phases   []StepOutcome
+	Total    Score
+}
+
+func (r *Report) String() string {
+	var b []byte
+	b = fmt.Appendf(b, "%-44s %10s %11s %10s %6s %7s %7s\n",
+		"phase", "peak-share", "blackhole", "converge", "nhg", "churn", "alerts")
+	for _, ph := range r.Phases {
+		b = fmt.Appendf(b, "%-44s %10.3f %9.2fms %8.2fms %6d %7d %7d\n",
+			truncLabel(ph.Label, 44), ph.PeakShare, float64(ph.BlackholeNs)/1e6,
+			float64(ph.ConvergeNs)/1e6, ph.PeakNHG, ph.Churn, ph.Alerts)
+	}
+	b = fmt.Appendf(b, "total: %s\n", r.Total)
+	return string(b)
+}
+
+func truncLabel(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}
+
+// fingerprint hashes an encoded snapshot — the memoization key. Encoding
+// is deterministic (equal states produce equal bytes), so the hash is a
+// true state identity.
+func fingerprint(state []byte) string {
+	sum := sha256.Sum256(state)
+	return hex.EncodeToString(sum[:])
+}
+
+// probe instruments one fork: it taps the fabric into a pathology
+// collector, samples the workload on every engine event, and integrates
+// the transient metrics the Score is built from. Attaching an event hook
+// forces the engine into serial stepping, so per-fork measurement is
+// deterministic; the planner's parallelism lives one level up, across
+// candidate forks.
+type probe struct {
+	p         *Params
+	net       *fabric.Network
+	pr        *traffic.Propagator
+	col       *telemetry.Collector
+	out       StepOutcome
+	startNow  int64
+	lastNow   int64
+	lastBlack bool
+	samples   int64
+	baseAlert int
+}
+
+func newProbe(n *fabric.Network, p *Params) *probe {
+	pb := &probe{p: p, net: n, pr: &traffic.Propagator{Net: n}}
+	pb.col = telemetry.NewCollector(telemetry.CollectorOptions{
+		Detectors: telemetry.StandardDetectors(),
+		OnEvent: func(ev telemetry.Event) {
+			switch ev.Kind {
+			case telemetry.KindFIBWrite:
+				if ev.NHGroups > pb.out.PeakNHG {
+					pb.out.PeakNHG = ev.NHGroups
+				}
+			case telemetry.KindAdjRIBIn, telemetry.KindBestPath:
+				pb.out.Churn++
+			}
+		},
+	})
+	n.SetTap(pb.col)
+	pb.startNow = n.Now()
+	pb.lastNow = pb.startNow
+	n.OnEvent(func(now int64) { pb.observe(now) })
+	return pb
+}
+
+// observe is the per-event sampler: propagate the workload, track the
+// watched devices' peak share, and integrate the black-hole window.
+func (pb *probe) observe(now int64) {
+	pb.samples++
+	if pb.samples%int64(pb.p.SampleEvery) != 0 {
+		return
+	}
+	pb.sampleAt(now)
+}
+
+// sampleAt measures the workload at one instant: integrate the window
+// since the previous sample under the previous sample's verdict, then
+// re-sample.
+func (pb *probe) sampleAt(now int64) {
+	if pb.lastBlack && now > pb.lastNow {
+		pb.out.BlackholeNs += now - pb.lastNow
+	}
+	res := pb.pr.Run(pb.p.Demands)
+	dev, share := res.MaxDeviceShare(pb.p.Watch)
+	if share > pb.out.PeakShare {
+		pb.out.PeakShare = share
+	}
+	bh := res.BlackholedFraction()
+	pb.lastBlack = bh > pb.p.BlackholeEps
+	pb.lastNow = now
+	pb.col.Emit(telemetry.Event{
+		Kind:       telemetry.KindTrafficSample,
+		Time:       now,
+		Device:     string(dev),
+		Share:      share,
+		FairShare:  pb.p.FairShare,
+		Blackholed: bh,
+	})
+}
+
+// finish closes the measurement window and returns the outcome. The
+// settled end state is always sampled, even if the phase generated no
+// events — a no-op deployment (e.g. a bare wave pushing empty configs)
+// must still answer for the state it leaves behind.
+func (pb *probe) finish(label string, events int64) StepOutcome {
+	now := pb.net.Now()
+	pb.sampleAt(now)
+	pb.out.Label = label
+	pb.out.ConvergeNs = now - pb.startNow
+	pb.out.Events = events
+	pb.out.Alerts = len(pb.col.Alerts())
+	return pb.out
+}
+
+// evaluator owns the fork/instrument/execute machinery shared by the beam
+// search, the exhaustive baseline, and schedule scoring. The topology is
+// imported once and cloned per fork, exactly as snapshot.Fork does.
+type evaluator struct {
+	p  *Params
+	tp *topo.Topology
+}
+
+// restore rebuilds a running fork from an encoded state.
+func (e *evaluator) restore(state []byte) (*fabric.Network, error) {
+	snap, err := snapshot.Decode(state)
+	if err != nil {
+		return nil, fmt.Errorf("planner: decode state: %w", err)
+	}
+	return snap.RestoreWith(fabric.RestoreOptions{Topo: e.tp.Clone()})
+}
+
+// capture re-encodes a quiescent fork as the next search state.
+func (e *evaluator) capture(n *fabric.Network) ([]byte, error) {
+	snap, err := snapshot.Capture(n)
+	if err != nil {
+		return nil, fmt.Errorf("planner: capture: %w", err)
+	}
+	return snap.Encode()
+}
+
+// evalStep forks the parent state, pushes one wave through the real
+// rollout path (controller.Execute), and returns the measured transient
+// plus the child state.
+func (e *evaluator) evalStep(parent []byte, st Step) (StepOutcome, []byte, error) {
+	n, err := e.restore(parent)
+	if err != nil {
+		return StepOutcome{}, nil, err
+	}
+	pb := newProbe(n, e.p)
+	events := int64(0)
+	ctl := &controller.Controller{
+		Topo:   n.Topo,
+		Deploy: func(d topo.DeviceID, cfg *core.Config) error { return n.DeployRPA(d, cfg) },
+		Settle: func() { events += n.Converge() },
+	}
+	err = ctl.Execute(controller.OrchestratedChange{
+		Name: "planner step",
+		Rollout: controller.Rollout{
+			Intent:          stepIntent(e.p.Intent, st),
+			OriginAltitude:  e.p.OriginAltitude,
+			Schedule:        [][]topo.DeviceID{st.Devices},
+			SettlePerDevice: e.p.SettlePerDevice,
+		},
+	})
+	if err != nil {
+		return StepOutcome{}, nil, fmt.Errorf("planner: step %q: %w", st.String(), err)
+	}
+	out := pb.finish(st.String(), events)
+	child, err := e.capture(n)
+	if err != nil {
+		return StepOutcome{}, nil, err
+	}
+	return out, child, nil
+}
+
+// evalMigration forks the fully-deployed state and runs the terminal
+// phase: first finalize — the intent must actually hold before the
+// migration body, so devices whose live RPA config still differs from
+// the intent (bare waves, transient MinNextHop overrides) get their true
+// configs pushed now, all at once, and the schedule is charged for that
+// unsequenced transient — then the scenario's staggered drains,
+// measuring the post-deployment hazard the schedule was supposed to
+// protect. The finalize set is derived from the restored state alone, so
+// memoizing by state fingerprint stays sound.
+func (e *evaluator) evalMigration(state []byte) (StepOutcome, error) {
+	n, err := e.restore(state)
+	if err != nil {
+		return StepOutcome{}, err
+	}
+	pb := newProbe(n, e.p)
+	stagger := e.p.DrainStaggerNs
+	if stagger <= 0 {
+		stagger = int64(20 * time.Millisecond)
+	}
+	var lagged []topo.DeviceID
+	for _, d := range sortedDevices(e.p.Intent) {
+		if !configEqual(n.Speaker(d).RPAConfig(), e.p.Intent[d]) {
+			lagged = append(lagged, d)
+		}
+	}
+	// Catch-up pushes roll one at a time on the virtual clock — config
+	// pushes are never fleet-atomic in practice — and in plain device
+	// order, not the §5.3.2 sequence: deferring protection buys an
+	// unsequenced rollout later, and this is where that bill arrives.
+	var deployErr error
+	for i, dev := range lagged {
+		d := dev
+		n.After(time.Duration(int64(i)*stagger), func() {
+			if err := n.DeployRPA(d, e.p.Intent[d]); err != nil && deployErr == nil {
+				deployErr = fmt.Errorf("planner: finalize %s: %w", d, err)
+			}
+		})
+	}
+	// The drain body starts once the catch-up window closes.
+	offset := int64(len(lagged)) * stagger
+	for i, dev := range e.p.Drain {
+		d := dev
+		n.After(time.Duration(offset+int64(i)*stagger), func() { n.SetDrained(d, true) })
+	}
+	events := int64(0)
+	if len(lagged) > 0 || len(e.p.Drain) > 0 {
+		events = n.Converge()
+	}
+	if deployErr != nil {
+		return StepOutcome{}, deployErr
+	}
+	return pb.finish("migration", events), nil
+}
+
+// configEqual compares two RPA configs structurally.
+func configEqual(a, b *core.Config) bool {
+	da, errA := json.Marshal(a)
+	db, errB := json.Marshal(b)
+	return errA == nil && errB == nil && string(da) == string(db)
+}

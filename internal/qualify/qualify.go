@@ -60,6 +60,12 @@ type Spec struct {
 
 	Invariants []Invariant
 
+	// Approval, when set, must approve the rollout's wave schedule before
+	// any device is touched; an error fails qualification as a rollout
+	// violation. The campaign planner's Approver binds here, which is how
+	// a gate demands a planner-approved schedule (see internal/planner).
+	Approval func(waves [][]topo.DeviceID) error
+
 	// SampleEvery thins transient sampling (default 1: every event).
 	SampleEvery int
 }
@@ -158,6 +164,7 @@ func Run(spec Spec) (*Report, error) {
 		OriginAltitude:  spec.OriginAltitude,
 		Removal:         spec.Removal,
 		SettlePerDevice: true,
+		Approval:        spec.Approval,
 	})
 	if err != nil {
 		rep.Passed = false

@@ -1,0 +1,52 @@
+package snapshot
+
+import (
+	"fmt"
+	"net/netip"
+	"testing"
+
+	"centralium/internal/fabric"
+	"centralium/internal/topo"
+)
+
+// mediumBase builds and converges the Figure 4 mesh (the decommission
+// scenario's geometry: 40 devices) and captures it — the branch point
+// the fork sweep measures from.
+func mediumBase(b *testing.B) *Snapshot {
+	b.Helper()
+	mesh := topo.BuildMesh(topo.MeshParams{Planes: 2, Grids: 4, PerGroup: 4, FSWsPerPlane: 2})
+	n := fabric.New(mesh, fabric.Options{Seed: 42})
+	def := netip.MustParsePrefix("0.0.0.0/0")
+	for i := 0; i < 2; i++ {
+		n.OriginateAt(topo.EBID(i), def, []string{"BACKBONE_DEFAULT_ROUTE"}, 0)
+	}
+	n.Converge()
+	snap, err := Capture(n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return snap
+}
+
+// BenchmarkFork sweeps the branch width of what-if forking: how fast can
+// 1, 4, 16, 64 independent running fabrics be materialized from one
+// converged snapshot. This is the planner's inner loop — every candidate
+// schedule evaluation starts with one of these forks — so the per-fork
+// cost here bounds the search's evaluation throughput.
+func BenchmarkFork(b *testing.B) {
+	snap := mediumBase(b)
+	for _, width := range []int{1, 4, 16, 64} {
+		b.Run(fmt.Sprintf("width=%d", width), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				forks, err := snap.Fork(width)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(forks) != width {
+					b.Fatalf("forked %d, want %d", len(forks), width)
+				}
+			}
+		})
+	}
+}
