@@ -387,6 +387,31 @@ func BenchmarkConvergence(b *testing.B) {
 				b.ReportMetric(float64(batched), "batched")
 			})
 		}
+		// The decision-engine dimension: the bare names above run the
+		// fleet default (incremental); these pin each engine explicitly.
+		// results/BENCH_incremental.json is the committed snapshot of the
+		// full-vs-incremental gap at the 1kdevice scale.
+		for _, mode := range []struct {
+			name string
+			full bool
+		}{{"incremental", false}, {"full", true}} {
+			b.Run(fmt.Sprintf("%s/workers-1/%s", sc.Name, mode.name), func(b *testing.B) {
+				var events int64
+				var skipped, advMemo, fibMemo int
+				for i := 0; i < b.N; i++ {
+					st := experiments.RunConvergenceMode(sc, 42, 1, mode.full)
+					if st.Events == 0 {
+						b.Fatal("no events")
+					}
+					events = st.Events
+					skipped, advMemo, fibMemo = st.SkippedRecomputes, st.AdvMemoHits, st.FIBMemoHits
+				}
+				b.ReportMetric(float64(events), "events")
+				b.ReportMetric(float64(skipped), "skipped")
+				b.ReportMetric(float64(advMemo), "adv-memo")
+				b.ReportMetric(float64(fibMemo), "fib-memo")
+			})
+		}
 	}
 }
 

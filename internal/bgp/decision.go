@@ -19,7 +19,14 @@ type candidate struct {
 // recompute runs the decision pipeline and, when a tap is attached,
 // reports installed best-path changes by comparing the prefix's canonical
 // FIB group key across the run. Disabled-tap cost is one nil compare.
+// The incremental engine routes through recomputeTracked, which emits the
+// same best-path event in the same position while capturing the run's
+// dependency profile; this body is the unmodified oracle path.
 func (s *Speaker) recompute(p netip.Prefix) {
+	if !s.fullRecompute {
+		s.recomputeTracked(p)
+		return
+	}
 	if s.tap == nil {
 		s.recomputeOne(p)
 		return
@@ -44,6 +51,7 @@ func (s *Speaker) recompute(p netip.Prefix) {
 func (s *Speaker) recomputeOne(p netip.Prefix) {
 	s.stats.Recomputes++
 	st := s.state(p)
+	st.reachAdv = false
 	info := DecisionInfo{AdvertisedPathLen: -1, MaxSelectedPathLen: -1, WeightMode: "ecmp"}
 	defer func() {
 		info.Withdrawn = len(st.advertised) == 0
@@ -54,10 +62,20 @@ func (s *Speaker) recomputeOne(p netip.Prefix) {
 	if oi, ok := s.originated[p]; ok {
 		info.Originated = true
 		info.AdvertisedPathLen = 0
+		st.hasRep, st.hasRepSel = false, false
 		if oi.installFIB {
-			s.fibTbl.Install(p, []fib.NextHop{{ID: LocalNextHop, Weight: 1}})
+			if !s.fullRecompute && st.fibOK && hopsEqual(st.fibHops, localHops) {
+				s.fibTbl.Touch(p)
+				s.incr.FIBMemoHits++
+			} else {
+				s.fibTbl.Install(p, localHops)
+				if !s.fullRecompute {
+					st.fibOK, st.fibHops = true, localHops
+				}
+			}
 		} else {
 			s.fibTbl.Remove(p)
+			st.fibOK = false
 		}
 		localAttrs := core.RouteAttrs{
 			Prefix:            p,
@@ -71,20 +89,32 @@ func (s *Speaker) recomputeOne(p netip.Prefix) {
 
 	cands := s.gather(p)
 	if len(cands) == 0 {
+		st.hasRep, st.hasRepSel = false, false
 		s.fibTbl.Remove(p)
+		st.fibOK = false
 		s.withdrawAll(p, st)
 		return
 	}
+	st.hasRep, st.repRoute = true, cands[0].attrs
+	st.hasRepSel = false
 
 	// Track the high-water distinct-next-hop baseline for percentage
 	// thresholds ("75% of full health").
-	if n := distinctDevices(cands, allIdx(cands)); n > st.baseline {
+	if n := s.distinctDevicesOf(cands, nil); n > st.baseline {
 		st.baseline = n
 	}
 
-	attrs := make([]core.RouteAttrs, len(cands))
+	var attrs []core.RouteAttrs
+	if s.fullRecompute {
+		attrs = make([]core.RouteAttrs, 0, len(cands))
+	} else {
+		attrs = s.attrsScratch[:0]
+	}
 	for i := range cands {
-		attrs[i] = cands[i].attrs
+		attrs = append(attrs, cands[i].attrs)
+	}
+	if !s.fullRecompute {
+		s.attrsScratch = attrs
 	}
 
 	var selected []int
@@ -98,7 +128,7 @@ func (s *Speaker) recomputeOne(p netip.Prefix) {
 		s.stats.RPASelections++
 		s.emitRPAHit(p, dec.MatchedSet)
 	} else {
-		selected = nativeSelect(cands, s.cfg.Multipath)
+		selected = s.nativeSelection(cands)
 		s.stats.NativeDecisions++
 
 		// BgpNativeMinNextHop (RPA) and the vendor minimum-ECMP knob both
@@ -115,7 +145,7 @@ func (s *Speaker) recomputeOne(p netip.Prefix) {
 		}
 		info.MnhRequired = required
 		info.KeepWarmOnViolation = keepWarm
-		if required > 0 && distinctDevices(cands, selected) < required {
+		if required > 0 && s.distinctDevicesOf(cands, selected) < required {
 			s.stats.MnhWithdrawals++
 			info.MnhWithdrawn = true
 			if nc.Present {
@@ -124,10 +154,14 @@ func (s *Speaker) recomputeOne(p netip.Prefix) {
 			if keepWarm {
 				// Keep forwarding entries so in-flight packets survive,
 				// but advertise nothing (the Figure 14 footgun).
-				_, info.WeightMode = s.installFIB(p, cands, selected)
+				st.hasRepSel, st.repSel = true, cands[selected[0]].attrs
+				_, info.WeightMode = s.installFIB(p, st, cands, selected)
 				s.fibTbl.MarkWarm(p)
+				// MarkWarm notifies the tap on every run, changed or not.
+				s.runEmits++
 			} else {
 				s.fibTbl.Remove(p)
+				st.fibOK = false
 			}
 			s.withdrawAll(p, st)
 			return
@@ -136,20 +170,22 @@ func (s *Speaker) recomputeOne(p netip.Prefix) {
 
 	if len(selected) == 0 {
 		s.fibTbl.Remove(p)
+		st.fibOK = false
 		s.withdrawAll(p, st)
 		return
 	}
 
 	info.SelectedPaths = len(selected)
-	info.DistinctNextHops = distinctDevices(cands, selected)
+	info.DistinctNextHops = s.distinctDevicesOf(cands, selected)
 	for _, i := range selected {
 		if l := len(cands[i].attrs.ASPath); l > info.MaxSelectedPathLen {
 			info.MaxSelectedPathLen = l
 		}
 	}
 
+	st.hasRepSel, st.repSel = true, cands[selected[0]].attrs
 	var aggBW float64
-	aggBW, info.WeightMode = s.installFIB(p, cands, selected)
+	aggBW, info.WeightMode = s.installFIB(p, st, cands, selected)
 
 	// Advertisement: RPA speakers advertise the least favorable selected
 	// path (Section 5.3.1); native decisions advertise the best path.
@@ -164,17 +200,20 @@ func (s *Speaker) recomputeOne(p netip.Prefix) {
 }
 
 // gather collects candidates from all sessions in deterministic order.
+// (Every peer session has an Adj-RIB-In map and vice versa, so the shared
+// session order covers exactly the adjIn key set.)
 func (s *Speaker) gather(p netip.Prefix) []candidate {
 	var out []candidate
-	sessions := make([]SessionID, 0, len(s.adjIn))
-	for sess := range s.adjIn {
-		sessions = append(sessions, sess)
+	if !s.fullRecompute {
+		out = s.candScratch[:0]
 	}
-	sort.Slice(sessions, func(i, j int) bool { return sessions[i] < sessions[j] })
-	for _, sess := range sessions {
+	for _, sess := range s.sessionOrder() {
 		if attrs, ok := s.adjIn[sess][p]; ok {
 			out = append(out, candidate{attrs: attrs, session: sess})
 		}
+	}
+	if !s.fullRecompute {
+		s.candScratch = out
 	}
 	return out
 }
@@ -221,6 +260,12 @@ func equalPreference(a, b *core.RouteAttrs) bool {
 // set under the standard comparison; multipath keeps the whole set, single
 // path mode keeps the deterministic best.
 func nativeSelect(cands []candidate, multipath bool) []int {
+	return nativeSelectInto(nil, cands, multipath)
+}
+
+// nativeSelectInto is nativeSelect writing into dst (reused when the caller
+// holds a scratch buffer; dst may be nil).
+func nativeSelectInto(dst []int, cands []candidate, multipath bool) []int {
 	if len(cands) == 0 {
 		return nil
 	}
@@ -240,9 +285,9 @@ func nativeSelect(cands []candidate, multipath bool) []int {
 				best = i
 			}
 		}
-		return []int{best}
+		return append(dst[:0], best)
 	}
-	var out []int
+	out := dst[:0]
 	for i := range cands {
 		if equalPreference(&cands[i].attrs, &cands[best].attrs) {
 			out = append(out, i)
@@ -295,15 +340,35 @@ func leastFavorable(cands []candidate, selected []int) int {
 
 // installFIB writes the weighted next-hop set for the selected routes and
 // returns the aggregate advertised bandwidth for WCMP mode plus the weight
-// assignment mode ("rpa", "wcmp", or "ecmp").
-func (s *Speaker) installFIB(p netip.Prefix, cands []candidate, selected []int) (float64, string) {
-	attrs := make([]core.RouteAttrs, len(selected))
-	for k, i := range selected {
-		attrs[k] = cands[i].attrs
+// assignment mode ("rpa", "wcmp", or "ecmp"). Weights are always computed
+// fresh (RouteAttribute expiry is clock-dependent); the incremental engine
+// only memoizes the resulting hop set to skip the canonical group-key
+// rebuild when the install is a provable same-key rewrite.
+func (s *Speaker) installFIB(p netip.Prefix, st *prefixState, cands []candidate, selected []int) (float64, string) {
+	var attrs []core.RouteAttrs
+	if s.fullRecompute {
+		attrs = make([]core.RouteAttrs, 0, len(selected))
+	} else {
+		attrs = s.wattsScratch[:0]
+	}
+	for _, i := range selected {
+		attrs = append(attrs, cands[i].attrs)
+	}
+	if !s.fullRecompute {
+		s.wattsScratch = attrs
 	}
 
 	mode := "ecmp"
-	weights := make([]int, len(selected))
+	var weights []int
+	if s.fullRecompute {
+		weights = make([]int, len(selected))
+	} else {
+		if cap(s.weightScratch) < len(selected) {
+			s.weightScratch = make([]int, len(selected))
+		}
+		weights = s.weightScratch[:len(selected)]
+		clear(weights)
+	}
 	if wd := s.rpa.AssignWeights(attrs, s.now()); wd.Applied {
 		mode = "rpa"
 		copy(weights, wd.Weights)
@@ -328,7 +393,12 @@ func (s *Speaker) installFIB(p netip.Prefix, cands []candidate, selected []int) 
 		}
 	}
 
-	hops := make([]fib.NextHop, 0, len(selected))
+	var hops []fib.NextHop
+	if s.fullRecompute {
+		hops = make([]fib.NextHop, 0, len(selected))
+	} else {
+		hops = s.hopsScratch[:0]
+	}
 	aggBW := 0.0
 	for k, i := range selected {
 		if weights[k] <= 0 {
@@ -341,12 +411,30 @@ func (s *Speaker) installFIB(p netip.Prefix, cands []candidate, selected []int) 
 		}
 		aggBW += bw
 	}
+	if !s.fullRecompute {
+		s.hopsScratch = hops
+		if st.fibOK && hopsEqual(st.fibHops, hops) {
+			s.fibTbl.Touch(p)
+			s.incr.FIBMemoHits++
+			return aggBW, mode
+		}
+	}
 	s.fibTbl.Install(p, hops)
+	if !s.fullRecompute && len(hops) > 0 {
+		// Clone: hops is scratch, the memo must own its record.
+		st.fibOK, st.fibHops = true, append([]fib.NextHop(nil), hops...)
+	} else {
+		st.fibOK = false
+	}
 	return aggBW, mode
 }
 
 // emitRPAHit reports an RPA statement (or path set) governing a decision.
+// The per-run emission count is maintained even with no tap attached: an
+// RPA-governed run must never be profiled as steady, or a later skip would
+// drop its per-run emissions and counter residue.
 func (s *Speaker) emitRPAHit(p netip.Prefix, statement string) {
+	s.runEmits++
 	if s.tap == nil {
 		return
 	}
@@ -404,8 +492,21 @@ func uitoa(v uint32) string {
 // locally originated routes); the split-horizon rule never re-advertises a
 // route to the device it came from.
 func (s *Speaker) advertise(p netip.Prefix, st *prefixState, route *core.RouteAttrs, learnedFrom SessionID, aggBW float64) {
+	st.reachAdv = true
 	if s.drained {
 		s.withdrawAll(p, st)
+		return
+	}
+	incr := !s.fullRecompute
+	// Advertisement memo: under an unchanged epoch (same peers, prepends,
+	// drain state, and egress policy) a repeat call with the same route
+	// content, source session, and aggregate bandwidth recomputes the same
+	// per-session keys and suppresses every one of them — eligibility reads
+	// only the prefix and peer names, and messages carry only the AS path,
+	// communities, origin, and bandwidth compared here. Skip the loop.
+	if incr && st.advOK && st.advEpoch == s.advEpoch && st.advFrom == learnedFrom &&
+		st.advBW == aggBW && advRouteEqual(&st.advRoute, route) {
+		s.incr.AdvertiseMemoHits++
 		return
 	}
 	fromDevice := ""
@@ -413,13 +514,7 @@ func (s *Speaker) advertise(p netip.Prefix, st *prefixState, route *core.RouteAt
 		fromDevice = pr.device
 	}
 
-	sessions := make([]SessionID, 0, len(s.peers))
-	for sess := range s.peers {
-		sessions = append(sessions, sess)
-	}
-	sort.Slice(sessions, func(i, j int) bool { return sessions[i] < sessions[j] })
-
-	for _, sess := range sessions {
+	for _, sess := range s.sessionOrder() {
 		pr := s.peers[sess]
 		eligible := true
 		if fromDevice != "" && pr.device == fromDevice {
@@ -458,6 +553,15 @@ func (s *Speaker) advertise(p netip.Prefix, st *prefixState, route *core.RouteAt
 			LinkBandwidthGbps: bw,
 		}})
 	}
+	if incr {
+		// Record after the loop: any withdrawal inside it cleared advOK,
+		// and the loop's final state is exactly what the memo asserts.
+		st.advOK = true
+		st.advEpoch = s.advEpoch
+		st.advFrom = learnedFrom
+		st.advBW = aggBW
+		st.advRoute = *route
+	}
 }
 
 // withdrawAll retracts the prefix from every session it was advertised on.
@@ -477,6 +581,9 @@ func (s *Speaker) withdrawOne(p netip.Prefix, st *prefixState, sess SessionID) {
 		return
 	}
 	delete(st.advertised, sess)
+	// The advertisement memo asserts the Adj-RIB-Out it recorded; any
+	// withdrawal invalidates it.
+	st.advOK = false
 	if _, stillUp := s.peers[sess]; !stillUp {
 		return // session gone; nothing to send
 	}

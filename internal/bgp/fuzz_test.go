@@ -1,0 +1,162 @@
+package bgp
+
+import (
+	"fmt"
+	"net/netip"
+	"testing"
+
+	"centralium/internal/core"
+)
+
+// FuzzDecisionEquivalence interprets the fuzz input as a stream of RIB
+// mutation operations (session up/down, announce, withdraw, drain,
+// prepend, RPA deploy, virtual-clock advance) and drives the oracle and
+// incremental speakers through it, asserting byte-identical outboxes and
+// exported state after every operation. The seed corpus encodes the same
+// shapes the chaos harness produces: converge, drain wave, RPA deploy,
+// statement expiry, session churn.
+//
+// Run locally with:
+//
+//	go test ./internal/bgp -run '^$' -fuzz FuzzDecisionEquivalence -fuzztime 30s
+func FuzzDecisionEquivalence(f *testing.F) {
+	// Converge then drain/undrain: peers up, announcements, drain toggles.
+	f.Add([]byte{
+		0, 0, 0, 1, 0, 2, // three sessions up
+		2, 0, 0x47, 1, 2, 3, // announces with community bit set
+		2, 1, 0x47, 1, 2, 3,
+		2, 2, 0x43, 1, 2, 3,
+		6, 1, 6, 0, // drain, undrain
+	})
+	// RPA deploy then churn then redeploy-with-expiry then clock advance.
+	f.Add([]byte{
+		0, 0, 0, 1,
+		2, 0, 0x47, 1, 2, 3,
+		2, 1, 0x45, 1, 2, 3,
+		8, 0, // PathSelection deploy
+		2, 0, 0x46, 2, 2, 3,
+		8, 1, 1, // expiring RouteAttribute deploy
+		8, 2, 3, // clock advance past the expiry
+		2, 1, 0x44, 1, 2, 3, // churn after expiry
+		8, 3, // clear RPA
+	})
+	// Session churn: up, announce, peer death mid-stream, withdraw rest.
+	f.Add([]byte{
+		0, 0, 0, 1, 0, 2, 0, 3,
+		2, 0, 0x13, 1, 2, 3,
+		2, 1, 0x12, 1, 2, 2,
+		2, 3, 0x01, 3, 1, 1,
+		1, 1, // session 1 dies
+		5, 0, 0x13, // withdraw
+		7, 1, 2, // prepend
+	})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pr := newSpeakerPair(t, Config{ID: "dut", ASN: 65000, Multipath: true, WCMP: WCMPDistributed})
+		applyFuzzOps(t, pr, data)
+	})
+}
+
+// applyFuzzOps decodes the byte stream into well-formed operations. Every
+// op consumes a bounded number of bytes and the loop is bounded by the
+// input length, so decoding always terminates.
+func applyFuzzOps(t *testing.T, pr *speakerPair, data []byte) {
+	t.Helper()
+	prefixes := []netip.Prefix{incrPfxD, incrPfxN, incrPfxO, incrPfxX}
+	devices := []string{"up.0", "up.1", "up.2", "down.0"}
+	live := map[int]bool{}
+	pos := 0
+	next := func() byte {
+		if pos < len(data) {
+			b := data[pos]
+			pos++
+			return b
+		}
+		pos++
+		return 0
+	}
+	for step := 0; pos < len(data) && step < 1024; step++ {
+		op := next() % 9
+		name := fmt.Sprintf("step %d op %d (offset %d)", step, op, pos)
+		switch op {
+		case 0: // session up
+			si := int(next()) % len(devices)
+			if !live[si] {
+				live[si] = true
+				pr.step(name, func(s *Speaker) {
+					s.AddPeer(SessionID(fmt.Sprintf("s%d", si)), devices[si], uint32(65001+si), float64(40+20*si))
+				})
+			}
+		case 1: // session down
+			si := int(next()) % len(devices)
+			if live[si] {
+				live[si] = false
+				pr.step(name, func(s *Speaker) { s.RemovePeer(SessionID(fmt.Sprintf("s%d", si))) })
+			}
+		case 2, 3, 4: // announce
+			si := int(next()) % len(devices)
+			flags := next()
+			u := Update{
+				Prefix: prefixes[int(flags)%len(prefixes)],
+				ASPath: make([]uint32, 1+int(flags>>2)%3),
+				Origin: core.Origin(int(flags>>4) % 3),
+				MED:    uint32(flags >> 7),
+			}
+			for j := range u.ASPath {
+				u.ASPath[j] = uint32(64512 + int(next())%4)
+			}
+			if flags&0x40 != 0 {
+				u.Communities = []string{"D"}
+			}
+			if flags&0x02 != 0 {
+				u.LinkBandwidthGbps = float64(10 * (1 + int(flags)%10))
+			}
+			if live[si] {
+				pr.step(name, func(s *Speaker) { s.HandleUpdate(SessionID(fmt.Sprintf("s%d", si)), u) })
+			}
+		case 5: // withdraw
+			si := int(next()) % len(devices)
+			u := Update{Prefix: prefixes[int(next())%len(prefixes)], Withdraw: true}
+			if live[si] {
+				pr.step(name, func(s *Speaker) { s.HandleUpdate(SessionID(fmt.Sprintf("s%d", si)), u) })
+			}
+		case 6: // drain toggle
+			drained := next()%2 == 1
+			pr.step(name, func(s *Speaker) { s.SetDrained(drained) })
+		case 7: // prepend
+			arg := next()
+			n := int(arg>>4) % 3
+			if arg%2 == 0 {
+				pr.step(name, func(s *Speaker) { s.SetAllPeersPrepend(n) })
+			} else {
+				dev := devices[int(arg>>1)%len(devices)]
+				pr.step(name, func(s *Speaker) { s.SetPeerPrepend(dev, n) })
+			}
+		case 8: // RPA / clock
+			switch next() % 4 {
+			case 0:
+				pr.step(name, func(s *Speaker) {
+					if err := s.SetRPA(incrPathSelCfg()); err != nil {
+						t.Fatal(err)
+					}
+				})
+			case 1:
+				exp := pr.clock + int64(1+int(next())%3)*250
+				pr.step(name, func(s *Speaker) {
+					if err := s.SetRPA(incrWeightCfg(exp)); err != nil {
+						t.Fatal(err)
+					}
+				})
+			case 2:
+				pr.clock += int64(1+int(next())%4) * 200
+				pr.step(name, func(s *Speaker) {}) // observe the new clock
+			case 3:
+				pr.step(name, func(s *Speaker) {
+					if err := s.SetRPA(&core.Config{}); err != nil {
+						t.Fatal(err)
+					}
+				})
+			}
+		}
+	}
+}

@@ -3,6 +3,7 @@ package bgp
 import (
 	"fmt"
 	"net/netip"
+	"slices"
 	"sort"
 
 	"centralium/internal/core"
@@ -46,6 +47,32 @@ type Speaker struct {
 	// tap receives telemetry events; nil means disabled, and every emit
 	// site guards on that so the disabled hot path is one pointer compare.
 	tap telemetry.Tap
+
+	// Incremental decision engine (see incremental.go). fullRecompute
+	// selects the oracle; the rest is derived state, never serialized.
+	fullRecompute bool
+	// advEpoch invalidates every advertisement memo at once on triggers
+	// that change advertise behavior globally (peer set, prepends, drain,
+	// RPA egress policy).
+	advEpoch uint64
+	// sessOrder caches the sorted session list; nil means rebuild.
+	sessOrder []SessionID
+	// runEmits counts per-run tap emissions not implied by a state change,
+	// maintained by emit sites inside the pipeline for profile capture.
+	runEmits int
+	incr     IncrementalStats
+
+	// Scratch buffers reused across decision runs (the speaker is
+	// single-threaded and the pipeline never retains them — the FIB memo
+	// clones before recording). Incremental mode only; the oracle keeps
+	// the original per-run allocation behavior.
+	candScratch     []candidate
+	attrsScratch    []core.RouteAttrs
+	wattsScratch    []core.RouteAttrs
+	hopsScratch     []fib.NextHop
+	selScratch      []int
+	weightScratch   []int
+	distinctScratch map[string]struct{}
 }
 
 // NewSpeaker constructs a speaker. The clock function may be nil (treated
@@ -62,15 +89,16 @@ func NewSpeaker(cfg Config, now func() int64) *Speaker {
 		panic("bgp: empty RPA config failed to compile: " + err.Error())
 	}
 	return &Speaker{
-		cfg:        cfg,
-		peers:      make(map[SessionID]*peer),
-		adjIn:      make(map[SessionID]map[netip.Prefix]core.RouteAttrs),
-		originated: make(map[netip.Prefix]originInfo),
-		prefixes:   make(map[netip.Prefix]*prefixState),
-		rpa:        emptyRPA,
-		rpaCfg:     &core.Config{},
-		fibTbl:     fib.New(cfg.FIBGroupLimit),
-		now:        now,
+		cfg:           cfg,
+		fullRecompute: DefaultFullRecompute(),
+		peers:         make(map[SessionID]*peer),
+		adjIn:         make(map[SessionID]map[netip.Prefix]core.RouteAttrs),
+		originated:    make(map[netip.Prefix]originInfo),
+		prefixes:      make(map[netip.Prefix]*prefixState),
+		rpa:           emptyRPA,
+		rpaCfg:        &core.Config{},
+		fibTbl:        fib.New(cfg.FIBGroupLimit),
+		now:           now,
 	}
 }
 
@@ -136,8 +164,19 @@ func (s *Speaker) AddPeer(sess SessionID, device string, asn uint32, linkGbps fl
 			Session: string(sess), Peer: device, PeerASN: asn,
 		})
 	}
-	// Replay current decisions to the new peer.
-	s.recomputeAll()
+	s.advEpoch++
+	s.sessOrder = nil
+	if s.fullRecompute {
+		// Replay current decisions to the new peer.
+		s.recomputeAll()
+		return
+	}
+	// A new session has an empty Adj-RIB-In, so no prefix's candidate set
+	// changes; only prefixes that advertise (and are not drained) replay
+	// their advertisement onto the new session.
+	s.recomputeDirty(func(_ netip.Prefix, st *prefixState) bool {
+		return st.reachAdv && !s.drained
+	})
 }
 
 // RemovePeer tears down a session: its routes leave the RIB and affected
@@ -154,6 +193,8 @@ func (s *Speaker) RemovePeer(sess SessionID) {
 	sortPrefixes(affected)
 	delete(s.peers, sess)
 	delete(s.adjIn, sess)
+	s.advEpoch++
+	s.sessOrder = nil
 	for _, st := range s.prefixes {
 		delete(st.advertised, sess)
 	}
@@ -188,7 +229,7 @@ func (s *Speaker) SetPeerPrepend(device string, n int) {
 			pr.prepend = n
 		}
 	}
-	s.recomputeAll()
+	s.reAdvertiseAll()
 }
 
 // SetAllPeersPrepend sets the export prepend toward every peer — the whole
@@ -197,7 +238,20 @@ func (s *Speaker) SetAllPeersPrepend(n int) {
 	for _, pr := range s.peers {
 		pr.prepend = n
 	}
-	s.recomputeAll()
+	s.reAdvertiseAll()
+}
+
+// reAdvertiseAll recomputes after an export-policy change: selection is
+// untouched, so only prefixes with live advertisements can be affected.
+func (s *Speaker) reAdvertiseAll() {
+	s.advEpoch++
+	if s.fullRecompute {
+		s.recomputeAll()
+		return
+	}
+	s.recomputeDirty(func(_ netip.Prefix, st *prefixState) bool {
+		return len(st.advertised) > 0
+	})
 }
 
 // SetDrained steers traffic away from this device: while drained, the
@@ -208,7 +262,24 @@ func (s *Speaker) SetDrained(d bool) {
 		return
 	}
 	s.drained = d
-	s.recomputeAll()
+	s.advEpoch++
+	if s.fullRecompute {
+		s.recomputeAll()
+		return
+	}
+	if d {
+		// Draining withdraws live advertisements; prefixes advertising
+		// nothing have nothing to withdraw.
+		s.recomputeDirty(func(_ netip.Prefix, st *prefixState) bool {
+			return len(st.advertised) > 0
+		})
+	} else {
+		// Undraining re-advertises every prefix whose decision reaches the
+		// advertise step.
+		s.recomputeDirty(func(_ netip.Prefix, st *prefixState) bool {
+			return st.reachAdv
+		})
+	}
 }
 
 // Drained reports the drain state.
@@ -225,9 +296,34 @@ func (s *Speaker) SetRPA(cfg *core.Config) error {
 	if err != nil {
 		return fmt.Errorf("bgp %s: %w", s.cfg.ID, err)
 	}
+	oldEv := s.rpa
+	filterDirt := len(s.rpaCfg.RouteFilter) > 0 || len(cfg.RouteFilter) > 0
 	s.rpa = ev
 	s.rpaCfg = cfg.Clone()
-	s.recomputeAll()
+	s.advEpoch++
+	if s.fullRecompute {
+		s.recomputeAll()
+		return nil
+	}
+	// Dirty set: prefixes whose representative routes match a statement of
+	// the outgoing or incoming config (selection or weights can change),
+	// plus — when either config filters routes — everything that reaches
+	// the advertise step (egress eligibility can change). Prefixes the old
+	// config actually governed are non-steady anyway (cache activity or
+	// RPA-hit emissions), so they recompute regardless.
+	s.recomputeDirty(func(_ netip.Prefix, st *prefixState) bool {
+		if filterDirt && st.reachAdv {
+			return true
+		}
+		if st.hasRep && (oldEv.HasPathSelection(&st.repRoute) || ev.HasPathSelection(&st.repRoute) ||
+			oldEv.HasRouteAttribute(&st.repRoute) || ev.HasRouteAttribute(&st.repRoute)) {
+			return true
+		}
+		if st.hasRepSel && (oldEv.HasRouteAttribute(&st.repSel) || ev.HasRouteAttribute(&st.repSel)) {
+			return true
+		}
+		return false
+	})
 	return nil
 }
 
@@ -390,14 +486,21 @@ func (s *Speaker) recomputeAll() {
 	}
 }
 
-// sortPrefixes orders prefixes by address, then mask length.
+// sortPrefixes orders prefixes by address, then mask length. The ordering
+// is a determinism contract: recompute drivers in both engine modes walk
+// prefixes in this order, which fixes outbox message order and therefore
+// every downstream jitter draw.
 func sortPrefixes(ps []netip.Prefix) {
-	sort.Slice(ps, func(i, j int) bool {
-		if c := ps[i].Addr().Compare(ps[j].Addr()); c != 0 {
-			return c < 0
-		}
-		return ps[i].Bits() < ps[j].Bits()
-	})
+	slices.SortFunc(ps, comparePrefixes)
+}
+
+// comparePrefixes is the canonical prefix ordering: by address, then by
+// mask length (shorter masks first).
+func comparePrefixes(a, b netip.Prefix) int {
+	if c := a.Addr().Compare(b.Addr()); c != 0 {
+		return c
+	}
+	return a.Bits() - b.Bits()
 }
 
 // Decision returns the recorded outcome of the last decision-process run

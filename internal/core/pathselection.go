@@ -154,6 +154,20 @@ func (e *Evaluator) HasPathSelection(r *RouteAttrs) bool {
 	return e.findStatement(r) != nil
 }
 
+// HasRouteAttribute reports whether any RouteAttribute statement's
+// destination covers the route, ignoring expiry. The incremental decision
+// engine uses it as a conservative superset test when computing the dirty
+// set of an RPA deploy (an expired statement can never start applying, so
+// including it is harmless).
+func (e *Evaluator) HasRouteAttribute(r *RouteAttrs) bool {
+	for _, es := range e.routeAtt {
+		if es.src.Destination.Matches(r) {
+			return true
+		}
+	}
+	return false
+}
+
 // findStatement returns the first PathSelection statement whose destination
 // matches the route, or nil.
 func (e *Evaluator) findStatement(r *RouteAttrs) *evalStatement {

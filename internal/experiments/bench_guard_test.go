@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+// The bench-regression guard, gated behind CENTRALIUM_BENCH_GUARD=1
+// because it converges the 1k-device fabric (tens of seconds). Two checks:
+//
+//   - Determinism anchor: the incremental engine's 1k-device converge
+//     must produce exactly the event count and virtual time committed in
+//     results/BENCH_parallel.json (which the full-recompute oracle
+//     produced). Any drift means the engines are no longer byte-identical
+//     — a correctness failure, not a performance one, so the tolerance is
+//     zero.
+//   - Speedup floor: at the medium scale, incremental must beat the
+//     oracle by >= 1.8x wall-clock (the 2x acceptance target with 10%
+//     tolerance for machine noise). The committed 1k-device ratio lives
+//     in results/BENCH_incremental.json.
+
+type benchReport struct {
+	ID   string `json:"id"`
+	Rows []struct {
+		Label  string             `json:"label"`
+		Values map[string]float64 `json:"values"`
+	} `json:"rows"`
+}
+
+func loadBenchReport(t *testing.T, path string) *benchReport {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read committed snapshot: %v", err)
+	}
+	var r benchReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		t.Fatalf("parse %s: %v", path, err)
+	}
+	if len(r.Rows) == 0 {
+		t.Fatalf("%s has no rows", path)
+	}
+	return &r
+}
+
+func TestBenchGuardIncrementalDeterminismAnchor(t *testing.T) {
+	if os.Getenv("CENTRALIUM_BENCH_GUARD") != "1" {
+		t.Skip("set CENTRALIUM_BENCH_GUARD=1 to run the bench-regression guard")
+	}
+	ref := loadBenchReport(t, "../../results/BENCH_parallel.json")
+	wantEvents := ref.Rows[0].Values["events"]
+	wantVirtual := ref.Rows[0].Values["virtual_ms"]
+	if wantEvents == 0 {
+		t.Fatal("committed snapshot has no event count")
+	}
+	st := RunConvergenceMode(ConvergenceScales()[2], 42, 1, false)
+	if got := float64(st.Events); got != wantEvents {
+		t.Errorf("1kdevice incremental events = %.0f, committed snapshot %.0f (zero tolerance: this is a byte-identity break)", got, wantEvents)
+	}
+	if got := float64(st.Virtual) / 1e6; got != wantVirtual {
+		t.Errorf("1kdevice incremental virtual = %.6fms, committed snapshot %.6fms", got, wantVirtual)
+	}
+	if st.AdvMemoHits == 0 || st.FIBMemoHits == 0 {
+		t.Errorf("incremental engine never engaged (adv-memo %d, fib-memo %d)", st.AdvMemoHits, st.FIBMemoHits)
+	}
+}
+
+func TestBenchGuardIncrementalSpeedupFloor(t *testing.T) {
+	if os.Getenv("CENTRALIUM_BENCH_GUARD") != "1" {
+		t.Skip("set CENTRALIUM_BENCH_GUARD=1 to run the bench-regression guard")
+	}
+	sc := ConvergenceScales()[1] // medium: seconds, not minutes
+	full := RunConvergenceMode(sc, 42, 1, true)
+	incr := RunConvergenceMode(sc, 42, 1, false)
+	if full.Events != incr.Events || full.Virtual != incr.Virtual {
+		t.Fatalf("modes diverged: full %d events/%v, incremental %d events/%v",
+			full.Events, full.Virtual, incr.Events, incr.Virtual)
+	}
+	ratio := float64(full.Wall) / float64(incr.Wall)
+	t.Logf("medium-scale wall: full %v, incremental %v (%.2fx)", full.Wall, incr.Wall, ratio)
+	if ratio < 1.8 {
+		t.Errorf("incremental speedup %.2fx below the 1.8x floor (2x target, 10%% tolerance)", ratio)
+	}
+}

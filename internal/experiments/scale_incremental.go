@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+)
+
+func init() {
+	registerSlow("scale-incremental", "Scale: 1k-device convergence, incremental vs full-recompute decision engine", func(seed int64) (string, error) {
+		return ScaleIncremental(seed, ConvergenceScales()[2]), nil
+	})
+	registerRows("scale-incremental", func(seed int64) []Row {
+		return ScaleIncrementalRows(seed, ConvergenceScales()[2])
+	})
+}
+
+// cachedConvergenceMode memoizes mode-pinned converges for the experiment
+// renderers, exactly as cachedConvergence does for worker modes: `benchtab
+// -exp scale-incremental -json` renders both text and rows, and the
+// full-recompute 1k-device converge costs minutes per run.
+func cachedConvergenceMode(sc ConvergenceScale, seed int64, workers int, full bool) ConvergenceStats {
+	key := fmt.Sprintf("%s/%d/%d/full=%v", sc.Name, seed, workers, full)
+	if s, ok := convergeCache[key]; ok {
+		return s
+	}
+	s := RunConvergenceMode(sc, seed, workers, full)
+	convergeCache[key] = s
+	return s
+}
+
+// ScaleIncremental formats the incremental-engine scale scenario: one
+// converge per decision-engine mode on the sequential engine, with the
+// differential columns (events, virtual) that must match byte-for-byte
+// across modes and the wall-clock column that is the point of the
+// incremental engine. Unlike the parallel-engine speedup, this one does
+// not need extra cores: skipped recomputes and memo hits are saved work,
+// not redistributed work.
+func ScaleIncremental(seed int64, sc ConvergenceScale) string {
+	var b strings.Builder
+	full := cachedConvergenceMode(sc, seed, 1, true)
+	incr := cachedConvergenceMode(sc, seed, 1, false)
+	fmt.Fprintf(&b, "scale=%s devices=%d sessions=%d prefixes=%d workers=1 cores=%d\n\n",
+		sc.Name, full.Devices, full.Links, full.Prefixes, runtime.NumCPU())
+	fmt.Fprintf(&b, "%-12s %12s %12s %10s %9s %10s %10s %10s\n",
+		"mode", "events", "virtual", "wall", "speedup", "skipped", "adv-memo", "fib-memo")
+	for _, s := range []ConvergenceStats{full, incr} {
+		mode := "incremental"
+		if s.FullRecompute {
+			mode = "full"
+		}
+		fmt.Fprintf(&b, "%-12s %12d %12v %10v %8.2fx %10d %10d %10d\n",
+			mode, s.Events, s.Virtual.Round(time.Millisecond),
+			s.Wall.Round(time.Millisecond), float64(full.Wall)/float64(s.Wall),
+			s.SkippedRecomputes, s.AdvMemoHits, s.FIBMemoHits)
+	}
+	identical := full.Events == incr.Events && full.Virtual == incr.Virtual
+	fmt.Fprintf(&b, "\nevents/virtual identical across modes: %v (the byte-identity contract)\n", identical)
+	b.WriteString("speedup is single-core wall-clock saved by the dependency index;\nsee results/BENCH_incremental.json for the committed snapshot.\n")
+	return b.String()
+}
+
+// ScaleIncrementalRows is the machine-readable form of ScaleIncremental.
+func ScaleIncrementalRows(seed int64, sc ConvergenceScale) []Row {
+	rows := make([]Row, 0, 2)
+	for _, full := range []bool{true, false} {
+		s := cachedConvergenceMode(sc, seed, 1, full)
+		label := "mode=incremental"
+		if full {
+			label = "mode=full"
+		}
+		rows = append(rows, Row{
+			Label: label,
+			Values: map[string]float64{
+				"devices":    float64(s.Devices),
+				"sessions":   float64(s.Links),
+				"prefixes":   float64(s.Prefixes),
+				"events":     float64(s.Events),
+				"virtual_ms": float64(s.Virtual) / 1e6,
+				"wall_ms":    float64(s.Wall) / 1e6,
+				"skipped":    float64(s.SkippedRecomputes),
+				"adv_memo":   float64(s.AdvMemoHits),
+				"fib_memo":   float64(s.FIBMemoHits),
+				"cores":      float64(runtime.NumCPU()),
+			},
+		})
+	}
+	return rows
+}

@@ -73,6 +73,14 @@ type ConvergenceStats struct {
 	Batched int64
 	Virtual time.Duration
 	Wall    time.Duration
+
+	// FullRecompute records the decision-engine mode the run converged
+	// under; the remaining fields are the fleet-summed incremental-engine
+	// counters (all zero on the full-recompute oracle).
+	FullRecompute     bool
+	SkippedRecomputes int
+	AdvMemoHits       int
+	FIBMemoHits       int
 }
 
 // convergeCache memoizes converges for the experiment renderers only, so
@@ -99,8 +107,24 @@ func cachedConvergence(sc ConvergenceScale, seed int64, workers int) Convergence
 // routing state) are byte-identical across worker counts; only Wall and
 // Batched vary.
 func RunConvergence(sc ConvergenceScale, seed int64, workers int) ConvergenceStats {
+	return runConvergence(sc, seed, workers, nil)
+}
+
+// RunConvergenceMode is RunConvergence with an explicit decision-engine
+// mode (true forces the full-recompute oracle, false forces incremental),
+// overriding the fleet default. Results are byte-identical across modes —
+// the scale-incremental experiment and differential suite enforce it — so
+// the mode only moves Wall and the incremental counters.
+func RunConvergenceMode(sc ConvergenceScale, seed int64, workers int, fullRecompute bool) ConvergenceStats {
+	return runConvergence(sc, seed, workers, &fullRecompute)
+}
+
+func runConvergence(sc ConvergenceScale, seed int64, workers int, mode *bool) ConvergenceStats {
 	tp := topo.BuildFabric(sc.Params)
 	n := fabric.New(tp, fabric.Options{Seed: seed, Workers: workers})
+	if mode != nil {
+		n.SetFullRecompute(*mode)
+	}
 	start := time.Now()
 	for _, eb := range tp.ByLayer(topo.LayerEB) {
 		n.OriginateAt(eb.ID, migrate.DefaultRoute, []string{migrate.BackboneCommunity}, 0)
@@ -114,15 +138,20 @@ func RunConvergence(sc ConvergenceScale, seed int64, workers int) ConvergenceSta
 		prefixes++
 	}
 	events := n.Converge()
+	incr := n.IncrementalStats()
 	return ConvergenceStats{
-		Devices:  tp.NumDevices(),
-		Links:    tp.NumLinks(),
-		Prefixes: prefixes,
-		Workers:  workers,
-		Events:   events,
-		Batched:  n.EventsBatched(),
-		Virtual:  time.Duration(n.Now()),
-		Wall:     time.Since(start),
+		Devices:           tp.NumDevices(),
+		Links:             tp.NumLinks(),
+		Prefixes:          prefixes,
+		Workers:           workers,
+		Events:            events,
+		Batched:           n.EventsBatched(),
+		Virtual:           time.Duration(n.Now()),
+		Wall:              time.Since(start),
+		FullRecompute:     n.FullRecompute(),
+		SkippedRecomputes: incr.SkippedRecomputes,
+		AdvMemoHits:       incr.AdvertiseMemoHits,
+		FIBMemoHits:       incr.FIBMemoHits,
 	}
 }
 

@@ -1,0 +1,311 @@
+package fabric
+
+import (
+	"fmt"
+	"net/netip"
+	"strings"
+	"testing"
+	"time"
+
+	"centralium/internal/bgp"
+	"centralium/internal/core"
+	"centralium/internal/topo"
+)
+
+// The incremental-engine conformance suite: every scenario runs under the
+// full-recompute oracle and the incremental dependency-index engine, at
+// sequential and parallel worker widths, and all runs must be
+// byte-identical — same telemetry stream (content, order, timestamps),
+// same fleet FIB, same clock, same event count. This is the proof
+// obligation of the incremental decision engine (DESIGN.md, "Incremental
+// decision-process recomputation"): skipping a recompute is only legal
+// when it is observationally equivalent to running it.
+
+// incrPhases is a scenario cut into phases so the mode-flip test can
+// switch engines between any two phases.
+type incrPhases []func(*Network)
+
+func (ps incrPhases) run(n *Network) {
+	for _, p := range ps {
+		p(n)
+	}
+}
+
+func mustDeploy(n *Network, dev topo.DeviceID, cfg *core.Config) {
+	if err := n.DeployRPA(dev, cfg); err != nil {
+		panic(err)
+	}
+}
+
+// incrScenarioRPA is the migration-flavored scenario: PathSelection RPA
+// deploys (including a redeploy, which exercises the SetRPA dirty set),
+// maintenance drains, AS-path prepends, a link flap, and a cold daemon
+// restart — every operation with a distinct dirty predicate.
+func incrScenarioRPA() incrPhases {
+	prefSpine := &core.Config{PathSelection: []core.PathSelectionStatement{{
+		Name:        "prefer-spine",
+		Destination: core.Destination{Community: backboneCommunity},
+		PathSets: []core.PathSet{{
+			Name:       "spine",
+			Signature:  core.PathSignature{NextHopRegex: `^ssw\.`},
+			MinNextHop: core.MinNextHop{Count: 2},
+		}},
+		BgpNativeMinNextHop:      core.MinNextHop{Count: 1},
+		KeepFibWarmIfMnhViolated: true,
+	}}}
+	prefSpineTight := &core.Config{PathSelection: []core.PathSelectionStatement{{
+		Name:        "prefer-spine",
+		Destination: core.Destination{Community: backboneCommunity},
+		PathSets: []core.PathSet{{
+			Name:       "spine",
+			Signature:  core.PathSignature{NextHopRegex: `^ssw\.pl0\.`},
+			MinNextHop: core.MinNextHop{Count: 1},
+		}},
+		BgpNativeMinNextHop:      core.MinNextHop{Count: 2},
+		KeepFibWarmIfMnhViolated: true,
+	}}}
+	return incrPhases{
+		func(n *Network) {
+			for i, eb := range n.Topo.ByLayer(topo.LayerEB) {
+				n.OriginateAt(eb.ID, netip.MustParsePrefix("0.0.0.0/0"), []string{backboneCommunity}, 0)
+				if i == 0 {
+					n.OriginateAt(eb.ID, netip.MustParsePrefix("10.0.0.0/8"), nil, 0)
+				}
+			}
+			for _, rsw := range n.Topo.ByLayer(topo.LayerRSW) {
+				n.OriginateAt(rsw.ID, netip.MustParsePrefix(fmt.Sprintf("192.168.%d.0/24", rsw.Index)), nil, 0)
+			}
+			n.Converge()
+			for _, fsw := range n.Topo.ByLayer(topo.LayerFSW) {
+				mustDeploy(n, fsw.ID, prefSpine)
+			}
+			n.Converge()
+		},
+		func(n *Network) {
+			fadus := n.Topo.ByLayer(topo.LayerFADU)
+			fauus := n.Topo.ByLayer(topo.LayerFAUU)
+			ssws := n.Topo.ByLayer(topo.LayerSSW)
+			n.SetDrained(fadus[0].ID, true)
+			n.SetPrependAll(ssws[0].ID, 2)
+			n.After(2*time.Millisecond, func() { n.SetLinkUp(fadus[1].ID, fauus[0].ID, false) })
+			n.RunFor(20 * time.Millisecond)
+			n.SetLinkUp(fadus[1].ID, fauus[0].ID, true)
+			n.Converge()
+		},
+		func(n *Network) {
+			fadus := n.Topo.ByLayer(topo.LayerFADU)
+			ssws := n.Topo.ByLayer(topo.LayerSSW)
+			n.RestartDevice(ssws[0].ID, 5*time.Millisecond, false)
+			n.RunFor(2 * time.Millisecond)
+			n.Converge()
+			n.SetDrained(fadus[0].ID, false)
+			n.SetPrependAll(ssws[0].ID, 0)
+			for _, fsw := range n.Topo.ByLayer(topo.LayerFSW) {
+				mustDeploy(n, fsw.ID, prefSpineTight)
+			}
+			n.Converge()
+		},
+	}
+}
+
+// incrScenarioWeights is the traffic-engineering scenario: a RouteAttribute
+// RPA with an expiry pins WCMP weights at the spine layer, then expires
+// mid-run while drains and a device decommission force recomputes on both
+// sides of the expiry boundary. Expiry is the one time-dependent input of
+// the decision process; the suite proves the incremental engine needs no
+// clock-driven invalidation for it (see internal/bgp/incremental.go).
+func incrScenarioWeights() incrPhases {
+	return incrPhases{
+		func(n *Network) {
+			for _, eb := range n.Topo.ByLayer(topo.LayerEB) {
+				n.OriginateAt(eb.ID, netip.MustParsePrefix("0.0.0.0/0"), []string{backboneCommunity}, 100)
+			}
+			for _, rsw := range n.Topo.ByLayer(topo.LayerRSW) {
+				n.OriginateAt(rsw.ID, netip.MustParsePrefix(fmt.Sprintf("192.168.%d.0/24", rsw.Index)), nil, 0)
+			}
+			n.Converge()
+			pin := &core.Config{RouteAttribute: []core.RouteAttributeStatement{{
+				Name:        "pin-grid-weights",
+				Destination: core.Destination{Community: backboneCommunity},
+				NextHopWeights: []core.NextHopWeight{{
+					Signature: core.PathSignature{NextHopRegex: `^fadu\.g[0-9]+\.0$`},
+					Weight:    3,
+				}},
+				DefaultWeight: 1,
+				ExpiresAt:     n.Now() + int64(30*time.Millisecond),
+			}}}
+			for _, ssw := range n.Topo.ByLayer(topo.LayerSSW) {
+				mustDeploy(n, ssw.ID, pin)
+			}
+			n.Converge()
+		},
+		func(n *Network) {
+			fadus := n.Topo.ByLayer(topo.LayerFADU)
+			n.SetDrained(fadus[0].ID, true)
+			n.RunFor(40 * time.Millisecond) // the statement expires mid-run
+			n.SetDrained(fadus[0].ID, false)
+			n.Converge()
+		},
+		func(n *Network) {
+			fauus := n.Topo.ByLayer(topo.LayerFAUU)
+			n.SetDeviceUp(fauus[1].ID, false)
+			n.Converge()
+		},
+	}
+}
+
+// incrResult is everything one run exposes for comparison.
+type incrResult struct {
+	digest  string
+	stream  string
+	events  int64
+	batched int64
+	clock   int64
+	incr    bgp.IncrementalStats
+	rpaSel  int64
+	wOver   int64
+}
+
+// runIncrMode runs a scenario on a fresh default fabric with the given
+// worker width and decision-engine mode and collects the comparable
+// surface. Distributed WCMP is on so weight paths are exercised.
+func runIncrMode(seed int64, workers int, full bool, phases incrPhases) incrResult {
+	tp := topo.BuildFabric(topo.FabricParams{})
+	n := New(tp, Options{Seed: seed, Workers: workers, SpeakerConfig: func(*topo.Device) bgp.Config {
+		return bgp.Config{Multipath: true, WCMP: bgp.WCMPDistributed}
+	}})
+	n.SetFullRecompute(full)
+	tap := &recordTap{}
+	n.SetTap(tap)
+	phases.run(n)
+	res := incrResult{
+		digest:  fleetDigest(n),
+		stream:  strings.Join(tap.lines, "\n"),
+		events:  n.EventsProcessed(),
+		batched: n.EventsBatched(),
+		clock:   n.Now(),
+		incr:    n.IncrementalStats(),
+	}
+	for _, id := range n.UpDevices() {
+		st := n.Speaker(id).Stats()
+		res.rpaSel += int64(st.RPASelections)
+		res.wOver += int64(st.WeightOverrides)
+	}
+	return res
+}
+
+func compareIncrRuns(t *testing.T, label string, ref, got incrResult) {
+	t.Helper()
+	if got.events != ref.events {
+		t.Errorf("%s: events processed %d, oracle %d", label, got.events, ref.events)
+	}
+	if got.clock != ref.clock {
+		t.Errorf("%s: final clock %d, oracle %d", label, got.clock, ref.clock)
+	}
+	if got.digest != ref.digest {
+		t.Errorf("%s: fleet FIB digest diverged:\n%s", label, firstDiff(ref.digest, got.digest))
+	}
+	if got.stream != ref.stream {
+		t.Errorf("%s: telemetry stream diverged:\n%s", label, firstDiff(ref.stream, got.stream))
+	}
+}
+
+// TestIncrementalDifferentialConformance is the headline artifact: 10
+// seeds x 2 scenarios x {full, incremental} x worker widths {1, 4}, all
+// byte-identical to the sequential oracle. Vacuousness guards on both
+// sides: the oracle must really exercise RPA machinery, the incremental
+// runs must really skip recomputes and hit both memos (equivalence by
+// silent fallback to the oracle would prove nothing), and the parallel
+// runs must really take the batch path.
+func TestIncrementalDifferentialConformance(t *testing.T) {
+	scenarios := []struct {
+		name    string
+		build   func() incrPhases
+		needRPA bool // scenario must drive PathSelection decisions
+		needWt  bool // scenario must drive RouteAttribute weight overrides
+	}{
+		{"rpa-migration", incrScenarioRPA, true, false},
+		{"expiring-weights", incrScenarioWeights, false, true},
+	}
+	for _, sc := range scenarios {
+		for seed := int64(1); seed <= 10; seed++ {
+			if testing.Short() && seed > 3 {
+				break
+			}
+			sc, seed := sc, seed
+			t.Run(fmt.Sprintf("%s/seed%d", sc.name, seed), func(t *testing.T) {
+				t.Parallel()
+				ref := runIncrMode(seed, 1, true, sc.build())
+				if n := ref.incr.SkippedRecomputes + ref.incr.AdvertiseMemoHits + ref.incr.FIBMemoHits; n != 0 {
+					t.Errorf("oracle run reports %d incremental counter hits, want 0", n)
+				}
+				if sc.needRPA && ref.rpaSel == 0 {
+					t.Fatal("scenario never drove an RPA path selection; conformance would be vacuous")
+				}
+				if sc.needWt && ref.wOver == 0 {
+					t.Fatal("scenario never drove a weight override; conformance would be vacuous")
+				}
+				for _, mode := range []struct {
+					workers int
+					full    bool
+				}{{1, false}, {4, false}, {4, true}} {
+					label := fmt.Sprintf("workers=%d full=%v", mode.workers, mode.full)
+					got := runIncrMode(seed, mode.workers, mode.full, sc.build())
+					compareIncrRuns(t, label, ref, got)
+					if mode.workers > 1 && got.batched == 0 {
+						t.Errorf("%s: never took the batch path", label)
+					}
+					if !mode.full {
+						if got.incr.SkippedRecomputes == 0 {
+							t.Errorf("%s: no skipped recomputes; incremental engine never engaged", label)
+						}
+						if got.incr.AdvertiseMemoHits == 0 {
+							t.Errorf("%s: no advertise-memo hits", label)
+						}
+						if got.incr.FIBMemoHits == 0 {
+							t.Errorf("%s: no FIB-memo hits", label)
+						}
+					} else if n := got.incr.SkippedRecomputes + got.incr.AdvertiseMemoHits + got.incr.FIBMemoHits; n != 0 {
+						t.Errorf("%s: oracle mode reports %d incremental counter hits, want 0", label, n)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestIncrementalMidRunModeFlip switches engines between scenario phases —
+// oracle, then incremental, then oracle again — and must still match both
+// pure runs. This pins SetFullRecompute's contract that a mid-run flip is
+// result-free (entering incremental mode discards all derived state).
+func TestIncrementalMidRunModeFlip(t *testing.T) {
+	const seed = 21
+	ref := runIncrMode(seed, 1, false, incrScenarioRPA())
+
+	tp := topo.BuildFabric(topo.FabricParams{})
+	n := New(tp, Options{Seed: seed, Workers: 1, SpeakerConfig: func(*topo.Device) bgp.Config {
+		return bgp.Config{Multipath: true, WCMP: bgp.WCMPDistributed}
+	}})
+	tap := &recordTap{}
+	n.SetTap(tap)
+	phases := incrScenarioRPA()
+	n.SetFullRecompute(true)
+	phases[0](n)
+	n.SetFullRecompute(false)
+	phases[1](n)
+	n.SetFullRecompute(true)
+	phases[2](n)
+
+	if got, want := n.EventsProcessed(), ref.events; got != want {
+		t.Errorf("events processed: hybrid %d, reference %d", got, want)
+	}
+	if got, want := fleetDigest(n), ref.digest; got != want {
+		t.Errorf("fleet FIB digest diverged:\n%s", firstDiff(want, got))
+	}
+	if got, want := strings.Join(tap.lines, "\n"), ref.stream; got != want {
+		t.Errorf("telemetry stream diverged:\n%s", firstDiff(want, got))
+	}
+	if n.FullRecompute() != true {
+		t.Error("FullRecompute() = false after flipping the fleet back to the oracle")
+	}
+}

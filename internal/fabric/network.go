@@ -73,6 +73,15 @@ type Options struct {
 	// multicore hosts. 0 uses the fleet default (CENTRALIUM_PARALLEL env
 	// or SetDefaultWorkers), which is sequential unless overridden.
 	Workers int
+
+	// FullRecompute forces every speaker onto the full-recompute oracle:
+	// each bulk trigger re-runs the decision pipeline for every known
+	// prefix. False uses the fleet default (CENTRALIUM_FULL_RECOMPUTE env
+	// or bgp.SetDefaultFullRecompute), which is the incremental engine
+	// unless overridden. Both modes are byte-identical — tap streams, FIB
+	// state, snapshot fingerprints — so the choice only affects wall-clock;
+	// the oracle exists for differential testing.
+	FullRecompute bool
 }
 
 func (o *Options) setDefaults() {
@@ -191,6 +200,9 @@ func New(t *topo.Topology, opts Options) *Network {
 			}
 			return n.eng.now
 		})
+		if opts.FullRecompute {
+			node.Speaker.SetFullRecompute(true)
+		}
 		n.nodes[d.ID] = node
 	}
 	for li, l := range t.Links() {
@@ -349,6 +361,41 @@ func (n *Network) SetWorkers(w int) {
 		w = 1
 	}
 	n.eng.workers = w
+}
+
+// FullRecompute reports whether the fleet runs the full-recompute oracle
+// (true only when every speaker does).
+func (n *Network) FullRecompute() bool {
+	for _, node := range n.nodes {
+		if !node.Speaker.FullRecompute() {
+			return false
+		}
+	}
+	return true
+}
+
+// SetFullRecompute switches every speaker between the full-recompute
+// oracle and the incremental decision engine. Like SetWorkers, the switch
+// is result-free: both modes are byte-identical, so flipping mid-run only
+// changes wall-clock (the differential suite flips mid-scenario to prove
+// it).
+func (n *Network) SetFullRecompute(on bool) {
+	for _, node := range n.nodes {
+		node.Speaker.SetFullRecompute(on)
+	}
+}
+
+// IncrementalStats sums the fleet's incremental-engine work-avoidance
+// counters (all zero under the oracle).
+func (n *Network) IncrementalStats() bgp.IncrementalStats {
+	var agg bgp.IncrementalStats
+	for _, node := range n.nodes {
+		st := node.Speaker.IncrementalStats()
+		agg.SkippedRecomputes += st.SkippedRecomputes
+		agg.AdvertiseMemoHits += st.AdvertiseMemoHits
+		agg.FIBMemoHits += st.FIBMemoHits
+	}
+	return agg
 }
 
 // Converge processes events until the network quiesces. It panics if the

@@ -167,6 +167,12 @@ type RestoreOptions struct {
 	// (0 uses the fleet default).
 	Workers int
 
+	// FullRecompute restores every speaker onto the full-recompute oracle,
+	// as Options.FullRecompute does at construction. Mode is not part of
+	// the captured state (snapshots are byte-identical across modes), so a
+	// restore may freely pick either engine; false uses the fleet default.
+	FullRecompute bool
+
 	// Topo, when non-nil, is adopted as the restored network's topology
 	// instead of re-importing the state's JSON export. The network takes
 	// ownership — callers forking one state many times pass a fresh
@@ -200,10 +206,11 @@ func NewFromState(st *NetState, opts RestoreOptions) (*Network, error) {
 	n := &Network{
 		Topo: t,
 		opts: Options{
-			Seed:        st.Seed,
-			BaseLatency: st.BaseLatency,
-			Jitter:      st.Jitter,
-			Workers:     workers,
+			Seed:          st.Seed,
+			BaseLatency:   st.BaseLatency,
+			Jitter:        st.Jitter,
+			Workers:       workers,
+			FullRecompute: opts.FullRecompute,
 		},
 		eng: &engine{
 			now:       st.Now,
@@ -236,6 +243,9 @@ func NewFromState(st *NetState, opts RestoreOptions) (*Network, error) {
 		})
 		if err != nil {
 			return nil, fmt.Errorf("fabric: restore %s: %w", ns.Device, err)
+		}
+		if opts.FullRecompute {
+			sp.SetFullRecompute(true)
 		}
 		node.Speaker = sp
 		n.nodes[d.ID] = node

@@ -180,6 +180,18 @@ func normalizeHops(hops []NextHop) []NextHop {
 	return sorted
 }
 
+// Touch replays the bookkeeping of a same-group reinstall without
+// rebuilding the canonical group key: the write counter advances and any
+// warm flag clears, exactly the residue Install leaves on its same-key
+// early return (which fires before the observer, so neither notifies).
+// The incremental decision engine calls it when it can prove the selected
+// next-hop set is unchanged; Stats and ExportState stay byte-identical to
+// a full Install of the same hops.
+func (t *Table) Touch(p netip.Prefix) {
+	t.writes++
+	delete(t.warmEntries, p)
+}
+
 // MarkWarm flags the prefix's current entry as "kept warm": the route was
 // withdrawn from peers but forwarding state is retained
 // (KeepFibWarmIfMnhViolated). A later Install or Remove clears the flag.
