@@ -1,0 +1,72 @@
+// Command centraliumd serves the what-if/plan/explain control-plane API
+// over HTTP from warm converged-scenario snapshots. See internal/server
+// for the serving model (per-request forks, bounded worker pool,
+// deterministic responses) and README.md for the endpoint reference.
+//
+// Usage:
+//
+//	centraliumd [-addr :8080] [-workers 4] [-queue 64] [-timeout 30s]
+//
+// SIGINT/SIGTERM drains: in-flight requests finish, new ones get 503,
+// then the listener closes.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"centralium/internal/server"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		workers = flag.Int("workers", 4, "worker pool width (concurrent evaluations)")
+		queue   = flag.Int("queue", 64, "admission queue depth beyond the pool (then 429)")
+		cache   = flag.Int("cache", 8, "warm snapshot cache size (scenario bases)")
+		memo    = flag.Int("memo", 256, "response memo size (bodies)")
+		timeout = flag.Duration("timeout", 30*time.Second, "default per-request deadline")
+		drainT  = flag.Duration("drain-timeout", 60*time.Second, "max wait for in-flight work on shutdown")
+	)
+	flag.Parse()
+
+	srv := server.New(server.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		CacheSize:      *cache,
+		MemoSize:       *memo,
+		DefaultTimeout: *timeout,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	log.Printf("centraliumd listening on %s (workers=%d queue=%d)", *addr, *workers, *queue)
+
+	select {
+	case err := <-errCh:
+		log.Fatalf("centraliumd: %v", err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("centraliumd draining (up to %v)...", *drainT)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainT)
+	defer cancel()
+	if err := srv.Drain(drainCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "centraliumd: drain: %v\n", err)
+	}
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "centraliumd: shutdown: %v\n", err)
+	}
+	log.Printf("centraliumd stopped")
+}

@@ -22,6 +22,14 @@ import (
 // The live network must be quiescent when the check runs (no pending
 // control callbacks), which is always true at the pre-deployment point of
 // a Controller.Run.
+//
+// Concurrency: a fabric.Network is single-threaded by contract, so two
+// WhatIf checks against the same live network must not run concurrently —
+// Capture reads engine state. The snapshot taken inside the check is
+// immutable and the fork is fully independent (see internal/snapshot), so
+// checks against distinct networks — e.g. per-request forks restored from
+// one shared cached snapshot, as centraliumd does — are safe to run in
+// parallel.
 func WhatIf(name string, n *fabric.Network, simulate func(fork *fabric.Network) error) HealthCheck {
 	return HealthCheck{
 		Name: "what-if " + name,

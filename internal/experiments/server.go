@@ -1,0 +1,147 @@
+package experiments
+
+// The centraliumd serving benchmark: what-if latency and throughput
+// through the full HTTP daemon (admission, worker pool, snapshot
+// fork), cold (first request builds and fingerprints the scenario
+// base) versus warm (the base is cached and every request forks it),
+// at the conformance suite's worker widths. Verdict bytes are
+// identical at every width — the conformance suite enforces that —
+// so the only thing this table measures is wall-clock.
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"time"
+
+	"centralium/internal/server"
+)
+
+func init() {
+	register("server", "centraliumd: what-if serving latency/throughput, cold vs warm, by worker width", func(seed int64) (string, error) {
+		return ServerBench(seed, serverBenchWidths(), serverBenchRequests), nil
+	})
+	registerRows("server", func(seed int64) []Row {
+		return ServerBenchRows(seed, serverBenchWidths(), serverBenchRequests)
+	})
+}
+
+// serverBenchWidths are the pool widths measured — the same set the
+// concurrency conformance suite pins byte-identical.
+func serverBenchWidths() []int { return []int{1, 4, 16} }
+
+// serverBenchRequests is the warm-batch size per width.
+const serverBenchRequests = 32
+
+// ServerStats is one width's measurement.
+type ServerStats struct {
+	Workers int
+	// ColdFirst is the first-request latency on a fresh daemon: scenario
+	// converge, fingerprint, and the first what-if evaluation.
+	ColdFirst time.Duration
+	// WarmWall is the wall-clock for Requests concurrent what-if posts
+	// against the warm base, memo bypassed (every request evaluates).
+	WarmWall time.Duration
+	Requests int
+	// MemoWall is the same batch with memoization on: all but the first
+	// hit the response memo.
+	MemoWall time.Duration
+}
+
+// RunServerBench measures one width on a fresh daemon.
+func RunServerBench(seed int64, workers, requests int) ServerStats {
+	srv := server.New(server.Config{Workers: workers, QueueDepth: requests + workers})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := &server.Client{BaseURL: ts.URL, HTTPClient: ts.Client()}
+	ctx := context.Background()
+
+	post := func(noMemo bool) {
+		_, err := client.WhatIf(ctx, &server.WhatIfRequest{Scenario: "fig10", Seed: seed, NoMemo: noMemo})
+		if err != nil {
+			panic(fmt.Sprintf("server bench: what-if: %v", err))
+		}
+	}
+
+	start := time.Now()
+	post(true)
+	cold := time.Since(start)
+
+	batch := func(noMemo bool) time.Duration {
+		var wg sync.WaitGroup
+		start := time.Now()
+		for i := 0; i < requests; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				post(noMemo)
+			}()
+		}
+		wg.Wait()
+		return time.Since(start)
+	}
+	warm := batch(true)
+	memo := batch(false)
+
+	return ServerStats{
+		Workers:   workers,
+		ColdFirst: cold,
+		WarmWall:  warm,
+		Requests:  requests,
+		MemoWall:  memo,
+	}
+}
+
+// serverBenchCache mirrors convergeCache: `benchtab -json` renders both
+// the text table and the rows, and each width should be measured once.
+var serverBenchCache = map[string]ServerStats{}
+
+func cachedServerBench(seed int64, workers, requests int) ServerStats {
+	key := fmt.Sprintf("%d/%d/%d", seed, workers, requests)
+	if s, ok := serverBenchCache[key]; ok {
+		return s
+	}
+	s := RunServerBench(seed, workers, requests)
+	serverBenchCache[key] = s
+	return s
+}
+
+// ServerBench formats the serving table.
+func ServerBench(seed int64, widths []int, requests int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "scenario=fig10 seed=%d batch=%d requests (memo bypassed on cold/warm)\n\n", seed, requests)
+	fmt.Fprintf(&b, "%-10s %12s %12s %14s %12s\n",
+		"workers", "cold", "warm wall", "warm req/s", "memo wall")
+	for _, w := range widths {
+		s := cachedServerBench(seed, w, requests)
+		fmt.Fprintf(&b, "%-10d %12v %12v %14.1f %12v\n",
+			s.Workers,
+			s.ColdFirst.Round(time.Millisecond),
+			s.WarmWall.Round(time.Millisecond),
+			float64(s.Requests)/s.WarmWall.Seconds(),
+			s.MemoWall.Round(time.Millisecond))
+	}
+	b.WriteString("\nresponse bytes are width-invariant (internal/server conformance suite);\nsee results/BENCH_server.json for the committed snapshot.\n")
+	return b.String()
+}
+
+// ServerBenchRows is the machine-readable form of ServerBench.
+func ServerBenchRows(seed int64, widths []int, requests int) []Row {
+	rows := make([]Row, 0, len(widths))
+	for _, w := range widths {
+		s := cachedServerBench(seed, w, requests)
+		rows = append(rows, Row{
+			Label: fmt.Sprintf("workers=%d", w),
+			Values: map[string]float64{
+				"requests":     float64(s.Requests),
+				"cold_ms":      float64(s.ColdFirst) / 1e6,
+				"warm_wall_ms": float64(s.WarmWall) / 1e6,
+				"warm_req_s":   float64(s.Requests) / s.WarmWall.Seconds(),
+				"memo_wall_ms": float64(s.MemoWall) / 1e6,
+			},
+		})
+	}
+	return rows
+}

@@ -1,0 +1,153 @@
+package nsdb
+
+// Table-driven coverage of the path-tree wildcard semantics (§5.1):
+// "*" binds exactly one segment, a trailing "**" binds any remainder
+// including none, and path normalization makes slash spelling
+// irrelevant. These pin the corner cases the broad-strokes tests in
+// nsdb_test.go skip: root patterns, values on interior vertices,
+// deleted values, and the one-segment/zero-segment boundary.
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// demoTree builds the store shared by the match tables. Note devices
+// holds both interior values (pod0) and leaves under it.
+func demoTree() *tree {
+	var tr tree
+	tr.set("/", "root")
+	tr.set("/devices/pod0", "pod")
+	tr.set("/devices/pod0/fsw0/rpa", "rpa-a")
+	tr.set("/devices/pod0/fsw1/rpa", "rpa-b")
+	tr.set("/devices/pod0/fsw1/fib", "fib-b")
+	tr.set("/devices/pod1/fsw0/rpa", "rpa-c")
+	tr.set("/links/pod0/up", "link")
+	return &tr
+}
+
+func TestTreeMatchTable(t *testing.T) {
+	tr := demoTree()
+	cases := []struct {
+		name    string
+		pattern string
+		want    []string // matched paths, sorted
+	}{
+		{"exact leaf", "/devices/pod0/fsw0/rpa", []string{"/devices/pod0/fsw0/rpa"}},
+		{"exact interior value", "/devices/pod0", []string{"/devices/pod0"}},
+		{"exact miss", "/devices/pod9", nil},
+		{"valueless interior", "/devices", nil},
+		{"root empty pattern", "", []string{"/"}},
+		{"root slash pattern", "///", []string{"/"}},
+		{"star one segment", "/devices/*", []string{"/devices/pod0"}},
+		{"star then literal", "/devices/*/fsw0/rpa", []string{"/devices/pod0/fsw0/rpa", "/devices/pod1/fsw0/rpa"}},
+		{"two stars", "/devices/*/*/rpa", []string{"/devices/pod0/fsw0/rpa", "/devices/pod0/fsw1/rpa", "/devices/pod1/fsw0/rpa"}},
+		{"star never spans", "/devices/*/rpa", nil},
+		{"star at leaf level", "/devices/pod0/fsw1/*", []string{"/devices/pod0/fsw1/fib", "/devices/pod0/fsw1/rpa"}},
+		{"doublestar whole tree", "/**", []string{
+			"/", "/devices/pod0", "/devices/pod0/fsw0/rpa", "/devices/pod0/fsw1/fib",
+			"/devices/pod0/fsw1/rpa", "/devices/pod1/fsw0/rpa", "/links/pod0/up",
+		}},
+		{"doublestar subtree", "/devices/pod0/**", []string{
+			"/devices/pod0", "/devices/pod0/fsw0/rpa", "/devices/pod0/fsw1/fib", "/devices/pod0/fsw1/rpa",
+		}},
+		{"doublestar zero segments", "/links/pod0/up/**", []string{"/links/pod0/up"}},
+		{"doublestar under miss", "/ghost/**", nil},
+		{"star then doublestar", "/devices/*/fsw1/**", []string{"/devices/pod0/fsw1/fib", "/devices/pod0/fsw1/rpa"}},
+		{"pattern deeper than tree", "/links/pod0/up/down", nil},
+		{"unnormalized spelling", "devices//pod0/fsw0/rpa/", []string{"/devices/pod0/fsw0/rpa"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := tr.match(tc.pattern)
+			var paths []string
+			for p := range got {
+				paths = append(paths, p)
+			}
+			sort.Strings(paths)
+			if !reflect.DeepEqual(paths, tc.want) {
+				t.Errorf("match(%q) = %v, want %v", tc.pattern, paths, tc.want)
+			}
+		})
+	}
+}
+
+func TestTreeMatchSkipsDeleted(t *testing.T) {
+	tr := demoTree()
+	tr.del("/devices/pod0/fsw1/rpa")
+	got := tr.match("/devices/pod0/**")
+	if _, ok := got["/devices/pod0/fsw1/rpa"]; ok {
+		t.Errorf("deleted value still matches: %v", got)
+	}
+	// The vertex survives as an interior node; its sibling value does too.
+	if _, ok := got["/devices/pod0/fsw1/fib"]; !ok {
+		t.Errorf("sibling value lost after delete: %v", got)
+	}
+}
+
+func TestTreeMatchValues(t *testing.T) {
+	tr := demoTree()
+	got := tr.match("/devices/*/fsw0/rpa")
+	want := map[string]any{
+		"/devices/pod0/fsw0/rpa": "rpa-a",
+		"/devices/pod1/fsw0/rpa": "rpa-c",
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("match values = %v, want %v", got, want)
+	}
+}
+
+func TestMatchPathTable(t *testing.T) {
+	cases := []struct {
+		pattern string
+		path    string
+		want    bool
+	}{
+		{"/a/b", "/a/b", true},
+		{"/a/b", "a/b/", true}, // normalization
+		{"/a/b", "/a/b/c", false},
+		{"/a/b/c", "/a/b", false},
+		{"/a/*", "/a/b", true},
+		{"/a/*", "/a", false}, // "*" binds exactly one
+		{"/a/*", "/a/b/c", false},
+		{"/*/c", "/a/c", true},
+		{"/*/c", "/a/b/c", false},
+		{"/a/**", "/a", true}, // "**" binds zero
+		{"/a/**", "/a/b/c/d", true},
+		{"/**", "/", true},
+		{"/**", "/anything/at/all", true},
+		{"/a/**", "/b", false},
+		{"", "/", true},
+		{"", "/a", false},
+		{"/a/*/c", "/a/b/c", true},
+		{"/a/*/c", "/a/b/d", false},
+	}
+	for _, tc := range cases {
+		t.Run(fmt.Sprintf("%s vs %s", tc.pattern, tc.path), func(t *testing.T) {
+			if got := matchPath(tc.pattern, tc.path); got != tc.want {
+				t.Errorf("matchPath(%q, %q) = %v, want %v", tc.pattern, tc.path, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestTreeMatchDeterministic pins that repeated matches over the same
+// tree agree — the walk sorts child keys, so iteration order of the
+// underlying maps never shows through.
+func TestTreeMatchDeterministic(t *testing.T) {
+	var tr tree
+	for i := 0; i < 64; i++ {
+		tr.set(fmt.Sprintf("/d/n%02d/v", i), i)
+	}
+	first := tr.match("/d/*/v")
+	if len(first) != 64 {
+		t.Fatalf("got %d matches, want 64", len(first))
+	}
+	for i := 0; i < 8; i++ {
+		if got := tr.match("/d/*/v"); !reflect.DeepEqual(got, first) {
+			t.Fatalf("match pass %d diverged", i)
+		}
+	}
+}

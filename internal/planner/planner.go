@@ -222,13 +222,22 @@ func newSearchFromState(state []byte, p Params) (*Search, error) {
 }
 
 // stateBytes encodes a snapshot without its free-form metadata, so the
-// fingerprint is a pure state identity.
+// fingerprint is a pure state identity. EncodeCanonical never touches the
+// snapshot (an earlier version swapped Meta in place, which raced when
+// several searches shared one cached base snapshot — the centraliumd
+// serving path does exactly that).
 func stateBytes(base *snapshot.Snapshot) ([]byte, error) {
-	meta := base.Meta
-	base.Meta = map[string]string{}
-	defer func() { base.Meta = meta }()
-	return base.Encode()
+	return base.EncodeCanonical()
 }
+
+// Level returns the number of completed beam levels.
+func (s *Search) Level() int { return s.level }
+
+// IsDone reports whether the search is exhausted (Result may be called).
+func (s *Search) IsDone() bool { return s.done }
+
+// SearchStats returns a copy of the search's work counters.
+func (s *Search) SearchStats() Stats { return s.stats }
 
 // Plan runs a full search and returns the winner.
 func Plan(base *snapshot.Snapshot, p Params) (*Result, error) {

@@ -66,8 +66,27 @@ type Spec struct {
 	// a gate demands a planner-approved schedule (see internal/planner).
 	Approval func(waves [][]topo.DeviceID) error
 
+	// Schedule, when non-nil, overrides the §5.3.2 altitude-derived wave
+	// order with an explicit deployment schedule (controller.Rollout
+	// semantics: each inner slice is one wave; devices outside the intent
+	// are dropped). centraliumd's what-if endpoint qualifies operator- or
+	// planner-proposed schedules through this.
+	Schedule [][]topo.DeviceID
+
 	// SampleEvery thins transient sampling (default 1: every event).
 	SampleEvery int
+
+	// Instrument, when set, is called with the network the qualification
+	// will actually run on, before any deployment. Under Gate that is the
+	// what-if fork — restored taps start detached, so this is the hook for
+	// re-attaching telemetry (centraliumd streams gate transients to its
+	// /v1/events subscribers through it).
+	Instrument func(n *fabric.Network)
+
+	// OnReport, when set, observes the finished report. Gate's HealthCheck
+	// only surfaces an error; this hook hands callers the structured
+	// verdict (violations with virtual timestamps) as well.
+	OnReport func(*Report)
 }
 
 // Violation is one invariant failure.
@@ -120,6 +139,9 @@ func Run(spec Spec) (*Report, error) {
 	}
 	rep := &Report{Spec: spec.Name, Passed: true}
 	n := spec.Net
+	if spec.Instrument != nil {
+		spec.Instrument(n)
+	}
 	pr := &traffic.Propagator{Net: n}
 
 	evaluate := func(transient bool) {
@@ -164,6 +186,7 @@ func Run(spec Spec) (*Report, error) {
 		OriginAltitude:  spec.OriginAltitude,
 		Removal:         spec.Removal,
 		SettlePerDevice: true,
+		Schedule:        spec.Schedule,
 		Approval:        spec.Approval,
 	})
 	if err != nil {
@@ -173,10 +196,16 @@ func Run(spec Spec) (*Report, error) {
 			Detail:    err.Error(),
 			At:        time.Duration(n.Now()),
 		})
+		if spec.OnReport != nil {
+			spec.OnReport(rep)
+		}
 		return rep, nil
 	}
 	rep.Events += n.Converge()
 	evaluate(false)
+	if spec.OnReport != nil {
+		spec.OnReport(rep)
+	}
 	return rep, nil
 }
 

@@ -1,0 +1,137 @@
+package server
+
+// A small typed client for the centraliumd API — what operator tooling
+// and the doc examples use instead of hand-rolled HTTP.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+)
+
+// Client talks to one centraliumd instance.
+type Client struct {
+	// BaseURL is the daemon root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// APIError is a non-2xx daemon response.
+type APIError struct {
+	Status  int
+	Message string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("centraliumd: HTTP %d: %s", e.Status, e.Message)
+}
+
+// do runs one request and decodes the response into out.
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			return fmt.Errorf("centraliumd: encode request: %w", err)
+		}
+		rd = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, strings.TrimRight(c.BaseURL, "/")+path, rd)
+	if err != nil {
+		return fmt.Errorf("centraliumd: build request: %w", err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return fmt.Errorf("centraliumd: %w", err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
+	if err != nil {
+		return fmt.Errorf("centraliumd: read response: %w", err)
+	}
+	if resp.StatusCode/100 != 2 {
+		var apiErr ErrorResponse
+		if json.Unmarshal(data, &apiErr) == nil && apiErr.Error != "" {
+			return &APIError{Status: resp.StatusCode, Message: apiErr.Error}
+		}
+		return &APIError{Status: resp.StatusCode, Message: strings.TrimSpace(string(data))}
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.Unmarshal(data, out); err != nil {
+		return fmt.Errorf("centraliumd: decode response: %w", err)
+	}
+	return nil
+}
+
+// WhatIf qualifies a schedule on a fork of the scenario base.
+func (c *Client) WhatIf(ctx context.Context, req *WhatIfRequest) (*WhatIfResponse, error) {
+	var out WhatIfResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/whatif", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Plan advances (or starts) a schedule search; repeated calls with the
+// same parameters resume the same server-side search.
+func (c *Client) Plan(ctx context.Context, req *PlanRequest) (*PlanResponse, error) {
+	var out PlanResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/plan", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Explain renders one §7.2 debugging view.
+func (c *Client) Explain(ctx context.Context, req *ExplainRequest) (*ExplainResponse, error) {
+	q := url.Values{}
+	q.Set("scenario", req.Scenario)
+	q.Set("seed", strconv.FormatInt(req.Seed, 10))
+	q.Set("device", req.Device)
+	q.Set("view", req.View)
+	if req.Prefix != "" {
+		q.Set("prefix", req.Prefix)
+	}
+	var out ExplainResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/explain?"+q.Encode(), nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Metrics fetches the daemon counters.
+func (c *Client) Metrics(ctx context.Context) (*MetricsSnapshot, error) {
+	var out MetricsSnapshot
+	if err := c.do(ctx, http.MethodGet, "/v1/metrics", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Healthz reports the daemon's serving state.
+func (c *Client) Healthz(ctx context.Context) (*HealthResponse, error) {
+	var out HealthResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/healthz", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}

@@ -1,0 +1,51 @@
+package server_test
+
+// Runnable documentation for the daemon's client surface. The output
+// is deterministic — the fig10 scenario is a seeded emulation, so the
+// verdict (and every byte of the response it came from) is a pure
+// function of (scenario, seed, request).
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+
+	"centralium/internal/server"
+)
+
+// ExampleClient_WhatIf qualifies the baseline deployment order for the
+// fig10 scenario against the paper's safety invariants, then asks a
+// stricter question of the same base: would a single all-at-once wave
+// stay under a 50% funnel share?
+func ExampleClient_WhatIf() {
+	srv := server.New(server.Config{Workers: 2})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	client := &server.Client{BaseURL: ts.URL, HTTPClient: ts.Client()}
+	ctx := context.Background()
+
+	// Empty schedule: qualify the §5.3.2 altitude-derived baseline.
+	verdict, err := client.WhatIf(ctx, &server.WhatIfRequest{Scenario: "fig10", Seed: 7})
+	if err != nil {
+		fmt.Println("what-if:", err)
+		return
+	}
+	fmt.Printf("baseline passed=%v violations=%d\n", verdict.Passed, len(verdict.Violations))
+
+	// Same base (the daemon forks it; the first request's run cannot
+	// leak into this one), tighter invariant.
+	verdict, err = client.WhatIf(ctx, &server.WhatIfRequest{
+		Scenario:       "fig10",
+		Seed:           7,
+		MaxFunnelShare: 0.5,
+	})
+	if err != nil {
+		fmt.Println("what-if:", err)
+		return
+	}
+	fmt.Printf("strict passed=%v\n", verdict.Passed)
+	// Output:
+	// baseline passed=true violations=0
+	// strict passed=true
+}

@@ -1,0 +1,74 @@
+package server
+
+// FuzzWhatIfRequest drives arbitrary bytes through the full request
+// codec path: strict decode, validation (which canonicalizes in
+// place), canonical re-encode, and a second decode/validate round. The
+// properties under fuzz:
+//
+//  1. nothing panics, whatever the bytes;
+//  2. a request that validates re-encodes to a *fixed point* — the
+//     canonical form decodes and validates back to identical bytes.
+//
+// Property 2 is what makes the response memo sound: the memo key is
+// the canonical encoding, so any two byte-level spellings of the same
+// request must canonicalize identically or memoization would alias
+// distinct computations.
+
+import (
+	"bytes"
+	"testing"
+)
+
+func FuzzWhatIfRequest(f *testing.F) {
+	seeds := []string{
+		`{"scenario":"fig10","seed":7}`,
+		`{"scenario":"fig10","seed":7,"schedule":"fa.0 > fa.1,fsw.pod0.0"}`,
+		`{"scenario":"decommission","seed":-3,"max_funnel_share":0.5,"sample_every":10}`,
+		`{"scenario":"pod-drain","seed":0,"max_link_utilization":0.9,"no_memo":true,"timeout_ms":1000}`,
+		`{"scenario":"fig10","seed":7,"schedule":"  fa.0 ,  fa.1  >fsw.pod0.0"}`,
+		`{"scenario":"nope","seed":1}`,
+		`{"scenario":"fig10","seed":7,"schedule":"fa.0!bare"}`,
+		`{"scenario":"fig10","seed":7,"unknown_field":true}`,
+		`{"scenario":"fig10","seed":7} trailing`,
+		`{}`,
+		``,
+		`null`,
+		`[1,2,3]`,
+		`{"scenario":"fig10","seed":9223372036854775807,"sample_every":-1}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := DecodeWhatIfRequest(data)
+		if err != nil {
+			return
+		}
+		if err := req.Validate(); err != nil {
+			return
+		}
+		first, err := req.EncodeCanonical()
+		if err != nil {
+			t.Fatalf("validated request failed to encode: %v", err)
+		}
+		again, err := DecodeWhatIfRequest(first)
+		if err != nil {
+			t.Fatalf("canonical form failed to decode: %v\ncanonical: %s", err, first)
+		}
+		if err := again.Validate(); err != nil {
+			t.Fatalf("canonical form failed to validate: %v\ncanonical: %s", err, first)
+		}
+		second, err := again.EncodeCanonical()
+		if err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		if !bytes.Equal(first, second) {
+			t.Fatalf("canonical encoding is not a fixed point:\nfirst:  %s\nsecond: %s", first, second)
+		}
+		// Fixed-point requests are the same computation, so they must
+		// share a memo slot.
+		if a, b := req.memoKey("fp"), again.memoKey("fp"); a != b {
+			t.Fatalf("memo keys diverged across canonical round-trip: %s vs %s", a, b)
+		}
+	})
+}

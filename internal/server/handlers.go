@@ -1,0 +1,441 @@
+package server
+
+// The endpoint implementations. Each computes a (status, body) result
+// from an isolated fork of a cached base snapshot; the admission and
+// deadline machinery around them lives in server.go.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/netip"
+	"sort"
+	"strconv"
+	"sync"
+
+	"centralium/internal/fabric"
+	"centralium/internal/planner"
+	"centralium/internal/qualify"
+	"centralium/internal/rpadebug"
+	"centralium/internal/topo"
+)
+
+// maxBodyBytes bounds request bodies.
+const maxBodyBytes = 1 << 20
+
+// readBody buffers the request body (bounded). Called on the serving
+// goroutine only, before any evaluation goroutine exists.
+func readBody(r *http.Request) ([]byte, error) {
+	data, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes+1))
+	if err != nil {
+		return nil, fmt.Errorf("read request body: %w", err)
+	}
+	if len(data) > maxBodyBytes {
+		return nil, fmt.Errorf("request body larger than %d bytes", maxBodyBytes)
+	}
+	return data, nil
+}
+
+// lenientDecode unmarshals ignoring unknown fields — the deadline peek
+// must never reject what the handler would accept.
+func lenientDecode(data []byte, v any) error {
+	return json.Unmarshal(data, v)
+}
+
+// --- POST /v1/whatif --------------------------------------------------------
+
+func (s *Server) whatif(ctx context.Context, ar *apiRequest) result {
+	req, err := DecodeWhatIfRequest(ar.body)
+	if err != nil {
+		return errorResult(http.StatusBadRequest, "%v", err)
+	}
+	if err := req.Validate(); err != nil {
+		return errorResult(http.StatusBadRequest, "%v", err)
+	}
+	entry, err := s.cache.get(req.Scenario, req.Seed)
+	if err != nil {
+		return errorResult(http.StatusInternalServerError, "build scenario base: %v", err)
+	}
+	key := req.memoKey(entry.Fingerprint)
+	if !req.NoMemo {
+		if body, ok := s.memo.get(key); ok {
+			return result{status: http.StatusOK, body: body}
+		}
+	}
+	res := s.runWhatIf(req, entry)
+	if res.status == http.StatusOK && !req.NoMemo {
+		s.memo.put(key, res.body)
+	}
+	return res
+}
+
+// runWhatIf forks the base and qualifies the requested schedule through
+// controller.WhatIf + qualify.Gate — the same pre-deployment gate a live
+// rollout would run, scored on a fork of the request's own fork.
+func (s *Server) runWhatIf(req *WhatIfRequest, entry *cacheEntry) result {
+	if s.testHookEvalDelay != nil {
+		s.testHookEvalDelay(req)
+	}
+	fork, err := entry.fork()
+	if err != nil {
+		return errorResult(http.StatusInternalServerError, "fork base: %v", err)
+	}
+	label := fmt.Sprintf("%s/%d", req.Scenario, req.Seed)
+	waves := req.Waves()
+	if waves != nil {
+		// The schedule must cover the intent: the gate would fail the
+		// rollout anyway, but the codec can say why precisely.
+		if err := coversIntent(waves, entry.Params); err != nil {
+			return errorResult(http.StatusBadRequest, "%v", err)
+		}
+	}
+	invariants := []qualify.Invariant{qualify.NoBlackholes(), qualify.NoLoops()}
+	if req.MaxFunnelShare > 0 {
+		invariants = append(invariants, qualify.FunnelBound(entry.Params.Watch, req.MaxFunnelShare))
+	}
+	if req.MaxLinkUtilization > 0 {
+		invariants = append(invariants, qualify.MaxLinkUtilization(req.MaxLinkUtilization))
+	}
+	var rep *qualify.Report
+	gate := qualify.Gate(qualify.Spec{
+		Name:           label,
+		Net:            fork,
+		Intent:         entry.Params.Intent,
+		OriginAltitude: entry.Params.OriginAltitude,
+		Workload:       entry.Params.Demands,
+		Invariants:     invariants,
+		Schedule:       waves,
+		SampleEvery:    req.SampleEvery,
+		Instrument: func(n *fabric.Network) {
+			n.SetTap(s.events.tap("whatif " + label))
+		},
+		OnReport: func(r *qualify.Report) { rep = r },
+	})
+	gateErr := gate.Check()
+	if rep == nil {
+		// The gate failed before qualification ran (capture/fork error).
+		return errorResult(http.StatusInternalServerError, "what-if gate: %v", gateErr)
+	}
+	resp := &WhatIfResponse{
+		Fingerprint: entry.Fingerprint,
+		Scenario:    req.Scenario,
+		Seed:        req.Seed,
+		Schedule:    req.Schedule,
+		Passed:      rep.Passed,
+		Events:      rep.Events,
+	}
+	for _, v := range rep.Violations {
+		resp.Violations = append(resp.Violations, GateViolation{
+			Invariant: v.Invariant,
+			Transient: v.Transient,
+			AtNs:      int64(v.At),
+			Detail:    v.Detail,
+		})
+	}
+	return jsonResult(http.StatusOK, resp)
+}
+
+// coversIntent checks an explicit wave schedule deploys exactly the
+// intent's devices. Error messages name devices deterministically
+// (sorted / schedule order, never map order) — they are response bytes,
+// and the conformance suite compares those byte for byte.
+func coversIntent(waves [][]topo.DeviceID, p planner.Params) error {
+	scheduled := make(map[topo.DeviceID]bool)
+	for _, w := range waves {
+		for _, d := range w {
+			scheduled[d] = true
+		}
+	}
+	missing := make([]topo.DeviceID, 0)
+	for d := range p.Intent {
+		if !scheduled[d] {
+			missing = append(missing, d)
+		}
+	}
+	if len(missing) > 0 {
+		sort.Slice(missing, func(i, j int) bool { return missing[i] < missing[j] })
+		return fmt.Errorf("schedule misses %d intent device(s), first %s", len(missing), missing[0])
+	}
+	for _, w := range waves {
+		for _, d := range w {
+			if _, ok := p.Intent[d]; !ok {
+				return fmt.Errorf("schedule device %s is not in the scenario intent", d)
+			}
+		}
+	}
+	return nil
+}
+
+// --- POST /v1/plan ----------------------------------------------------------
+
+// planEntry is one resumable search: its checkpoint between requests,
+// and the final response bytes once done (idempotent completion).
+type planEntry struct {
+	mu         sync.Mutex
+	checkpoint []byte
+	final      []byte
+}
+
+// planStore holds resumable searches, LRU-bounded.
+type planStore struct {
+	mu    sync.Mutex
+	plans map[string]*planEntry
+	order []string
+	max   int
+}
+
+func newPlanStore(max int) *planStore {
+	return &planStore{plans: make(map[string]*planEntry), max: max}
+}
+
+// get returns (creating if needed) the entry for a plan ID.
+func (ps *planStore) get(id string) *planEntry {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	if pe, ok := ps.plans[id]; ok {
+		for i, o := range ps.order {
+			if o == id {
+				ps.order = append(append(ps.order[:i:i], ps.order[i+1:]...), id)
+				break
+			}
+		}
+		return pe
+	}
+	pe := &planEntry{}
+	ps.plans[id] = pe
+	ps.order = append(ps.order, id)
+	for len(ps.order) > ps.max {
+		victim := ps.order[0]
+		ps.order = ps.order[1:]
+		delete(ps.plans, victim)
+	}
+	return pe
+}
+
+func (s *Server) plan(ctx context.Context, ar *apiRequest) result {
+	req, err := DecodePlanRequest(ar.body)
+	if err != nil {
+		return errorResult(http.StatusBadRequest, "%v", err)
+	}
+	if err := req.Validate(); err != nil {
+		return errorResult(http.StatusBadRequest, "%v", err)
+	}
+	entry, err := s.cache.get(req.Scenario, req.Seed)
+	if err != nil {
+		return errorResult(http.StatusInternalServerError, "build scenario base: %v", err)
+	}
+	id := req.planID(entry.Fingerprint)
+	pe := s.plans.get(id)
+
+	// One request at a time advances a given plan; concurrent posts for
+	// the same plan serialize here and each advance it further.
+	pe.mu.Lock()
+	defer pe.mu.Unlock()
+	if pe.final != nil {
+		return result{status: http.StatusOK, body: pe.final}
+	}
+
+	var search *planner.Search
+	if pe.checkpoint != nil {
+		search, err = planner.ResumeSearch(pe.checkpoint)
+		if err != nil {
+			return errorResult(http.StatusInternalServerError, "resume plan %s: %v", id, err)
+		}
+	} else {
+		p := entry.Params
+		if req.Beam > 0 {
+			p.Beam = req.Beam
+		}
+		if req.RandomCands != 0 {
+			p.RandomCands = req.RandomCands
+		}
+		if len(req.BatchSizes) > 0 {
+			p.BatchSizes = append([]int(nil), req.BatchSizes...)
+		}
+		if len(req.MinNextHops) > 0 {
+			p.MinNextHops = append([]int(nil), req.MinNextHops...)
+		}
+		if req.SearchBare {
+			p.SearchBare = true
+		}
+		search, err = planner.NewSearch(entry.Snap, p)
+		if err != nil {
+			return errorResult(http.StatusInternalServerError, "start plan %s: %v", id, err)
+		}
+	}
+
+	done := search.IsDone()
+	for levels := 0; !done; levels++ {
+		if req.MaxLevels > 0 && levels >= req.MaxLevels {
+			break
+		}
+		if ctx.Err() != nil {
+			// Deadline mid-search: freeze progress so the next request
+			// resumes from here. The client already has its 504.
+			break
+		}
+		done, err = search.Step()
+		if err != nil {
+			return errorResult(http.StatusInternalServerError, "plan %s: %v", id, err)
+		}
+	}
+	cp, err := search.Checkpoint()
+	if err != nil {
+		return errorResult(http.StatusInternalServerError, "checkpoint plan %s: %v", id, err)
+	}
+	pe.checkpoint = cp
+
+	resp := &PlanResponse{
+		PlanID:      id,
+		Fingerprint: entry.Fingerprint,
+		Done:        done,
+		Level:       search.Level(),
+		Stats:       search.SearchStats(),
+	}
+	if done {
+		res, err := search.Result()
+		if err != nil {
+			return errorResult(http.StatusInternalServerError, "finish plan %s: %v", id, err)
+		}
+		resp.Stats = search.SearchStats()
+		resp.Winner = res.Winner.String()
+		score := res.Score
+		resp.Score = &score
+		resp.Baseline = res.Baseline.String()
+		baseScore := res.BaselineScore
+		resp.BaselineScore = &baseScore
+		resp.FromBaseline = res.FromBaseline
+		body := encodeBody(resp)
+		pe.final = body
+		return result{status: http.StatusOK, body: body}
+	}
+	return jsonResult(http.StatusOK, resp)
+}
+
+// --- GET /v1/explain --------------------------------------------------------
+
+func (s *Server) explain(ctx context.Context, ar *apiRequest) result {
+	q := ar.query
+	seed := int64(0)
+	if raw := q.Get("seed"); raw != "" {
+		v, err := strconv.ParseInt(raw, 10, 64)
+		if err != nil {
+			return errorResult(http.StatusBadRequest, "bad seed %q", raw)
+		}
+		seed = v
+	}
+	req := &ExplainRequest{
+		Scenario: q.Get("scenario"),
+		Seed:     seed,
+		Device:   q.Get("device"),
+		View:     q.Get("view"),
+		Prefix:   q.Get("prefix"),
+	}
+	if req.View == "" {
+		req.View = "rpas"
+	}
+	if err := req.Validate(); err != nil {
+		return errorResult(http.StatusBadRequest, "%v", err)
+	}
+	entry, err := s.cache.get(req.Scenario, req.Seed)
+	if err != nil {
+		return errorResult(http.StatusInternalServerError, "build scenario base: %v", err)
+	}
+	fork, err := entry.fork()
+	if err != nil {
+		return errorResult(http.StatusInternalServerError, "fork base: %v", err)
+	}
+	dev := topo.DeviceID(req.Device)
+	if fork.Node(dev) == nil {
+		return errorResult(http.StatusNotFound, "no such device %q in scenario %s", req.Device, req.Scenario)
+	}
+	var output string
+	switch req.View {
+	case "rpas":
+		output = rpadebug.ListRPAs(fork, dev)
+	case "route":
+		prefix, err := netip.ParsePrefix(req.Prefix)
+		if err != nil {
+			return errorResult(http.StatusBadRequest, "bad prefix %q: %v", req.Prefix, err)
+		}
+		output = rpadebug.ExplainRoute(fork, dev, prefix)
+	case "fib":
+		output = rpadebug.DumpFIB(fork, dev)
+	}
+	return jsonResult(http.StatusOK, &ExplainResponse{
+		Fingerprint: entry.Fingerprint,
+		Scenario:    req.Scenario,
+		Seed:        req.Seed,
+		Device:      req.Device,
+		View:        req.View,
+		Output:      output,
+	})
+}
+
+// --- GET /v1/metrics, /v1/healthz, /v1/events -------------------------------
+
+func (s *Server) metricsHandler(ctx context.Context, ar *apiRequest) result {
+	snap := &MetricsSnapshot{Draining: s.draining.Load()}
+	snap.Endpoints, snap.RejectedQueueFull, snap.RejectedDraining, snap.DeadlineExpired = s.metrics.snapshot()
+	snap.SnapshotCacheHits, snap.SnapshotCacheMisses, snap.SnapshotCacheEvictions, snap.SnapshotCacheSize = s.cache.stats()
+	snap.MemoHits, snap.MemoMisses, snap.MemoSize = s.memo.stats()
+	snap.EventSubscribers, snap.EventsSent, snap.EventsDropped = s.events.stats()
+	return jsonResult(http.StatusOK, snap)
+}
+
+// HealthResponse is the GET /v1/healthz body.
+type HealthResponse struct {
+	Status string `json:"status"`
+}
+
+func (s *Server) healthz(ctx context.Context, ar *apiRequest) result {
+	if s.draining.Load() {
+		return jsonResult(http.StatusServiceUnavailable, &HealthResponse{Status: "draining"})
+	}
+	return jsonResult(http.StatusOK, &HealthResponse{Status: "ok"})
+}
+
+// eventsHandler streams the telemetry broadcast as server-sent events.
+// It bypasses the worker pool (a stream holds its connection open for
+// its whole life) but respects drain: the broadcaster closes on drain,
+// which ends every stream.
+func (s *Server) eventsHandler(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		write(w, errorResult(http.StatusMethodNotAllowed, "method %s not allowed (use GET)", r.Method))
+		return
+	}
+	if s.draining.Load() {
+		write(w, errorResult(http.StatusServiceUnavailable, "server draining"))
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		write(w, errorResult(http.StatusInternalServerError, "streaming unsupported"))
+		return
+	}
+	id, ch := s.events.subscribe()
+	defer s.events.unsubscribe(id)
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprint(w, ": stream open\n\n")
+	fl.Flush()
+	for {
+		select {
+		case ev, ok := <-ch:
+			if !ok {
+				return // drained
+			}
+			data, err := json.Marshal(ev)
+			if err != nil {
+				continue
+			}
+			fmt.Fprintf(w, "data: %s\n\n", data)
+			fl.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package server
+
+// The /v1/metrics counters: per-endpoint request/latency accounting plus
+// cache, memo, admission, and event-stream instrumentation. Latencies
+// are wall-clock and appear only here — never in an API response body,
+// which keeps the conformance property (byte-identical serial vs
+// concurrent responses) trivially safe from timing.
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"centralium/internal/metrics"
+)
+
+// latencySampleCap bounds the per-endpoint latency reservoir.
+const latencySampleCap = 4096
+
+type endpointStats struct {
+	requests int64
+	errors   int64
+	lat      *metrics.Sample
+}
+
+type serverMetrics struct {
+	mu        sync.Mutex
+	endpoints map[string]*endpointStats
+
+	rejectedQueueFull int64
+	rejectedDraining  int64
+	deadlineExpired   int64
+}
+
+func newServerMetrics() *serverMetrics {
+	return &serverMetrics{endpoints: make(map[string]*endpointStats)}
+}
+
+// observe records one finished request. Any status >= 400 counts as an
+// error for the endpoint (including load-shed 429/503s).
+func (m *serverMetrics) observe(endpoint string, status int, d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	es, ok := m.endpoints[endpoint]
+	if !ok {
+		es = &endpointStats{lat: metrics.NewSample(latencySampleCap)}
+		m.endpoints[endpoint] = es
+	}
+	es.requests++
+	if status >= 400 {
+		es.errors++
+	}
+	// AddDuration records milliseconds; cap the reservoir so a long-lived
+	// daemon's metrics stay O(1).
+	if es.lat.Len() < latencySampleCap {
+		es.lat.AddDuration(d)
+	}
+}
+
+func (m *serverMetrics) addQueueFull() {
+	m.mu.Lock()
+	m.rejectedQueueFull++
+	m.mu.Unlock()
+}
+
+func (m *serverMetrics) addDraining() {
+	m.mu.Lock()
+	m.rejectedDraining++
+	m.mu.Unlock()
+}
+
+func (m *serverMetrics) addDeadline() {
+	m.mu.Lock()
+	m.deadlineExpired++
+	m.mu.Unlock()
+}
+
+// EndpointMetrics is one endpoint's block in the /v1/metrics snapshot.
+type EndpointMetrics struct {
+	Endpoint string  `json:"endpoint"`
+	Requests int64   `json:"requests"`
+	Errors   int64   `json:"errors"`
+	P50Ms    float64 `json:"p50_ms"`
+	P99Ms    float64 `json:"p99_ms"`
+	MaxMs    float64 `json:"max_ms"`
+}
+
+// MetricsSnapshot is the GET /v1/metrics body.
+type MetricsSnapshot struct {
+	Endpoints []EndpointMetrics `json:"endpoints"`
+
+	SnapshotCacheHits      int64 `json:"snapshot_cache_hits"`
+	SnapshotCacheMisses    int64 `json:"snapshot_cache_misses"`
+	SnapshotCacheEvictions int64 `json:"snapshot_cache_evictions"`
+	SnapshotCacheSize      int   `json:"snapshot_cache_size"`
+
+	MemoHits   int64 `json:"memo_hits"`
+	MemoMisses int64 `json:"memo_misses"`
+	MemoSize   int   `json:"memo_size"`
+
+	RejectedQueueFull int64 `json:"rejected_queue_full"`
+	RejectedDraining  int64 `json:"rejected_draining"`
+	DeadlineExpired   int64 `json:"deadline_expired"`
+
+	EventSubscribers int   `json:"event_subscribers"`
+	EventsSent       int64 `json:"events_sent"`
+	EventsDropped    int64 `json:"events_dropped"`
+
+	Draining bool `json:"draining"`
+}
+
+// snapshot renders the endpoint blocks, sorted by endpoint name.
+func (m *serverMetrics) snapshot() ([]EndpointMetrics, int64, int64, int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]EndpointMetrics, 0, len(m.endpoints))
+	for name, es := range m.endpoints {
+		em := EndpointMetrics{Endpoint: name, Requests: es.requests, Errors: es.errors}
+		// Percentile of an empty sample is NaN, which JSON cannot carry.
+		if es.lat.Len() > 0 {
+			em.P50Ms = es.lat.Percentile(50)
+			em.P99Ms = es.lat.Percentile(99)
+			em.MaxMs = es.lat.Max()
+		}
+		out = append(out, em)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Endpoint < out[j].Endpoint })
+	return out, m.rejectedQueueFull, m.rejectedDraining, m.deadlineExpired
+}

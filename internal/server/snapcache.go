@@ -1,0 +1,213 @@
+package server
+
+// The warm snapshot cache: converged scenario bases keyed by their
+// canonical state fingerprint, with a (scenario, seed) index on top and
+// a singleflight latch so one cold miss builds a base exactly once no
+// matter how many requests arrive for it together. Cached entries are
+// immutable — the snapshot concurrency contract (internal/snapshot) is
+// what lets every request fork its own network from a shared entry.
+
+import (
+	"fmt"
+	"sync"
+
+	"centralium/internal/fabric"
+	"centralium/internal/planner"
+	"centralium/internal/snapshot"
+	"centralium/internal/topo"
+)
+
+// cacheEntry is one warm base: the captured snapshot, its identity, the
+// scenario's planning parameters, and a master topology that forks clone
+// instead of re-importing. Everything here is read-only after build.
+type cacheEntry struct {
+	Fingerprint string
+	Snap        *snapshot.Snapshot
+	Params      planner.Params
+	tp          *topo.Topology
+	scenarioKey string
+}
+
+// fork materializes a private network from the entry — the per-request
+// isolation step. The topology is cloned per fork (networks mutate
+// drain/cost state on their topology), the snapshot is shared.
+func (e *cacheEntry) fork() (*fabric.Network, error) {
+	return e.Snap.RestoreWith(fabric.RestoreOptions{Topo: e.tp.Clone()})
+}
+
+// loadCall is the singleflight latch for one in-progress base build.
+type loadCall struct {
+	done  chan struct{}
+	entry *cacheEntry
+	err   error
+}
+
+// snapCache is the LRU of warm bases.
+type snapCache struct {
+	mu sync.Mutex
+	// entries by state fingerprint; byScenario indexes "scenario|seed"
+	// → fingerprint; order is LRU, oldest first.
+	entries    map[string]*cacheEntry
+	byScenario map[string]string
+	order      []string
+	loading    map[string]*loadCall
+	max        int
+
+	hits, misses, evictions int64
+}
+
+func newSnapCache(max int) *snapCache {
+	return &snapCache{
+		entries:    make(map[string]*cacheEntry),
+		byScenario: make(map[string]string),
+		loading:    make(map[string]*loadCall),
+		max:        max,
+	}
+}
+
+// get returns the warm base for (scenario, seed), building it on a cold
+// miss. Concurrent misses for the same key share one build.
+func (c *snapCache) get(scenario string, seed int64) (*cacheEntry, error) {
+	key := fmt.Sprintf("%s|%d", scenario, seed)
+	c.mu.Lock()
+	if fp, ok := c.byScenario[key]; ok {
+		if e, ok := c.entries[fp]; ok {
+			c.hits++
+			c.touch(fp)
+			c.mu.Unlock()
+			return e, nil
+		}
+	}
+	if call, ok := c.loading[key]; ok {
+		c.mu.Unlock()
+		<-call.done
+		return call.entry, call.err
+	}
+	call := &loadCall{done: make(chan struct{})}
+	c.loading[key] = call
+	c.misses++
+	c.mu.Unlock()
+
+	call.entry, call.err = buildEntry(scenario, seed, key)
+
+	c.mu.Lock()
+	delete(c.loading, key)
+	if call.err == nil {
+		c.insert(call.entry)
+	}
+	c.mu.Unlock()
+	close(call.done)
+	return call.entry, call.err
+}
+
+// insert adds a built entry and evicts past capacity. Caller holds mu.
+func (c *snapCache) insert(e *cacheEntry) {
+	if _, ok := c.entries[e.Fingerprint]; ok {
+		// Two scenario keys can reach one state; keep the existing entry.
+		c.byScenario[e.scenarioKey] = e.Fingerprint
+		c.touch(e.Fingerprint)
+		return
+	}
+	c.entries[e.Fingerprint] = e
+	c.byScenario[e.scenarioKey] = e.Fingerprint
+	c.order = append(c.order, e.Fingerprint)
+	for len(c.order) > c.max {
+		victim := c.order[0]
+		c.order = c.order[1:]
+		if v, ok := c.entries[victim]; ok {
+			delete(c.entries, victim)
+			delete(c.byScenario, v.scenarioKey)
+			c.evictions++
+		}
+	}
+}
+
+// touch moves a fingerprint to the LRU tail. Caller holds mu.
+func (c *snapCache) touch(fp string) {
+	for i, f := range c.order {
+		if f == fp {
+			c.order = append(append(c.order[:i:i], c.order[i+1:]...), fp)
+			return
+		}
+	}
+}
+
+// stats snapshots the counters.
+func (c *snapCache) stats() (hits, misses, evictions int64, size int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.evictions, len(c.entries)
+}
+
+// buildEntry runs the scenario setup and captures the entry's identity.
+func buildEntry(scenario string, seed int64, key string) (*cacheEntry, error) {
+	snap, params, err := planner.ScenarioSetup(scenario, seed)
+	if err != nil {
+		return nil, err
+	}
+	fp, err := snap.Fingerprint()
+	if err != nil {
+		return nil, fmt.Errorf("fingerprint %s: %w", key, err)
+	}
+	// One restore to materialize the master topology; forks clone it.
+	n, err := snap.Restore()
+	if err != nil {
+		return nil, fmt.Errorf("restore %s: %w", key, err)
+	}
+	return &cacheEntry{
+		Fingerprint: fp,
+		Snap:        snap,
+		Params:      params,
+		tp:          n.Topo,
+		scenarioKey: key,
+	}, nil
+}
+
+// respMemo is the (fingerprint, request) → response-bytes memo, an LRU.
+// Memoization is transparent by construction: a stored body is the
+// byte-identical output of the deterministic computation it skips.
+type respMemo struct {
+	mu     sync.Mutex
+	bodies map[string][]byte
+	order  []string
+	max    int
+	hits   int64
+	misses int64
+}
+
+func newRespMemo(max int) *respMemo {
+	return &respMemo{bodies: make(map[string][]byte), max: max}
+}
+
+func (m *respMemo) get(key string) ([]byte, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	body, ok := m.bodies[key]
+	if ok {
+		m.hits++
+	} else {
+		m.misses++
+	}
+	return body, ok
+}
+
+func (m *respMemo) put(key string, body []byte) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.bodies[key]; ok {
+		return
+	}
+	m.bodies[key] = body
+	m.order = append(m.order, key)
+	for len(m.order) > m.max {
+		victim := m.order[0]
+		m.order = m.order[1:]
+		delete(m.bodies, victim)
+	}
+}
+
+func (m *respMemo) stats() (hits, misses int64, size int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.hits, m.misses, len(m.bodies)
+}

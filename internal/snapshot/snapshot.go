@@ -18,6 +18,8 @@
 package snapshot
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"os"
 
@@ -27,6 +29,17 @@ import (
 
 // Snapshot is one captured fabric state plus free-form metadata (the chaos
 // harness stores replay parameters there; operators can stash provenance).
+//
+// Concurrency contract: the captured state is immutable. Once built by
+// Capture, Decode, or Load, a Snapshot is safe for concurrent use by any
+// number of goroutines — Restore, RestoreWith, Fork, Encode,
+// EncodeCanonical, Fingerprint, and Now never write to the state, and
+// fabric.NewFromState deep-copies everything it adopts, so forks taken
+// concurrently from one shared snapshot are fully independent networks.
+// The one mutable field is Meta: callers that modify it while other
+// goroutines encode the same snapshot must synchronize, or use
+// EncodeCanonical, which never reads Meta. TestConcurrentFork holds this
+// contract under the race detector.
 type Snapshot struct {
 	Meta map[string]string
 
@@ -105,6 +118,31 @@ func (s *Snapshot) Encode() ([]byte, error) {
 		return nil, fmt.Errorf("snapshot: empty snapshot")
 	}
 	return encodeState(s.state, s.Meta), nil
+}
+
+// EncodeCanonical renders the captured state alone, with no metadata
+// section: a pure state identity. Two snapshots of byte-identical fabric
+// states encode canonically to equal bytes regardless of what their Meta
+// maps hold, which is what makes the encoding usable as a memoization and
+// cache key. Unlike Encode with a cleared Meta, it never touches the Meta
+// field, so it is safe to call concurrently with everything else.
+func (s *Snapshot) EncodeCanonical() ([]byte, error) {
+	if s.state == nil {
+		return nil, fmt.Errorf("snapshot: empty snapshot")
+	}
+	return encodeState(s.state, nil), nil
+}
+
+// Fingerprint hashes the canonical encoding: a compact state identity for
+// cache keys and response memoization (the campaign planner and the
+// centraliumd snapshot cache both key by it).
+func (s *Snapshot) Fingerprint() (string, error) {
+	data, err := s.EncodeCanonical()
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:]), nil
 }
 
 // Decode parses bytes produced by Encode. Corrupt or truncated input
