@@ -6,6 +6,13 @@
 // Usage:
 //
 //	centraliumd [-addr :8080] [-workers 4] [-queue 64] [-timeout 30s]
+//	centraliumd -data-dir /var/lib/centralium [-fsync always]
+//
+// With -data-dir the daemon is durable: plan search progress journals to
+// a write-ahead log after every completed level, memoized responses and
+// base snapshots persist alongside it, and a restarted daemon recovers
+// everything on boot — an in-flight POST /v1/plan resumes by plan ID
+// from its last journaled level with byte-identical results.
 //
 // SIGINT/SIGTERM drains: in-flight requests finish, new ones get 503,
 // then the listener closes.
@@ -23,35 +30,118 @@ import (
 	"time"
 
 	"centralium/internal/server"
+	"centralium/internal/store"
 )
 
-func main() {
-	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		workers = flag.Int("workers", 4, "worker pool width (concurrent evaluations)")
-		queue   = flag.Int("queue", 64, "admission queue depth beyond the pool (then 429)")
-		cache   = flag.Int("cache", 8, "warm snapshot cache size (scenario bases)")
-		memo    = flag.Int("memo", 256, "response memo size (bodies)")
-		timeout = flag.Duration("timeout", 30*time.Second, "default per-request deadline")
-		drainT  = flag.Duration("drain-timeout", 60*time.Second, "max wait for in-flight work on shutdown")
-	)
-	flag.Parse()
+// options is one parsed command line.
+type options struct {
+	addr    string
+	workers int
+	queue   int
+	cache   int
+	memo    int
+	timeout time.Duration
+	drainT  time.Duration
+	dataDir string
+	fsync   string
+	compact int
+}
 
-	srv := server.New(server.Config{
-		Workers:        *workers,
-		QueueDepth:     *queue,
-		CacheSize:      *cache,
-		MemoSize:       *memo,
-		DefaultTimeout: *timeout,
-	})
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+// parseFlags parses args (without the program name) into options.
+func parseFlags(args []string) (*options, error) {
+	fs := flag.NewFlagSet("centraliumd", flag.ContinueOnError)
+	o := &options{}
+	fs.StringVar(&o.addr, "addr", ":8080", "listen address")
+	fs.IntVar(&o.workers, "workers", 4, "worker pool width (concurrent evaluations)")
+	fs.IntVar(&o.queue, "queue", 64, "admission queue depth beyond the pool (then 429)")
+	fs.IntVar(&o.cache, "cache", 8, "warm snapshot cache size (scenario bases)")
+	fs.IntVar(&o.memo, "memo", 256, "response memo size (bodies)")
+	fs.DurationVar(&o.timeout, "timeout", 30*time.Second, "default per-request deadline")
+	fs.DurationVar(&o.drainT, "drain-timeout", 60*time.Second, "max wait for in-flight work on shutdown")
+	fs.StringVar(&o.dataDir, "data-dir", "", "durable state directory (WAL + snapshot store); empty serves in-memory only")
+	fs.StringVar(&o.fsync, "fsync", "always", "WAL fsync policy with -data-dir: always, interval, or never")
+	fs.IntVar(&o.compact, "compact-segments", 8, "compact the WAL once it exceeds this many segments")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if fs.NArg() > 0 {
+		return nil, fmt.Errorf("unexpected argument %q", fs.Arg(0))
+	}
+	if _, err := o.syncPolicy(); err != nil {
+		return nil, err
+	}
+	return o, nil
+}
+
+// syncPolicy maps the -fsync flag onto the store's policy.
+func (o *options) syncPolicy() (store.SyncPolicy, error) {
+	switch o.fsync {
+	case "always":
+		return store.SyncAlways, nil
+	case "interval":
+		return store.SyncInterval, nil
+	case "never":
+		return store.SyncNever, nil
+	}
+	return 0, fmt.Errorf("unknown -fsync policy %q (always, interval, never)", o.fsync)
+}
+
+// build opens the durable store (when configured), recovers, and
+// returns the serving daemon plus the store to close on shutdown (nil
+// without -data-dir).
+func build(o *options) (*server.Server, *store.Store, error) {
+	cfg := server.Config{
+		Workers:         o.workers,
+		QueueDepth:      o.queue,
+		CacheSize:       o.cache,
+		MemoSize:        o.memo,
+		DefaultTimeout:  o.timeout,
+		CompactSegments: o.compact,
+	}
+	var st *store.Store
+	if o.dataDir != "" {
+		sync, err := o.syncPolicy()
+		if err != nil {
+			return nil, nil, err
+		}
+		st, err = store.Open(o.dataDir, store.Options{Sync: sync})
+		if err != nil {
+			return nil, nil, fmt.Errorf("open data dir: %w", err)
+		}
+		cfg.Store = st
+	}
+	srv, err := server.Open(cfg)
+	if err != nil {
+		if st != nil {
+			st.Close()
+		}
+		return nil, nil, err
+	}
+	return srv, st, nil
+}
+
+func main() {
+	o, err := parseFlags(os.Args[1:])
+	if err != nil {
+		os.Exit(2)
+	}
+	srv, st, err := build(o)
+	if err != nil {
+		log.Fatalf("centraliumd: %v", err)
+	}
+	if st != nil {
+		bases, plans, memos, truncated := srv.Recovered()
+		log.Printf("centraliumd recovered from %s: %d bases, %d plans, %d memos (%d corrupt tail bytes truncated)",
+			o.dataDir, bases, plans, memos, truncated)
+	}
+	httpSrv := &http.Server{Addr: o.addr, Handler: srv.Handler()}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
-	log.Printf("centraliumd listening on %s (workers=%d queue=%d)", *addr, *workers, *queue)
+	log.Printf("centraliumd listening on %s (workers=%d queue=%d)", o.addr, o.workers, o.queue)
 
 	select {
 	case err := <-errCh:
@@ -59,14 +149,19 @@ func main() {
 	case <-ctx.Done():
 	}
 
-	log.Printf("centraliumd draining (up to %v)...", *drainT)
-	drainCtx, cancel := context.WithTimeout(context.Background(), *drainT)
+	log.Printf("centraliumd draining (up to %v)...", o.drainT)
+	drainCtx, cancel := context.WithTimeout(context.Background(), o.drainT)
 	defer cancel()
 	if err := srv.Drain(drainCtx); err != nil {
 		fmt.Fprintf(os.Stderr, "centraliumd: drain: %v\n", err)
 	}
 	if err := httpSrv.Shutdown(drainCtx); err != nil {
 		fmt.Fprintf(os.Stderr, "centraliumd: shutdown: %v\n", err)
+	}
+	if st != nil {
+		if err := st.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "centraliumd: close store: %v\n", err)
+		}
 	}
 	log.Printf("centraliumd stopped")
 }

@@ -29,7 +29,11 @@ import (
 
 	"centralium/internal/planner"
 	"centralium/internal/snapshot"
+	"centralium/internal/store"
 )
+
+// journalRecType tags planctl's search-progress records in the WAL.
+const journalRecType = 1
 
 func main() {
 	if len(os.Args) < 2 {
@@ -58,10 +62,11 @@ func main() {
 		sched    = fs.String("schedule", "", "schedule text to evaluate (score/explain)")
 		ckpt     = fs.String("checkpoint", "", "write a resumable search checkpoint here after every level")
 		resume   = fs.String("resume", "", "resume the search from this checkpoint file")
+		dataDir  = fs.String("data-dir", "", "durable store directory: journal search progress to its WAL and auto-resume an interrupted plan")
 	)
 	fs.Parse(os.Args[2:])
 
-	if err := run(mode, *scenario, *snapPath, *sched, *ckpt, *resume, planner.Params{
+	if err := run(mode, *scenario, *snapPath, *sched, *ckpt, *resume, *dataDir, planner.Params{
 		Seed:        *seed,
 		Beam:        *beam,
 		RandomCands: *random,
@@ -83,7 +88,7 @@ func usage() {
 
 // run dispatches one planctl invocation. overrides carries the
 // search-shape flags; the scenario supplies intent, workload, and drains.
-func run(mode, scenario, snapPath, schedText, ckpt, resume string, overrides planner.Params) error {
+func run(mode, scenario, snapPath, schedText, ckpt, resume, dataDir string, overrides planner.Params) error {
 	snap, p, err := planner.ScenarioSetup(scenario, overrides.Seed)
 	if err != nil {
 		return err
@@ -107,7 +112,8 @@ func run(mode, scenario, snapPath, schedText, ckpt, resume string, overrides pla
 
 	switch mode {
 	case "plan":
-		return plan(snap, p, ckpt, resume)
+		key := fmt.Sprintf("plan-%s-seed%d", scenario, overrides.Seed)
+		return plan(snap, p, ckpt, resume, dataDir, key)
 	case "score", "explain":
 		if schedText == "" {
 			return fmt.Errorf("%s needs -schedule", mode)
@@ -133,7 +139,33 @@ func run(mode, scenario, snapPath, schedText, ckpt, resume string, overrides pla
 
 // plan runs (or resumes) the beam search, checkpointing between levels
 // when asked, and prints the winner against the bottom-up baseline.
-func plan(snap *snapshot.Snapshot, p planner.Params, ckpt, resume string) error {
+// With -data-dir every level is journaled to the store's WAL under the
+// scenario/seed key, and an interrupted run resumes from the journal's
+// latest checkpoint automatically on the next invocation.
+func plan(snap *snapshot.Snapshot, p planner.Params, ckpt, resume, dataDir, key string) error {
+	var journal planner.Journal
+	if dataDir != "" {
+		st, err := store.Open(dataDir, store.Options{})
+		if err != nil {
+			return err
+		}
+		defer st.Close()
+		j := st.Journal(journalRecType, key)
+		journal = j
+		if resume == "" {
+			if cp, ok, err := j.Latest(); err != nil {
+				return err
+			} else if ok {
+				s, rerr := planner.ResumeSearch(cp)
+				if rerr != nil {
+					return rerr
+				}
+				fmt.Printf("resuming %s from journaled level %d\n", key, s.Level())
+				return finishPlan(s, journal, ckpt)
+			}
+		}
+	}
+
 	var (
 		s   *planner.Search
 		err error
@@ -149,8 +181,22 @@ func plan(snap *snapshot.Snapshot, p planner.Params, ckpt, resume string) error 
 	} else if s, err = planner.NewSearch(snap, p); err != nil {
 		return err
 	}
-	for {
-		done, err := s.Step()
+	return finishPlan(s, journal, ckpt)
+}
+
+// finishPlan drives the search to completion under the optional journal
+// and file checkpoint, then prints the report.
+func finishPlan(s *planner.Search, journal planner.Journal, ckpt string) error {
+	for !s.IsDone() {
+		var (
+			done bool
+			err  error
+		)
+		if journal != nil {
+			done, err = s.StepJournaled(journal)
+		} else {
+			done, err = s.Step()
+		}
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,263 @@
+package experiments
+
+// The durable state plane benchmark: WAL append throughput under each
+// fsync policy, recovery (replay) time as a function of log length, and
+// the serving payoff — plan latency on a warm restart (the daemon
+// recovers the finished search from its data dir and answers from
+// durable state) versus a cold daemon that runs the whole search. The
+// recovery conformance suite in internal/store and internal/server pins
+// the recovered bytes identical to the uninterrupted run, so like the
+// other serving tables this one only measures wall-clock.
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"time"
+
+	"centralium/internal/server"
+	"centralium/internal/store"
+)
+
+func init() {
+	register("store", "durable state plane: WAL append throughput, recovery time vs log length, warm-restart plan latency", func(seed int64) (string, error) {
+		return StoreBench(seed), nil
+	})
+	registerRows("store", func(seed int64) []Row {
+		return StoreBenchRows(seed)
+	})
+}
+
+// storeAppendPayload sizes each benchmark record (a typical plan
+// checkpoint is a few hundred bytes of JSON).
+const storeAppendPayload = 256
+
+// storeAppendCounts sizes the append batch per fsync policy: SyncAlways
+// pays one fsync per record, so it gets a smaller batch than the
+// batched and unsynced policies.
+func storeAppendCounts() []appendArm {
+	return []appendArm{
+		{"always", store.SyncAlways, 256},
+		{"interval", store.SyncInterval, 2048},
+		{"never", store.SyncNever, 8192},
+	}
+}
+
+// storeRecoverCounts are the log lengths the recovery sweep replays.
+func storeRecoverCounts() []int { return []int{512, 2048, 8192} }
+
+type appendArm struct {
+	name    string
+	policy  store.SyncPolicy
+	records int
+}
+
+// StoreStats is one seed's full measurement set.
+type StoreStats struct {
+	Appends  []AppendStat
+	Recovers []RecoverStat
+	// ColdPlan runs the full fig10 beam search on a fresh in-memory
+	// daemon; WarmPlan asks a restarted durable daemon for the same plan,
+	// which it recovers from its data dir instead of recomputing.
+	ColdPlan time.Duration
+	WarmPlan time.Duration
+}
+
+// AppendStat is WAL append throughput under one fsync policy.
+type AppendStat struct {
+	Policy  string
+	Records int
+	Wall    time.Duration
+}
+
+// RecoverStat is one replay of a log with Records records.
+type RecoverStat struct {
+	Records int
+	Wall    time.Duration
+}
+
+// storeBenchCache measures each seed once for both renderers.
+var storeBenchCache = map[int64]StoreStats{}
+
+func cachedStoreBench(seed int64) StoreStats {
+	if s, ok := storeBenchCache[seed]; ok {
+		return s
+	}
+	s := RunStoreBench(seed)
+	storeBenchCache[seed] = s
+	return s
+}
+
+// RunStoreBench measures appends, recovery, and plan serving for one seed.
+func RunStoreBench(seed int64) StoreStats {
+	var st StoreStats
+	payload := make([]byte, storeAppendPayload)
+	for i := range payload {
+		payload[i] = byte(seed) + byte(i)
+	}
+
+	for _, arm := range storeAppendCounts() {
+		dir := benchDir("append")
+		l, err := store.OpenLog(dir, store.Options{Sync: arm.policy})
+		if err != nil {
+			panic(fmt.Sprintf("store bench: open log: %v", err))
+		}
+		start := time.Now()
+		for i := 0; i < arm.records; i++ {
+			if _, err := l.Append(1, payload); err != nil {
+				panic(fmt.Sprintf("store bench: append: %v", err))
+			}
+		}
+		if err := l.Sync(); err != nil {
+			panic(fmt.Sprintf("store bench: sync: %v", err))
+		}
+		wall := time.Since(start)
+		l.Close()
+		os.RemoveAll(dir)
+		st.Appends = append(st.Appends, AppendStat{Policy: arm.name, Records: arm.records, Wall: wall})
+	}
+
+	for _, n := range storeRecoverCounts() {
+		dir := benchDir("recover")
+		l, err := store.OpenLog(dir, store.Options{Sync: store.SyncNever})
+		if err != nil {
+			panic(fmt.Sprintf("store bench: open log: %v", err))
+		}
+		for i := 0; i < n; i++ {
+			if _, err := l.Append(1, payload); err != nil {
+				panic(fmt.Sprintf("store bench: append: %v", err))
+			}
+		}
+		l.Close()
+
+		start := time.Now()
+		l, err = store.OpenLog(dir, store.Options{})
+		if err != nil {
+			panic(fmt.Sprintf("store bench: reopen: %v", err))
+		}
+		replayed := 0
+		if err := l.Replay(func(store.Record) error { replayed++; return nil }); err != nil {
+			panic(fmt.Sprintf("store bench: replay: %v", err))
+		}
+		wall := time.Since(start)
+		if replayed != n {
+			panic(fmt.Sprintf("store bench: replayed %d of %d records", replayed, n))
+		}
+		l.Close()
+		os.RemoveAll(dir)
+		st.Recovers = append(st.Recovers, RecoverStat{Records: n, Wall: wall})
+	}
+
+	st.ColdPlan, st.WarmPlan = runPlanRestartBench(seed)
+	return st
+}
+
+// runPlanRestartBench times the full fig10 search on a cold daemon,
+// then restarts a durable daemon that already finished the same search
+// and times the recovered answer.
+func runPlanRestartBench(seed int64) (cold, warm time.Duration) {
+	req := &server.PlanRequest{Scenario: "fig10", Seed: seed, Beam: 2, RandomCands: -1}
+	ctx := context.Background()
+
+	plan := func(srv *server.Server) time.Duration {
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+		client := &server.Client{BaseURL: ts.URL, HTTPClient: ts.Client()}
+		start := time.Now()
+		resp, err := client.Plan(ctx, req)
+		if err != nil {
+			panic(fmt.Sprintf("store bench: plan: %v", err))
+		}
+		if !resp.Done {
+			panic("store bench: unbounded plan request did not finish")
+		}
+		return time.Since(start)
+	}
+
+	cold = plan(server.New(server.Config{Workers: 1}))
+
+	dir := benchDir("warm")
+	defer os.RemoveAll(dir)
+	open := func() (*server.Server, *store.Store) {
+		st, err := store.Open(dir, store.Options{})
+		if err != nil {
+			panic(fmt.Sprintf("store bench: open store: %v", err))
+		}
+		srv, err := server.Open(server.Config{Workers: 1, Store: st})
+		if err != nil {
+			panic(fmt.Sprintf("store bench: open server: %v", err))
+		}
+		return srv, st
+	}
+	srv, st := open()
+	plan(srv) // populate the data dir with the finished search
+	if err := st.Close(); err != nil {
+		panic(fmt.Sprintf("store bench: close store: %v", err))
+	}
+	srv, st = open() // the restart recovers the final plan
+	defer st.Close()
+	warm = plan(srv)
+	return cold, warm
+}
+
+func benchDir(tag string) string {
+	dir, err := os.MkdirTemp("", "centralium-store-bench-"+tag+"-")
+	if err != nil {
+		panic(fmt.Sprintf("store bench: temp dir: %v", err))
+	}
+	return dir
+}
+
+// StoreBench formats the durability table.
+func StoreBench(seed int64) string {
+	s := cachedStoreBench(seed)
+	var b strings.Builder
+	fmt.Fprintf(&b, "payload=%dB records (WAL appends); plan=fig10 seed=%d beam=2\n\n", storeAppendPayload, seed)
+	fmt.Fprintf(&b, "%-18s %10s %12s %14s\n", "append fsync", "records", "wall", "rec/s")
+	for _, a := range s.Appends {
+		fmt.Fprintf(&b, "%-18s %10d %12v %14.0f\n",
+			a.Policy, a.Records, a.Wall.Round(time.Millisecond),
+			float64(a.Records)/a.Wall.Seconds())
+	}
+	fmt.Fprintf(&b, "\n%-18s %10s %12s\n", "recovery replay", "records", "wall")
+	for _, r := range s.Recovers {
+		fmt.Fprintf(&b, "%-18s %10d %12v\n", "", r.Records, r.Wall.Round(time.Microsecond))
+	}
+	fmt.Fprintf(&b, "\n%-18s %12s\n", "plan latency", "wall")
+	fmt.Fprintf(&b, "%-18s %12v\n", "cold (full search)", s.ColdPlan.Round(time.Millisecond))
+	fmt.Fprintf(&b, "%-18s %12v\n", "warm restart", s.WarmPlan.Round(time.Millisecond))
+	b.WriteString("\nrecovered responses are byte-identical to the uninterrupted run\n(internal/server crash-recovery conformance suite); see\nresults/BENCH_store.json for the committed snapshot.\n")
+	return b.String()
+}
+
+// StoreBenchRows is the machine-readable form of StoreBench.
+func StoreBenchRows(seed int64) []Row {
+	s := cachedStoreBench(seed)
+	rows := make([]Row, 0, len(s.Appends)+len(s.Recovers)+2)
+	for _, a := range s.Appends {
+		rows = append(rows, Row{
+			Label: "append/fsync=" + a.Policy,
+			Values: map[string]float64{
+				"records": float64(a.Records),
+				"wall_ms": float64(a.Wall) / 1e6,
+				"rec_s":   float64(a.Records) / a.Wall.Seconds(),
+			},
+		})
+	}
+	for _, r := range s.Recovers {
+		rows = append(rows, Row{
+			Label: fmt.Sprintf("recover/records=%d", r.Records),
+			Values: map[string]float64{
+				"records": float64(r.Records),
+				"wall_ms": float64(r.Wall) / 1e6,
+			},
+		})
+	}
+	rows = append(rows,
+		Row{Label: "plan/cold", Values: map[string]float64{"wall_ms": float64(s.ColdPlan) / 1e6}},
+		Row{Label: "plan/warm-restart", Values: map[string]float64{"wall_ms": float64(s.WarmPlan) / 1e6}},
+	)
+	return rows
+}

@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// The store experiment smoke: one real measurement (cached across the
+// text and row renderers), checked for shape rather than timing — the
+// byte-identity claims it advertises live in the internal/store and
+// internal/server conformance suites.
+
+func TestStoreBenchShape(t *testing.T) {
+	out := StoreBench(1)
+	for _, want := range []string{
+		"append fsync", "always", "interval", "never",
+		"recovery replay", "cold (full search)", "warm restart",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("StoreBench output missing %q:\n%s", want, out)
+		}
+	}
+
+	rows := StoreBenchRows(1)
+	wantLabels := len(storeAppendCounts()) + len(storeRecoverCounts()) + 2
+	if len(rows) != wantLabels {
+		t.Fatalf("got %d rows, want %d", len(rows), wantLabels)
+	}
+	byLabel := map[string]map[string]float64{}
+	for _, r := range rows {
+		byLabel[r.Label] = r.Values
+	}
+	for _, arm := range storeAppendCounts() {
+		v, ok := byLabel["append/fsync="+arm.name]
+		if !ok {
+			t.Fatalf("no append row for policy %s", arm.name)
+		}
+		if v["records"] != float64(arm.records) || v["rec_s"] <= 0 {
+			t.Errorf("append/%s values implausible: %v", arm.name, v)
+		}
+	}
+	for _, n := range storeRecoverCounts() {
+		v, ok := byLabel[fmt.Sprintf("recover/records=%d", n)]
+		if !ok {
+			t.Fatalf("no recovery row for %d records", n)
+		}
+		if v["wall_ms"] <= 0 {
+			t.Errorf("recover/%d wall not positive: %v", n, v)
+		}
+	}
+	cold, warm := byLabel["plan/cold"], byLabel["plan/warm-restart"]
+	if cold["wall_ms"] <= 0 || warm["wall_ms"] <= 0 {
+		t.Fatalf("plan rows implausible: cold %v, warm %v", cold, warm)
+	}
+	// The whole point of the durable plane: a restarted daemon answers
+	// from recovered state instead of re-running the search.
+	if warm["wall_ms"] >= cold["wall_ms"] {
+		t.Errorf("warm restart (%.2fms) not faster than the cold search (%.2fms)",
+			warm["wall_ms"], cold["wall_ms"])
+	}
+}

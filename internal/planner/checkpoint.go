@@ -2,18 +2,22 @@ package planner
 
 // Mid-search checkpointing. A Checkpoint freezes the beam between levels
 // — the schedule prefixes, their scores, and the encoded fabric states
-// they reach — together with the search parameters and the completed
-// candidates. Resuming from a checkpoint and finishing the search yields
-// the byte-identical winning schedule the uninterrupted run produces:
-// candidate generation depends only on (seed, level, node index), and
-// state fingerprints are recomputed from the serialized snapshots. The
-// memo cache is intentionally not serialized; it is an accelerator, not
-// state, and rebuilding it changes wall-clock only.
+// they reach — together with the search parameters, the completed
+// candidates, and the expansion memo. Resuming from a checkpoint makes
+// the search observably indistinguishable from the uninterrupted run:
+// not just the byte-identical winning schedule (candidate generation
+// depends only on (seed, level, node index), and state fingerprints are
+// recomputed from the serialized snapshots) but identical work counters
+// too — the memo rides along precisely so a resumed search memo-hits
+// where the uninterrupted one would have, keeping Stats deterministic
+// across any kill/resume pacing. That is what lets centraliumd's
+// crash-recovery conformance demand byte-identical final responses.
 
 import (
 	"encoding/base64"
 	"encoding/json"
 	"fmt"
+	"sort"
 )
 
 // checkpointVersion guards the serialized layout.
@@ -33,6 +37,15 @@ type candidateCheckpoint struct {
 	Score    Score  `json:"score"`
 }
 
+// memoCheckpoint is one serialized expansion-memo entry.
+type memoCheckpoint struct {
+	Key string      `json:"key"`
+	Out StepOutcome `json:"out"`
+	// Child is the base64 of the expansion's resulting state (empty for
+	// migration-body entries, which cache only the outcome).
+	Child string `json:"child,omitempty"`
+}
+
 // Checkpoint is a serializable between-levels search state.
 type Checkpoint struct {
 	Version   int                   `json:"version"`
@@ -42,6 +55,7 @@ type Checkpoint struct {
 	Base      string                `json:"base"`
 	Beam      []nodeCheckpoint      `json:"beam"`
 	Completed []candidateCheckpoint `json:"completed"`
+	Memo      []memoCheckpoint      `json:"memo,omitempty"`
 	Stats     Stats                 `json:"stats"`
 }
 
@@ -68,6 +82,25 @@ func (s *Search) Checkpoint() ([]byte, error) {
 			Score:    c.Score,
 		})
 	}
+	// The memo serializes sorted by key so checkpoint bytes are a pure
+	// function of search state. Step never runs concurrently with
+	// Checkpoint (both are between-levels operations), but the lock
+	// keeps the read honest anyway.
+	s.mu.Lock()
+	keys := make([]string, 0, len(s.memo))
+	for k := range s.memo {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		me := s.memo[k]
+		mc := memoCheckpoint{Key: k, Out: me.out}
+		if me.child != nil {
+			mc.Child = base64.StdEncoding.EncodeToString(me.child)
+		}
+		cp.Memo = append(cp.Memo, mc)
+	}
+	s.mu.Unlock()
 	return json.MarshalIndent(cp, "", "  ")
 }
 
@@ -111,6 +144,18 @@ func ResumeSearch(data []byte) (*Search, error) {
 			return nil, fmt.Errorf("planner: checkpoint candidate: %w", err)
 		}
 		s.completed = append(s.completed, Candidate{Schedule: sched, Score: cc.Score})
+	}
+	for _, mc := range cp.Memo {
+		me := memoEntry{out: mc.Out}
+		if mc.Child != "" {
+			child, err := base64.StdEncoding.DecodeString(mc.Child)
+			if err != nil {
+				return nil, fmt.Errorf("planner: checkpoint memo state: %w", err)
+			}
+			me.child = child
+			me.fp = fingerprint(child)
+		}
+		s.memo[mc.Key] = me
 	}
 	return s, nil
 }

@@ -1,0 +1,67 @@
+package planner
+
+// Journaled search progress. StepJournaled is Step plus a durable
+// checkpoint of the between-levels state through a caller-supplied
+// Journal — the interface internal/store's WAL-backed journal satisfies
+// — so a search interrupted anywhere (deadline, crash, kill -9) resumes
+// from its last completed level instead of from scratch, and the resumed
+// run converges on the byte-identical winner (the Checkpoint/ResumeSearch
+// determinism, held per level instead of per explicit save).
+
+import "fmt"
+
+// Journal persists one search's between-level checkpoints. The latest
+// saved checkpoint wins on recovery. Implementations must not retain
+// the checkpoint slice past the call.
+type Journal interface {
+	// SaveProgress records the state after completing the given level.
+	// The checkpoint bytes are self-contained (ResumeSearch input); the
+	// level is advisory, for logging and metrics.
+	SaveProgress(level int, checkpoint []byte) error
+}
+
+// JournalFunc adapts a function to the Journal interface.
+type JournalFunc func(level int, checkpoint []byte) error
+
+// SaveProgress implements Journal.
+func (f JournalFunc) SaveProgress(level int, checkpoint []byte) error {
+	return f(level, checkpoint)
+}
+
+// StepJournaled advances the search one level and journals the
+// resulting state. The checkpoint is taken between levels — the only
+// point Checkpoint is valid — so a journal written by StepJournaled is
+// always resumable.
+func (s *Search) StepJournaled(j Journal) (done bool, err error) {
+	done, err = s.Step()
+	if err != nil {
+		return false, err
+	}
+	cp, err := s.Checkpoint()
+	if err != nil {
+		return false, fmt.Errorf("planner: journal checkpoint: %w", err)
+	}
+	if err := j.SaveProgress(s.level, cp); err != nil {
+		return false, fmt.Errorf("planner: journal save: %w", err)
+	}
+	return done, nil
+}
+
+// RunJournaled drives a search to completion under a journal and
+// returns its result. Resume an interrupted run by rebuilding the
+// search with ResumeSearch on the journal's latest checkpoint and
+// calling RunJournaled again.
+func RunJournaled(s *Search, j Journal) (*Result, error) {
+	for {
+		if s.IsDone() {
+			return s.Result()
+		}
+		done, err := s.StepJournaled(j)
+		if err != nil {
+			return nil, err
+		}
+		if done {
+			return s.Result()
+		}
+	}
+}

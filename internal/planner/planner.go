@@ -78,9 +78,11 @@ func (p *Params) setDefaults() {
 	if p.Beam <= 0 {
 		p.Beam = 4
 	}
-	if p.RandomCands < 0 {
-		p.RandomCands = 0
-	} else if p.RandomCands == 0 {
+	// Negative RandomCands means "none" and must stay negative: the
+	// normalized form round-trips through checkpoints and gets
+	// re-normalized on resume, so every default here must be a fixed
+	// point (0 -> 2 -> 2, -1 -> -1).
+	if p.RandomCands == 0 {
 		p.RandomCands = 2
 	}
 	if len(p.BatchSizes) == 0 {

@@ -13,6 +13,17 @@ import (
 	"net/url"
 	"strconv"
 	"strings"
+	"time"
+)
+
+// Retry policy for load-shed (429) responses. The daemon sheds with a
+// Retry-After header when its queue is full; the client honors it,
+// falling back to capped exponential backoff when the header is absent
+// or unparseable.
+const (
+	defaultMaxRetries429 = 4
+	retryBaseDelay       = 100 * time.Millisecond
+	retryMaxDelay        = 5 * time.Second
 )
 
 // Client talks to one centraliumd instance.
@@ -21,6 +32,13 @@ type Client struct {
 	BaseURL string
 	// HTTPClient defaults to http.DefaultClient.
 	HTTPClient *http.Client
+	// MaxRetries429 bounds retries of load-shed 429 responses
+	// (0: the default of 4; negative: never retry). Other statuses are
+	// never retried — the API is not idempotent-by-accident, 429 is the
+	// one status the daemon documents as "try again".
+	MaxRetries429 int
+	// sleep stubs time.Sleep in tests.
+	sleep func(time.Duration)
 }
 
 func (c *Client) httpClient() *http.Client {
@@ -40,46 +58,124 @@ func (e *APIError) Error() string {
 	return fmt.Sprintf("centraliumd: HTTP %d: %s", e.Status, e.Message)
 }
 
-// do runs one request and decodes the response into out.
+// retries429 resolves the configured 429 retry budget.
+func (c *Client) retries429() int {
+	if c.MaxRetries429 < 0 {
+		return 0
+	}
+	if c.MaxRetries429 == 0 {
+		return defaultMaxRetries429
+	}
+	return c.MaxRetries429
+}
+
+// retryDelay picks the wait before retry number attempt (0-based): the
+// server's Retry-After seconds when present and sane, else exponential
+// backoff from retryBaseDelay. Both are capped at retryMaxDelay.
+func retryDelay(attempt int, retryAfter string) time.Duration {
+	if secs, err := strconv.Atoi(strings.TrimSpace(retryAfter)); err == nil && secs >= 0 {
+		d := time.Duration(secs) * time.Second
+		if d > retryMaxDelay {
+			d = retryMaxDelay
+		}
+		return d
+	}
+	d := retryBaseDelay << attempt
+	if d > retryMaxDelay || d <= 0 {
+		d = retryMaxDelay
+	}
+	return d
+}
+
+// wait sleeps d or returns early with the context's error.
+func (c *Client) wait(ctx context.Context, d time.Duration) error {
+	if c.sleep != nil {
+		c.sleep(d)
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// do runs one request and decodes the response into out, retrying
+// load-shed 429 responses per the client's retry policy.
 func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
-	var rd io.Reader
+	var payload []byte
 	if body != nil {
 		data, err := json.Marshal(body)
 		if err != nil {
 			return fmt.Errorf("centraliumd: encode request: %w", err)
 		}
-		rd = bytes.NewReader(data)
+		payload = data
+	}
+	for attempt := 0; ; attempt++ {
+		retryAfter, err := c.doOnce(ctx, method, path, payload, out)
+		var apiErr *APIError
+		if err == nil ||
+			!asAPIErr(err, &apiErr) ||
+			apiErr.Status != http.StatusTooManyRequests ||
+			attempt >= c.retries429() {
+			return err
+		}
+		if werr := c.wait(ctx, retryDelay(attempt, retryAfter)); werr != nil {
+			return fmt.Errorf("centraliumd: %w", werr)
+		}
+	}
+}
+
+// asAPIErr reports whether err is (or wraps) an *APIError.
+func asAPIErr(err error, target **APIError) bool {
+	e, ok := err.(*APIError)
+	if ok {
+		*target = e
+	}
+	return ok
+}
+
+// doOnce runs a single request attempt. The Retry-After header (if any)
+// comes back with the error so the retry loop can honor it.
+func (c *Client) doOnce(ctx context.Context, method, path string, payload []byte, out any) (string, error) {
+	var rd io.Reader
+	if payload != nil {
+		rd = bytes.NewReader(payload)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, strings.TrimRight(c.BaseURL, "/")+path, rd)
 	if err != nil {
-		return fmt.Errorf("centraliumd: build request: %w", err)
+		return "", fmt.Errorf("centraliumd: build request: %w", err)
 	}
-	if body != nil {
+	if payload != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
-		return fmt.Errorf("centraliumd: %w", err)
+		return "", fmt.Errorf("centraliumd: %w", err)
 	}
 	defer resp.Body.Close()
 	data, err := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
 	if err != nil {
-		return fmt.Errorf("centraliumd: read response: %w", err)
+		return "", fmt.Errorf("centraliumd: read response: %w", err)
 	}
 	if resp.StatusCode/100 != 2 {
+		retryAfter := resp.Header.Get("Retry-After")
 		var apiErr ErrorResponse
 		if json.Unmarshal(data, &apiErr) == nil && apiErr.Error != "" {
-			return &APIError{Status: resp.StatusCode, Message: apiErr.Error}
+			return retryAfter, &APIError{Status: resp.StatusCode, Message: apiErr.Error}
 		}
-		return &APIError{Status: resp.StatusCode, Message: strings.TrimSpace(string(data))}
+		return retryAfter, &APIError{Status: resp.StatusCode, Message: strings.TrimSpace(string(data))}
 	}
 	if out == nil {
-		return nil
+		return "", nil
 	}
 	if err := json.Unmarshal(data, out); err != nil {
-		return fmt.Errorf("centraliumd: decode response: %w", err)
+		return "", fmt.Errorf("centraliumd: decode response: %w", err)
 	}
-	return nil
+	return "", nil
 }
 
 // WhatIf qualifies a schedule on a fork of the scenario base.

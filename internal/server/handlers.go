@@ -66,7 +66,11 @@ func (s *Server) whatif(ctx context.Context, ar *apiRequest) result {
 	}
 	res := s.runWhatIf(req, entry)
 	if res.status == http.StatusOK && !req.NoMemo {
-		s.memo.put(key, res.body)
+		if s.memo.put(key, res.body) && s.persist != nil {
+			if err := s.persist.saveMemo(key, res.body); err != nil {
+				s.persist.noteError()
+			}
+		}
 	}
 	return res
 }
@@ -266,6 +270,18 @@ func (s *Server) plan(ctx context.Context, ar *apiRequest) result {
 		}
 	}
 
+	// With a store, every completed level journals durably before the
+	// next one starts: a crash mid-request loses at most the level in
+	// flight, and a restarted daemon resumes this plan ID from the last
+	// journaled checkpoint. pe.mu is held, so the assignment is safe.
+	step := search.Step
+	if s.persist != nil {
+		journal := planner.JournalFunc(func(level int, cp []byte) error {
+			pe.checkpoint = cp
+			return s.persist.savePlanCheckpoint(id, cp)
+		})
+		step = func() (bool, error) { return search.StepJournaled(journal) }
+	}
 	done := search.IsDone()
 	for levels := 0; !done; levels++ {
 		if req.MaxLevels > 0 && levels >= req.MaxLevels {
@@ -276,7 +292,7 @@ func (s *Server) plan(ctx context.Context, ar *apiRequest) result {
 			// resumes from here. The client already has its 504.
 			break
 		}
-		done, err = search.Step()
+		done, err = step()
 		if err != nil {
 			return errorResult(http.StatusInternalServerError, "plan %s: %v", id, err)
 		}
@@ -309,6 +325,11 @@ func (s *Server) plan(ctx context.Context, ar *apiRequest) result {
 		resp.FromBaseline = res.FromBaseline
 		body := encodeBody(resp)
 		pe.final = body
+		if s.persist != nil {
+			if err := s.persist.savePlanFinal(id, body); err != nil {
+				s.persist.noteError()
+			}
+		}
 		return result{status: http.StatusOK, body: body}
 	}
 	return jsonResult(http.StatusOK, resp)
@@ -382,6 +403,12 @@ func (s *Server) metricsHandler(ctx context.Context, ar *apiRequest) result {
 	snap.SnapshotCacheHits, snap.SnapshotCacheMisses, snap.SnapshotCacheEvictions, snap.SnapshotCacheSize = s.cache.stats()
 	snap.MemoHits, snap.MemoMisses, snap.MemoSize = s.memo.stats()
 	snap.EventSubscribers, snap.EventsSent, snap.EventsDropped = s.events.stats()
+	if s.persist != nil {
+		snap.StoreEnabled = true
+		snap.StoreAppends, snap.StoreCompactions, snap.StoreErrors, snap.StoreSegments = s.persist.stats()
+		snap.RecoveredBases, snap.RecoveredPlans, snap.RecoveredMemos, snap.RecoveredTruncatedBytes =
+			s.recovered.Bases, s.recovered.Plans, s.recovered.Memos, s.recovered.TruncatedBytes
+	}
 	return jsonResult(http.StatusOK, snap)
 }
 

@@ -106,6 +106,19 @@ type MetricsSnapshot struct {
 	EventsSent       int64 `json:"events_sent"`
 	EventsDropped    int64 `json:"events_dropped"`
 
+	// Durability counters (zero when the daemon runs without a store).
+	StoreEnabled     bool  `json:"store_enabled"`
+	StoreAppends     int64 `json:"store_appends"`
+	StoreCompactions int64 `json:"store_compactions"`
+	StoreErrors      int64 `json:"store_errors"`
+	StoreSegments    int   `json:"store_segments"`
+	// Recovered* report what boot-time recovery rebuilt; truncated bytes
+	// count the corrupt WAL tail recovery discarded.
+	RecoveredBases          int `json:"recovered_bases"`
+	RecoveredPlans          int `json:"recovered_plans"`
+	RecoveredMemos          int `json:"recovered_memos"`
+	RecoveredTruncatedBytes int `json:"recovered_truncated_bytes"`
+
 	Draining bool `json:"draining"`
 }
 

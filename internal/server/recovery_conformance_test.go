@@ -1,0 +1,420 @@
+package server
+
+// The crash-recovery conformance suite: kill a durable daemon at every
+// WAL record boundary of a real serving history — and inside records,
+// via injected torn writes and bit flips — recover a fresh daemon on the
+// surviving bytes, and require the byte-identical final plan and what-if
+// responses the uninterrupted run produced. Corrupt tails must be
+// detected and truncated, never panicked on or silently replayed; a
+// restarted daemon must resume an in-flight plan by plan ID from its
+// last journaled level, not start over.
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"centralium/internal/store"
+)
+
+const (
+	recPlanBody   = `{"scenario":"fig10","seed":1,"beam":2,"random_cands":-1}`
+	recStepBody   = `{"scenario":"fig10","seed":1,"beam":2,"random_cands":-1,"max_levels":1}`
+	recWhatIfBody = `{"scenario":"fig10","seed":1}`
+)
+
+// durableServer opens a store-backed daemon on dir. The store closes at
+// test cleanup (after the httptest server, so in-flight handlers finish
+// first).
+func durableServer(t *testing.T, dir string) (*Server, *httptest.Server) {
+	t.Helper()
+	st, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatalf("open store: %v", err)
+	}
+	t.Cleanup(func() { st.Close() })
+	s, err := Open(Config{Workers: 2, Store: st})
+	if err != nil {
+		t.Fatalf("open server: %v", err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// referenceRun computes the uninterrupted outputs on a store-free
+// daemon: the final plan response and the what-if verdict.
+func referenceRun(t *testing.T) (planFinal, whatIf string) {
+	t.Helper()
+	s := New(Config{Workers: 2})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	plan := postPlan(t, ts.Client(), ts.URL, recPlanBody)
+	if !decodePlan(t, plan).Done {
+		t.Fatalf("reference plan did not finish: %s", plan.body)
+	}
+	wi := postWhatIf(t, ts.Client(), ts.URL, recWhatIfBody)
+	if wi.status != http.StatusOK {
+		t.Fatalf("reference whatif status %d: %s", wi.status, wi.body)
+	}
+	return plan.body, wi.body
+}
+
+// serveHistory drives a durable daemon through a real serving history on
+// dir — a memoized what-if, then a plan advanced one level per request
+// to completion — so the WAL accumulates one record per journaled level
+// plus the base, memo, and final records.
+func serveHistory(t *testing.T, dir, wantFinal, wantWhatIf string) {
+	t.Helper()
+	_, ts := durableServer(t, dir)
+	if wi := postWhatIf(t, ts.Client(), ts.URL, recWhatIfBody); wi.body != wantWhatIf {
+		t.Fatalf("history whatif diverged from reference:\n got: %swant: %s", wi.body, wantWhatIf)
+	}
+	for i := 0; ; i++ {
+		rec := postPlan(t, ts.Client(), ts.URL, recStepBody)
+		resp := decodePlan(t, rec)
+		if resp.Done {
+			if rec.body != wantFinal {
+				t.Fatalf("history plan final diverged from reference:\n got: %swant: %s", rec.body, wantFinal)
+			}
+			return
+		}
+		if i > 64 {
+			t.Fatalf("plan still not done after %d stepped requests", i)
+		}
+	}
+}
+
+// walSegments lists dir's WAL segment paths, oldest first.
+func walSegments(t *testing.T, dir string) []string {
+	t.Helper()
+	paths, err := filepath.Glob(filepath.Join(dir, "wal", "wal-*.seg"))
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("no WAL segments in %s (err %v)", dir, err)
+	}
+	sort.Strings(paths)
+	return paths
+}
+
+// cloneDir deep-copies a data directory.
+func cloneDir(t *testing.T, src string) string {
+	t.Helper()
+	dst := t.TempDir()
+	err := filepath.Walk(src, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		target := filepath.Join(dst, rel)
+		if info.IsDir() {
+			return os.MkdirAll(target, 0o755)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(target, data, 0o644)
+	})
+	if err != nil {
+		t.Fatalf("clone %s: %v", src, err)
+	}
+	return dst
+}
+
+// checkRecovered opens a daemon on a (possibly damaged) data directory
+// and requires the byte-identical reference outputs.
+func checkRecovered(t *testing.T, dir, wantFinal, wantWhatIf string) {
+	t.Helper()
+	_, ts := durableServer(t, dir)
+	if rec := postPlan(t, ts.Client(), ts.URL, recPlanBody); rec.body != wantFinal {
+		t.Fatalf("recovered plan diverged from reference:\n got: %swant: %s", rec.body, wantFinal)
+	}
+	if wi := postWhatIf(t, ts.Client(), ts.URL, recWhatIfBody); wi.body != wantWhatIf {
+		t.Fatalf("recovered whatif diverged from reference:\n got: %swant: %s", wi.body, wantWhatIf)
+	}
+}
+
+// TestRecoveryAtEveryRecordBoundary is the kill matrix: for every WAL
+// record boundary in the serving history — every durable state the
+// SyncAlways daemon could have died in — recover on exactly that prefix
+// and require byte-identical final outputs.
+func TestRecoveryAtEveryRecordBoundary(t *testing.T) {
+	wantFinal, wantWhatIf := referenceRun(t)
+	history := t.TempDir()
+	serveHistory(t, history, wantFinal, wantWhatIf)
+
+	segs := walSegments(t, history)
+	kills := 0
+	for si, seg := range segs {
+		boundaries, err := store.RecordBoundaries(seg)
+		if err != nil {
+			t.Fatalf("boundaries of %s: %v", seg, err)
+		}
+		for _, off := range boundaries {
+			if si == len(segs)-1 && off == boundaries[len(boundaries)-1] {
+				continue // the undamaged full history; covered separately
+			}
+			kills++
+			dir := cloneDir(t, history)
+			clonedSegs := walSegments(t, dir)
+			if err := os.Truncate(clonedSegs[si], off); err != nil {
+				t.Fatalf("truncate: %v", err)
+			}
+			for _, later := range clonedSegs[si+1:] {
+				if err := os.Remove(later); err != nil {
+					t.Fatalf("remove: %v", err)
+				}
+			}
+			checkRecovered(t, dir, wantFinal, wantWhatIf)
+		}
+	}
+	if kills < 5 {
+		t.Fatalf("kill matrix exercised only %d boundaries — history too shallow to mean anything", kills)
+	}
+	// And the undamaged history: a clean restart serves both answers.
+	checkRecovered(t, cloneDir(t, history), wantFinal, wantWhatIf)
+}
+
+// TestRecoveryTornWriteTail kills the daemon mid-record: the newest
+// segment ends in a torn half-written frame plus garbage. Recovery must
+// truncate the tail and still serve byte-identical outputs.
+func TestRecoveryTornWriteTail(t *testing.T) {
+	wantFinal, wantWhatIf := referenceRun(t)
+	history := t.TempDir()
+	serveHistory(t, history, wantFinal, wantWhatIf)
+
+	dir := cloneDir(t, history)
+	segs := walSegments(t, dir)
+	newest := segs[len(segs)-1]
+	info, err := os.Stat(newest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A torn append: half of a plausible frame header plus payload bytes
+	// that never got their trailing records.
+	f, err := os.OpenFile(newest, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x40, 0x00, 0x00, 0x00, 0xde, 0xad}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	st, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatalf("open store on torn tail: %v", err)
+	}
+	if st.Log.TruncatedBytes() == 0 {
+		t.Fatalf("torn tail was not truncated")
+	}
+	s, err := Open(Config{Workers: 2, Store: st})
+	if err != nil {
+		t.Fatalf("open server on torn tail: %v", err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer st.Close()
+	if rec := postPlan(t, ts.Client(), ts.URL, recPlanBody); rec.body != wantFinal {
+		t.Fatalf("post-torn plan diverged:\n got: %swant: %s", rec.body, wantFinal)
+	}
+	after, err := os.Stat(newest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Size() > info.Size() {
+		t.Fatalf("torn bytes survived recovery: %d > %d", after.Size(), info.Size())
+	}
+}
+
+// TestRecoveryBitFlipTail flips one bit inside the newest segment's last
+// record. The CRC must catch it; recovery truncates the record and the
+// daemon re-derives the lost tail deterministically.
+func TestRecoveryBitFlipTail(t *testing.T) {
+	wantFinal, wantWhatIf := referenceRun(t)
+	history := t.TempDir()
+	serveHistory(t, history, wantFinal, wantWhatIf)
+
+	dir := cloneDir(t, history)
+	segs := walSegments(t, dir)
+	newest := segs[len(segs)-1]
+	boundaries, err := store.RecordBoundaries(newest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(boundaries) < 2 {
+		t.Fatalf("newest segment has no whole record to flip")
+	}
+	lastStart := boundaries[len(boundaries)-2]
+	data, err := os.ReadFile(newest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid := lastStart + (int64(len(data))-lastStart)/2
+	data[mid] ^= 0x10
+	if err := os.WriteFile(newest, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatalf("open store on flipped tail: %v", err)
+	}
+	if st.Log.TruncatedBytes() == 0 {
+		t.Fatalf("flipped record was not truncated")
+	}
+	s, err := Open(Config{Workers: 2, Store: st})
+	if err != nil {
+		t.Fatalf("open server on flipped tail: %v", err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer st.Close()
+	if rec := postPlan(t, ts.Client(), ts.URL, recPlanBody); rec.body != wantFinal {
+		t.Fatalf("post-flip plan diverged:\n got: %swant: %s", rec.body, wantFinal)
+	}
+	if wi := postWhatIf(t, ts.Client(), ts.URL, recWhatIfBody); wi.body != wantWhatIf {
+		t.Fatalf("post-flip whatif diverged:\n got: %swant: %s", wi.body, wantWhatIf)
+	}
+	m := fetchMetrics(t, ts)
+	if m.RecoveredTruncatedBytes == 0 {
+		t.Fatalf("metrics do not report the truncated tail")
+	}
+}
+
+// TestRestartResumesInFlightPlan is the acceptance headline: a daemon
+// dies with a plan search half done; its successor picks the search up
+// by plan ID at the journaled level — it does not start over — and
+// finishes byte-identically.
+func TestRestartResumesInFlightPlan(t *testing.T) {
+	wantFinal, _ := referenceRun(t)
+	dir := t.TempDir()
+
+	st, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := Open(Config{Workers: 2, Store: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(s1.Handler())
+	first := decodePlan(t, postPlan(t, ts1.Client(), ts1.URL, recStepBody))
+	second := decodePlan(t, postPlan(t, ts1.Client(), ts1.URL, recStepBody))
+	if first.Done || second.Done {
+		t.Fatalf("search finished before the crash point (levels %d, %d)", first.Level, second.Level)
+	}
+	if second.Level <= first.Level {
+		t.Fatalf("stepped requests did not advance: %d then %d", first.Level, second.Level)
+	}
+	ts1.Close()
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The restarted daemon: same data dir, fresh process state.
+	s2, ts2 := durableServer(t, dir)
+	if _, plans, _, _ := s2.Recovered(); plans != 1 {
+		t.Fatalf("recovered %d plans, want 1", plans)
+	}
+	next := decodePlan(t, postPlan(t, ts2.Client(), ts2.URL, recStepBody))
+	if next.PlanID != second.PlanID {
+		t.Fatalf("restart changed the plan ID: %s vs %s", next.PlanID, second.PlanID)
+	}
+	if next.Level != second.Level+1 {
+		t.Fatalf("restart did not resume at the journaled level: got level %d after %d", next.Level, second.Level)
+	}
+	rec := postPlan(t, ts2.Client(), ts2.URL, recPlanBody)
+	if rec.body != wantFinal {
+		t.Fatalf("resumed plan diverged from reference:\n got: %swant: %s", rec.body, wantFinal)
+	}
+	m := fetchMetrics(t, ts2)
+	if !m.StoreEnabled || m.RecoveredPlans != 1 {
+		t.Fatalf("durability metrics wrong after restart: %+v", m)
+	}
+}
+
+// TestWarmRestartServesFromRecoveredState reopens a finished history:
+// the final plan answer and the memoized what-if must come back
+// byte-identical without recomputation (the plan store holds the final
+// body, the memo holds the verdict, the cache holds the base).
+func TestWarmRestartServesFromRecoveredState(t *testing.T) {
+	wantFinal, wantWhatIf := referenceRun(t)
+	history := t.TempDir()
+	serveHistory(t, history, wantFinal, wantWhatIf)
+
+	s, ts := durableServer(t, history)
+	bases, plans, memos, _ := s.Recovered()
+	if bases != 1 || plans != 1 || memos != 1 {
+		t.Fatalf("recovered (bases, plans, memos) = (%d, %d, %d), want (1, 1, 1)", bases, plans, memos)
+	}
+	if rec := postPlan(t, ts.Client(), ts.URL, recPlanBody); rec.body != wantFinal {
+		t.Fatalf("warm plan diverged:\n got: %swant: %s", rec.body, wantFinal)
+	}
+	m0 := fetchMetrics(t, ts)
+	if wi := postWhatIf(t, ts.Client(), ts.URL, recWhatIfBody); wi.body != wantWhatIf {
+		t.Fatalf("warm whatif diverged:\n got: %swant: %s", wi.body, wantWhatIf)
+	}
+	m1 := fetchMetrics(t, ts)
+	if m1.MemoHits != m0.MemoHits+1 {
+		t.Fatalf("warm whatif was recomputed, not served from the recovered memo (hits %d -> %d)", m0.MemoHits, m1.MemoHits)
+	}
+	// The base came from the object store, not a scenario rebuild.
+	if m1.SnapshotCacheMisses != 0 {
+		t.Fatalf("warm restart rebuilt the base cold (%d misses)", m1.SnapshotCacheMisses)
+	}
+}
+
+// TestCompactionPreservesServingState drives enough plan histories
+// through a tiny-segment store to force checkpoint compaction, restarts,
+// and requires every answer to survive the rewrite.
+func TestCompactionPreservesServingState(t *testing.T) {
+	wantFinal, wantWhatIf := referenceRun(t)
+	dir := t.TempDir()
+
+	st, err := store.Open(dir, store.Options{SegmentBytes: 1 << 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := Open(Config{Workers: 2, Store: st, CompactSegments: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(s1.Handler())
+	if wi := postWhatIf(t, ts1.Client(), ts1.URL, recWhatIfBody); wi.body != wantWhatIf {
+		t.Fatalf("whatif diverged: %s", wi.body)
+	}
+	if rec := postPlan(t, ts1.Client(), ts1.URL, recPlanBody); rec.body != wantFinal {
+		t.Fatalf("plan diverged: %s", rec.body)
+	}
+	m := fetchMetrics(t, ts1)
+	if m.StoreCompactions == 0 {
+		t.Fatalf("tiny segments never compacted (%d appends, %d segments)", m.StoreAppends, m.StoreSegments)
+	}
+	ts1.Close()
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	checkRecovered(t, dir, wantFinal, wantWhatIf)
+}
+
+// TestRecoveryRequestBodiesDecode guards against helper drift: the
+// bodies above must stay strict-decodable requests.
+func TestRecoveryRequestBodiesDecode(t *testing.T) {
+	if _, err := DecodePlanRequest([]byte(recPlanBody)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodePlanRequest([]byte(recStepBody)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeWhatIfRequest([]byte(recWhatIfBody)); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -14,6 +14,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"centralium/internal/store"
 )
 
 // Config sizes the daemon. Zero values take the documented defaults.
@@ -38,6 +40,14 @@ type Config struct {
 	// EventBuffer is the per-subscriber /v1/events channel depth
 	// (default 256).
 	EventBuffer int
+	// Store, when set, is the daemon's durable state plane: plan search
+	// progress, final plan responses, memoized bodies, and base
+	// snapshots persist through it, and Open recovers them on boot.
+	// The caller owns the store's lifecycle (close it after Drain).
+	Store *store.Store
+	// CompactSegments triggers checkpoint-style WAL compaction once the
+	// log exceeds this many segments (default 8).
+	CompactSegments int
 }
 
 func (c Config) withDefaults() Config {
@@ -62,6 +72,9 @@ func (c Config) withDefaults() Config {
 	if c.EventBuffer <= 0 {
 		c.EventBuffer = 256
 	}
+	if c.CompactSegments <= 0 {
+		c.CompactSegments = 8
+	}
 	return c
 }
 
@@ -74,6 +87,11 @@ type Server struct {
 	plans   *planStore
 	events  *broadcaster
 	metrics *serverMetrics
+
+	// persist is the durable state plane (nil without a Config.Store);
+	// recovered is what boot-time recovery rebuilt, frozen after Open.
+	persist   *persistor
+	recovered recoveryStats
 
 	sem      chan struct{}
 	queued   atomic.Int64
@@ -103,6 +121,19 @@ func New(cfg Config) *Server {
 		sem:     make(chan struct{}, cfg.Workers),
 		mux:     http.NewServeMux(),
 	}
+	if cfg.Store != nil {
+		s.persist = newPersistor(cfg.Store, cfg.CompactSegments, cfg.MemoSize)
+		// Bases and memos are caches of deterministic computations: a
+		// persistence failure degrades durability (cold rebuild after a
+		// restart), never correctness, so it counts instead of failing
+		// the request. Plan state is different — its append errors
+		// surface through the plan handler.
+		s.cache.onBuild = func(e *cacheEntry) {
+			if err := s.persist.saveBase(e); err != nil {
+				s.persist.noteError()
+			}
+		}
+	}
 	s.mux.HandleFunc("/v1/whatif", s.pooled("whatif", http.MethodPost, s.whatif))
 	s.mux.HandleFunc("/v1/plan", s.pooled("plan", http.MethodPost, s.plan))
 	s.mux.HandleFunc("/v1/explain", s.pooled("explain", http.MethodGet, s.explain))
@@ -110,6 +141,29 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/v1/healthz", s.direct("healthz", http.MethodGet, s.healthz))
 	s.mux.HandleFunc("/v1/events", s.eventsHandler)
 	return s
+}
+
+// Open builds a daemon and, when the configuration carries a store,
+// recovers its durable state: in-flight plan searches resume by plan ID,
+// memoized responses come back byte-identical, and base snapshots warm
+// the cache from the object store. This is the entry point for a
+// durable daemon; New alone persists but does not recover.
+func Open(cfg Config) (*Server, error) {
+	s := New(cfg)
+	if s.persist != nil {
+		rs, err := s.persist.recover(s)
+		if err != nil {
+			return nil, fmt.Errorf("server: recover durable state: %w", err)
+		}
+		s.recovered = rs
+	}
+	return s, nil
+}
+
+// Recovered reports what boot-time recovery rebuilt (zero without a
+// store or when built with New).
+func (s *Server) Recovered() (bases, plans, memos, truncatedBytes int) {
+	return s.recovered.Bases, s.recovered.Plans, s.recovered.Memos, s.recovered.TruncatedBytes
 }
 
 // Handler returns the daemon's HTTP surface.

@@ -44,6 +44,10 @@ type loadCall struct {
 
 // snapCache is the LRU of warm bases.
 type snapCache struct {
+	// onBuild, when set, observes every cold-built entry exactly once
+	// (the durable state plane persists it). Called outside mu.
+	onBuild func(*cacheEntry)
+
 	mu sync.Mutex
 	// entries by state fingerprint; byScenario indexes "scenario|seed"
 	// → fingerprint; order is LRU, oldest first.
@@ -97,7 +101,17 @@ func (c *snapCache) get(scenario string, seed int64) (*cacheEntry, error) {
 	}
 	c.mu.Unlock()
 	close(call.done)
+	if call.err == nil && c.onBuild != nil {
+		c.onBuild(call.entry)
+	}
 	return call.entry, call.err
+}
+
+// add warms the cache with an already-built entry (boot-time recovery).
+func (c *snapCache) add(e *cacheEntry) {
+	c.mu.Lock()
+	c.insert(e)
+	c.mu.Unlock()
 }
 
 // insert adds a built entry and evicts past capacity. Caller holds mu.
@@ -191,11 +205,13 @@ func (m *respMemo) get(key string) ([]byte, bool) {
 	return body, ok
 }
 
-func (m *respMemo) put(key string, body []byte) {
+// put stores a body, reporting whether it was newly inserted (false: an
+// identical computation already memoized it — persistence can skip it).
+func (m *respMemo) put(key string, body []byte) bool {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if _, ok := m.bodies[key]; ok {
-		return
+		return false
 	}
 	m.bodies[key] = body
 	m.order = append(m.order, key)
@@ -204,6 +220,7 @@ func (m *respMemo) put(key string, body []byte) {
 		m.order = m.order[1:]
 		delete(m.bodies, victim)
 	}
+	return true
 }
 
 func (m *respMemo) stats() (hits, misses int64, size int) {

@@ -1,0 +1,38 @@
+package store
+
+// Offline segment inspection, used by crash-recovery conformance suites
+// (and debugging tools) to enumerate the exact byte offsets where a kill
+// can land between durable records.
+
+import (
+	"fmt"
+	"os"
+)
+
+// RecordBoundaries parses one segment file and returns every
+// crash-consistent byte offset in it: the offset just past the header
+// (zero records durable) and the offset just past each whole record.
+// Truncating a copy of the file at any returned offset simulates a kill
+// with exactly that many records on disk. The segment's tail is scanned
+// leniently — a torn or corrupt tail ends the boundary list the same way
+// recovery would truncate it.
+func RecordBoundaries(path string) ([]int64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) < segHeaderSize || string(data[:4]) != segMagic {
+		return nil, fmt.Errorf("store: %s is not a segment file", path)
+	}
+	boundaries := []int64{segHeaderSize}
+	off := segHeaderSize
+	for off < len(data) {
+		_, _, n, err := parseFrame(data[off:])
+		if err != nil {
+			break
+		}
+		off += n
+		boundaries = append(boundaries, int64(off))
+	}
+	return boundaries, nil
+}

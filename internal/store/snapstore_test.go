@@ -1,0 +1,121 @@
+package store
+
+// Object-store behavior: atomic put, idempotence, CRC verification on
+// read, deletion, listing, and key hygiene.
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func objStore(t *testing.T) *SnapStore {
+	t.Helper()
+	s, err := openSnapStore(filepath.Join(t.TempDir(), "objects"), false)
+	if err != nil {
+		t.Fatalf("open object store: %v", err)
+	}
+	return s
+}
+
+func TestObjectPutGet(t *testing.T) {
+	s := objStore(t)
+	data := bytes.Repeat([]byte{0xc3, 0x00, 'z'}, 1000)
+	if err := s.Put("abcd1234", data); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	got, ok, err := s.Get("abcd1234")
+	if err != nil || !ok {
+		t.Fatalf("get: ok=%v err=%v", ok, err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("object round trip diverged (%d vs %d bytes)", len(got), len(data))
+	}
+	if !s.Has("abcd1234") || s.Has("ffff0000") {
+		t.Fatalf("Has answered wrong")
+	}
+	if _, ok, err := s.Get("ffff0000"); ok || err != nil {
+		t.Fatalf("absent get: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestObjectPutIdempotent(t *testing.T) {
+	s := objStore(t)
+	if err := s.Put("deadbeef", []byte("first")); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	// Content-addressed keys never change meaning; a second Put must
+	// not rewrite (or damage) the stored object.
+	if err := s.Put("deadbeef", []byte("second")); err != nil {
+		t.Fatalf("second put: %v", err)
+	}
+	got, _, err := s.Get("deadbeef")
+	if err != nil || string(got) != "first" {
+		t.Fatalf("idempotent put rewrote object: %q err=%v", got, err)
+	}
+}
+
+func TestObjectCorruptionDetected(t *testing.T) {
+	s := objStore(t)
+	if err := s.Put("cafe0001", bytes.Repeat([]byte("snap"), 64)); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	path := s.objPath("cafe0001")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	raw[len(raw)-3] ^= 0x40
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if _, _, err := s.Get("cafe0001"); err == nil {
+		t.Fatalf("flipped object read back cleanly")
+	}
+	// A truncated header is detected too, not sliced out of bounds.
+	if err := os.WriteFile(path, raw[:4], 0o644); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if _, _, err := s.Get("cafe0001"); err == nil {
+		t.Fatalf("truncated object read back cleanly")
+	}
+}
+
+func TestObjectDeleteAndKeys(t *testing.T) {
+	s := objStore(t)
+	for _, k := range []string{"aa11", "ab22", "zz33"} {
+		if err := s.Put(k, []byte(k)); err != nil {
+			t.Fatalf("put %s: %v", k, err)
+		}
+	}
+	keys, err := s.Keys()
+	if err != nil {
+		t.Fatalf("keys: %v", err)
+	}
+	if len(keys) != 3 || keys[0] != "aa11" || keys[2] != "zz33" {
+		t.Fatalf("keys = %v", keys)
+	}
+	if err := s.Delete("ab22"); err != nil {
+		t.Fatalf("delete: %v", err)
+	}
+	if s.Has("ab22") {
+		t.Fatalf("deleted object still present")
+	}
+	if err := s.Delete("ab22"); err != nil {
+		t.Fatalf("double delete: %v", err)
+	}
+}
+
+func TestObjectKeyHygiene(t *testing.T) {
+	s := objStore(t)
+	bad := []string{"", "../escape", "a/b", "a b", ".hidden", string(make([]byte, 200))}
+	for _, k := range bad {
+		if err := s.Put(k, []byte("x")); err == nil {
+			t.Errorf("key %q accepted", k)
+		}
+		if s.Has(k) {
+			t.Errorf("Has(%q) true", k)
+		}
+	}
+}
