@@ -6,15 +6,27 @@
 //
 //	migrate -scenario 1 -rpa -seed 42
 //	migrate -scenario 3 -prefixes 512
+//	migrate -scenario 1 -guard -envelope "share=0.6" -max-retries 1
 //	migrate -plan          # print all Table 3 step plans
+//
+// -guard runs the scenario's RPA campaign under the internal/guard
+// execution supervisor instead of the bare measurement harness:
+// telemetry-checked waves, rollback to last-good on an -envelope
+// violation, up to -max-retries degraded retries per wave, quarantine
+// and abort past that. Scenario 1 guards the fig10 expansion campaign
+// and scenario 2 the decommission campaign; scenario 3 exercises
+// hardware NHG limits that have no campaign form and cannot be guarded.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
+	"centralium/internal/guard"
 	"centralium/internal/migrate"
+	"centralium/internal/planner"
 	"centralium/internal/topo"
 )
 
@@ -25,11 +37,22 @@ func main() {
 		seed     = flag.Int64("seed", 42, "emulation seed")
 		prefixes = flag.Int("prefixes", 256, "prefixes for scenario 3")
 		plan     = flag.Bool("plan", false, "print the migration step plans instead of running")
+		guardX   = flag.Bool("guard", false, "run the scenario's campaign under the guard supervisor")
+		envSpec  = flag.String("envelope", "", "guard safety envelope, e.g. \"share=0.6,session-downs=0\" (empty: guard default)")
+		retries  = flag.Int("max-retries", 0, "guard per-wave retry budget (0: guard default of 2; -1: abort on first violation)")
 	)
 	flag.Parse()
 
 	if *plan {
 		printPlans()
+		return
+	}
+
+	if *guardX {
+		if err := runGuarded(*scenario, *seed, *envSpec, *retries); err != nil {
+			fmt.Fprintf(os.Stderr, "migrate: %v\n", err)
+			os.Exit(1)
+		}
 		return
 	}
 
@@ -56,6 +79,47 @@ func main() {
 		fmt.Fprintf(os.Stderr, "migrate: unknown scenario %d\n", *scenario)
 		os.Exit(2)
 	}
+}
+
+// runGuarded executes the scenario's campaign form under the guard and
+// prints the decision log and outcome.
+func runGuarded(scenario int, seed int64, envSpec string, maxRetries int) error {
+	var name string
+	switch scenario {
+	case 1:
+		name = "fig10"
+	case 2:
+		name = "decommission"
+	default:
+		return fmt.Errorf("scenario %d has no campaign form to guard (use -scenario 1 or 2)", scenario)
+	}
+	env, err := guard.ParseEnvelope(envSpec)
+	if err != nil {
+		return err
+	}
+	snap, p, err := planner.ScenarioSetup(name, seed)
+	if err != nil {
+		return err
+	}
+	c := guard.FromParams(p)
+	c.Name = fmt.Sprintf("%s-seed%d", name, seed)
+	c.Envelope = env
+	c.Retry.MaxRetries = maxRetries
+	res, err := guard.Run(context.Background(), snap, c)
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Log)
+	fmt.Printf("guard: %s (%d/%d waves, %d retried attempt(s), %d rollback(s))\n",
+		res.State, res.WavesDone, res.Waves, res.Retries, res.Rollbacks)
+	if res.Report != nil {
+		fmt.Printf("incident: wave %d attempt %d, quarantined %v\n",
+			res.Report.Wave, res.Report.Attempt, res.Report.Quarantined)
+		for _, v := range res.Report.Violations {
+			fmt.Printf("  %s\n", v)
+		}
+	}
+	return nil
 }
 
 func printPlans() {

@@ -9,7 +9,9 @@
 //	planctl plan -scenario decommission -checkpoint search.json
 //	planctl plan -resume search.json
 //	planctl plan -scenario fig10 -snapshot state.csnp
+//	planctl plan -scenario fig10 -guard -envelope "share=0.6,session-downs=0"
 //	planctl score -scenario fig10 -schedule "fsw.pod0.0 > ssw.pl0.0,ssw.pl0.1"
+//	planctl score -scenario fig10 -schedule "fa.0,fa.1" -guard -max-retries 1
 //	planctl explain -scenario fig10 -schedule "fa.0,fa.1 > ssw.pl0.0"
 //	planctl scenarios
 //
@@ -18,22 +20,44 @@
 // breaks the cost down per phase against the §5.3.2 bottom-up baseline.
 // -scenario names the migration (intent, workload, drains); -snapshot
 // optionally replaces the scenario's base state with a captured .csnp.
+//
+// -guard executes the resulting schedule (plan's winner, or the
+// -schedule under score/explain) through the internal/guard supervisor:
+// each wave runs under a telemetry probe against the -envelope safety
+// bounds, a violating wave rolls back to last-good and retries up to
+// -max-retries times with a degraded shape, and a wave that exhausts its
+// budget quarantines its devices and aborts with an incident report.
+// With -data-dir the guard journals a checkpoint per wave to the store's
+// WAL, and an interrupted execution resumes from it on the next run.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
 
+	"centralium/internal/guard"
 	"centralium/internal/planner"
 	"centralium/internal/snapshot"
 	"centralium/internal/store"
 )
 
-// journalRecType tags planctl's search-progress records in the WAL.
-const journalRecType = 1
+// journalRecType tags planctl's search-progress records in the WAL;
+// guardRecType tags guarded-execution checkpoints.
+const (
+	journalRecType = 1
+	guardRecType   = 2
+)
+
+// guardOpts carries the -guard flag family.
+type guardOpts struct {
+	enabled    bool
+	envelope   string
+	maxRetries int
+}
 
 func main() {
 	if len(os.Args) < 2 {
@@ -63,10 +87,14 @@ func main() {
 		ckpt     = fs.String("checkpoint", "", "write a resumable search checkpoint here after every level")
 		resume   = fs.String("resume", "", "resume the search from this checkpoint file")
 		dataDir  = fs.String("data-dir", "", "durable store directory: journal search progress to its WAL and auto-resume an interrupted plan")
+		guardX   = fs.Bool("guard", false, "execute the resulting schedule under the guard supervisor")
+		envSpec  = fs.String("envelope", "", "guard safety envelope, e.g. \"share=0.6,session-downs=0\" (empty: guard default)")
+		retries  = fs.Int("max-retries", 0, "guard per-wave retry budget (0: guard default of 2; -1: abort on first violation)")
 	)
 	fs.Parse(os.Args[2:])
 
-	if err := run(mode, *scenario, *snapPath, *sched, *ckpt, *resume, *dataDir, planner.Params{
+	g := guardOpts{enabled: *guardX, envelope: *envSpec, maxRetries: *retries}
+	if err := run(mode, *scenario, *snapPath, *sched, *ckpt, *resume, *dataDir, g, planner.Params{
 		Seed:        *seed,
 		Beam:        *beam,
 		RandomCands: *random,
@@ -84,11 +112,12 @@ func usage() {
 	fmt.Fprintln(os.Stderr, "usage: planctl <plan|score|explain|scenarios> [flags]")
 	fmt.Fprintln(os.Stderr, "       planctl plan -scenario fig10 -seed 1 [-bare] [-checkpoint f] [-resume f]")
 	fmt.Fprintln(os.Stderr, "       planctl score -scenario fig10 -schedule \"dev1 > dev2,dev3\"")
+	fmt.Fprintln(os.Stderr, "       planctl plan -scenario fig10 -guard [-envelope spec] [-max-retries n]")
 }
 
 // run dispatches one planctl invocation. overrides carries the
 // search-shape flags; the scenario supplies intent, workload, and drains.
-func run(mode, scenario, snapPath, schedText, ckpt, resume, dataDir string, overrides planner.Params) error {
+func run(mode, scenario, snapPath, schedText, ckpt, resume, dataDir string, g guardOpts, overrides planner.Params) error {
 	snap, p, err := planner.ScenarioSetup(scenario, overrides.Seed)
 	if err != nil {
 		return err
@@ -113,7 +142,15 @@ func run(mode, scenario, snapPath, schedText, ckpt, resume, dataDir string, over
 	switch mode {
 	case "plan":
 		key := fmt.Sprintf("plan-%s-seed%d", scenario, overrides.Seed)
-		return plan(snap, p, ckpt, resume, dataDir, key)
+		winner, err := plan(snap, p, ckpt, resume, dataDir, key)
+		if err != nil {
+			return err
+		}
+		if g.enabled {
+			return execGuarded(snap, p, winner, g, dataDir,
+				fmt.Sprintf("guard-%s-seed%d", scenario, overrides.Seed))
+		}
+		return nil
 	case "score", "explain":
 		if schedText == "" {
 			return fmt.Errorf("%s needs -schedule", mode)
@@ -128,13 +165,84 @@ func run(mode, scenario, snapPath, schedText, ckpt, resume, dataDir string, over
 		}
 		if mode == "score" {
 			fmt.Printf("schedule: %s\nscore:    %s\n", sched, rep.Total)
-			return nil
+		} else if err := explain(snap, p, sched, rep); err != nil {
+			return err
 		}
-		return explain(snap, p, sched, rep)
+		if g.enabled {
+			return execGuarded(snap, p, sched, g, dataDir,
+				fmt.Sprintf("guard-%s-seed%d", scenario, overrides.Seed))
+		}
+		return nil
 	default:
 		usage()
 		return fmt.Errorf("unknown mode %q", mode)
 	}
+}
+
+// execGuarded runs one schedule through the guard supervisor and prints
+// the decision log and outcome. With a data dir, checkpoints journal to
+// the store's WAL (record type guardRecType) and last-good snapshots to
+// its object store, so an interrupted execution resumes on the next
+// invocation — already-terminal executions just replay their verdict.
+func execGuarded(snap *snapshot.Snapshot, p planner.Params, sched planner.Schedule, g guardOpts, dataDir, key string) error {
+	env, err := guard.ParseEnvelope(g.envelope)
+	if err != nil {
+		return err
+	}
+	c := guard.FromParams(p)
+	c.Name = key
+	c.Schedule = sched
+	c.Envelope = env
+	c.Retry.MaxRetries = g.maxRetries
+	ctx := context.Background()
+
+	if dataDir != "" {
+		st, err := store.Open(dataDir, store.Options{})
+		if err != nil {
+			return err
+		}
+		defer st.Close()
+		j := st.Journal(guardRecType, key)
+		c.Journal = j
+		c.Objects = st.Objects
+		if cp, ok, jerr := j.Latest(); jerr != nil {
+			return jerr
+		} else if ok {
+			fmt.Printf("resuming guarded execution %s from journaled checkpoint\n", key)
+			res, rerr := guard.Resume(ctx, cp, c)
+			if rerr != nil {
+				return rerr
+			}
+			return printGuard(res)
+		}
+	}
+	res, err := guard.Run(ctx, snap, c)
+	if err != nil {
+		return err
+	}
+	return printGuard(res)
+}
+
+// printGuard renders a guarded execution's outcome.
+func printGuard(res *guard.Result) error {
+	fmt.Print(res.Log)
+	fmt.Printf("guard: %s (%d/%d waves, %d retried attempt(s), %d rollback(s))\n",
+		res.State, res.WavesDone, res.Waves, res.Retries, res.Rollbacks)
+	if res.Report != nil {
+		fmt.Printf("incident: wave %d attempt %d, quarantined [%s]\n",
+			res.Report.Wave, res.Report.Attempt, strings.Join(res.Report.Quarantined, ","))
+		for _, v := range res.Report.Violations {
+			fmt.Printf("  %s\n", v)
+		}
+	}
+	if res.Snapshot != nil {
+		fp, err := res.Snapshot.Fingerprint()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("final state: %s\n", fp)
+	}
+	return nil
 }
 
 // plan runs (or resumes) the beam search, checkpointing between levels
@@ -142,23 +250,23 @@ func run(mode, scenario, snapPath, schedText, ckpt, resume, dataDir string, over
 // With -data-dir every level is journaled to the store's WAL under the
 // scenario/seed key, and an interrupted run resumes from the journal's
 // latest checkpoint automatically on the next invocation.
-func plan(snap *snapshot.Snapshot, p planner.Params, ckpt, resume, dataDir, key string) error {
+func plan(snap *snapshot.Snapshot, p planner.Params, ckpt, resume, dataDir, key string) (planner.Schedule, error) {
 	var journal planner.Journal
 	if dataDir != "" {
 		st, err := store.Open(dataDir, store.Options{})
 		if err != nil {
-			return err
+			return planner.Schedule{}, err
 		}
 		defer st.Close()
 		j := st.Journal(journalRecType, key)
 		journal = j
 		if resume == "" {
 			if cp, ok, err := j.Latest(); err != nil {
-				return err
+				return planner.Schedule{}, err
 			} else if ok {
 				s, rerr := planner.ResumeSearch(cp)
 				if rerr != nil {
-					return rerr
+					return planner.Schedule{}, rerr
 				}
 				fmt.Printf("resuming %s from journaled level %d\n", key, s.Level())
 				return finishPlan(s, journal, ckpt)
@@ -173,20 +281,20 @@ func plan(snap *snapshot.Snapshot, p planner.Params, ckpt, resume, dataDir, key 
 	if resume != "" {
 		data, rerr := os.ReadFile(resume)
 		if rerr != nil {
-			return rerr
+			return planner.Schedule{}, rerr
 		}
 		if s, err = planner.ResumeSearch(data); err != nil {
-			return err
+			return planner.Schedule{}, err
 		}
 	} else if s, err = planner.NewSearch(snap, p); err != nil {
-		return err
+		return planner.Schedule{}, err
 	}
 	return finishPlan(s, journal, ckpt)
 }
 
 // finishPlan drives the search to completion under the optional journal
-// and file checkpoint, then prints the report.
-func finishPlan(s *planner.Search, journal planner.Journal, ckpt string) error {
+// and file checkpoint, then prints the report and returns the winner.
+func finishPlan(s *planner.Search, journal planner.Journal, ckpt string) (planner.Schedule, error) {
 	for !s.IsDone() {
 		var (
 			done bool
@@ -198,15 +306,15 @@ func finishPlan(s *planner.Search, journal planner.Journal, ckpt string) error {
 			done, err = s.Step()
 		}
 		if err != nil {
-			return err
+			return planner.Schedule{}, err
 		}
 		if ckpt != "" {
 			data, cerr := s.Checkpoint()
 			if cerr != nil {
-				return cerr
+				return planner.Schedule{}, cerr
 			}
 			if cerr := os.WriteFile(ckpt, data, 0o644); cerr != nil {
-				return cerr
+				return planner.Schedule{}, cerr
 			}
 		}
 		if done {
@@ -215,7 +323,7 @@ func finishPlan(s *planner.Search, journal planner.Journal, ckpt string) error {
 	}
 	res, err := s.Result()
 	if err != nil {
-		return err
+		return planner.Schedule{}, err
 	}
 	fmt.Printf("winner:    %s\n           %s\n", res.Winner, res.Score)
 	fmt.Printf("bottom-up: %s\n           %s\n", res.Baseline, res.BaselineScore)
@@ -224,7 +332,7 @@ func finishPlan(s *planner.Search, journal planner.Journal, ckpt string) error {
 	}
 	fmt.Printf("search:    %d steps evaluated, %d memo hits, %d completed schedules, %d levels\n",
 		res.Stats.StepsEvaluated, res.Stats.MemoHits, res.Stats.Completed, res.Stats.Levels)
-	return nil
+	return res.Winner, nil
 }
 
 // explain prints the per-phase cost breakdown of one schedule next to

@@ -8,6 +8,7 @@
 package controller
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"sort"
@@ -90,6 +91,11 @@ type Controller struct {
 	// the gating of Section 5.3.2. Experiments bind it to Converge.
 	Settle func()
 
+	// Fetch, when set, reads a device's currently-deployed config from the
+	// backend (nil when the device carries none). Rollout.UnwindOnFailure
+	// needs it to capture prior configs before overwriting them.
+	Fetch func(device topo.DeviceID) *core.Config
+
 	// BackendUpdatesCurrent marks the deployment backend as responsible
 	// for publishing current state into NSDB (the Switch Agent does this
 	// after a successful RPC). When false, Run publishes current itself —
@@ -144,6 +150,15 @@ type Rollout struct {
 	// here so a gate (qualify.Gate) can demand a planner-approved
 	// schedule in front of every live push.
 	Approval func(waves [][]topo.DeviceID) error
+
+	// UnwindOnFailure restores the prior config of every device already
+	// touched — in reverse deployment order, the Section 5.3.2 removal
+	// order — when the rollout fails mid-campaign, so a partial push never
+	// strands the fabric between states. Requires Controller.Fetch to
+	// capture prior configs; without it the rollout fails in place as
+	// before. The unwind is best-effort: its first error is folded into
+	// the returned error.
+	UnwindOnFailure bool
 
 	// Pre and Post health checks (Section 5: controller functions 1 and 4).
 	Pre, Post []HealthCheck
@@ -202,12 +217,25 @@ func (c *Controller) Waves(r Rollout) [][]topo.DeviceID {
 // Run executes the rollout: pre-checks, intent publication, wave-ordered
 // deployment with settling between waves, then post-checks including
 // straggler detection when NSDB is attached. The first error aborts.
+// Run is RunCtx under a background context.
 func (c *Controller) Run(r Rollout) error {
+	return c.RunCtx(context.Background(), r)
+}
+
+// RunCtx is Run under a context: cancellation or deadline expiry is
+// checked before every device and aborts the rollout with the context's
+// error. An abort — context or otherwise — after devices have been
+// touched triggers the reverse-order unwind when Rollout.UnwindOnFailure
+// is set.
+func (c *Controller) RunCtx(ctx context.Context, r Rollout) error {
 	if c.Deploy == nil {
 		return fmt.Errorf("controller: no deployment backend")
 	}
 	if err := r.Intent.Validate(); err != nil {
 		return err
+	}
+	if r.UnwindOnFailure && c.Fetch == nil {
+		return fmt.Errorf("controller: UnwindOnFailure needs Controller.Fetch to capture prior configs")
 	}
 	for _, hc := range r.Pre {
 		if err := hc.Check(); err != nil {
@@ -225,11 +253,36 @@ func (c *Controller) Run(r Rollout) error {
 			c.DB.Publish(nsdb.Intended, nsdb.DevicePath(string(dev), "rpa"), cfg.Clone())
 		}
 	}
-	var deployedSoFar []topo.DeviceID
+	var (
+		deployedSoFar []topo.DeviceID
+		prior         map[topo.DeviceID]*core.Config
+	)
+	if r.UnwindOnFailure {
+		prior = make(map[topo.DeviceID]*core.Config)
+	}
+	// fail wraps an error, unwinding the partial deployment first when the
+	// rollout asked for it.
+	fail := func(err error) error {
+		if !r.UnwindOnFailure || len(deployedSoFar) == 0 {
+			return err
+		}
+		if uerr := c.unwind(r, deployedSoFar, prior); uerr != nil {
+			return fmt.Errorf("%w (unwind incomplete: %v)", err, uerr)
+		}
+		return fmt.Errorf("%w (unwound %d deployed device(s) to prior configs)", err, len(deployedSoFar))
+	}
 	for _, wave := range c.Waves(r) {
 		for _, dev := range wave {
+			if err := ctx.Err(); err != nil {
+				return fail(fmt.Errorf("controller: rollout cancelled before %s: %w", dev, err))
+			}
+			if r.UnwindOnFailure {
+				if cfg := c.Fetch(dev); cfg != nil {
+					prior[dev] = cfg.Clone()
+				}
+			}
 			if err := c.Deploy(dev, r.Intent[dev]); err != nil {
-				return fmt.Errorf("controller: deploy to %s: %w", dev, err)
+				return fail(fmt.Errorf("controller: deploy to %s: %w", dev, err))
 			}
 			c.deployments++
 			deployedSoFar = append(deployedSoFar, dev)
@@ -245,22 +298,60 @@ func (c *Controller) Run(r Rollout) error {
 		}
 		if r.MaxStragglerFraction > 0 && c.DB != nil {
 			if frac, stragglers := c.stragglerFraction(r.Intent, deployedSoFar); frac > r.MaxStragglerFraction {
-				return fmt.Errorf("controller: slow-roll gate tripped: %.0f%% of deployed devices out-of-sync (%v)",
-					frac*100, stragglers)
+				return fail(fmt.Errorf("controller: slow-roll gate tripped: %.0f%% of deployed devices out-of-sync (%v)",
+					frac*100, stragglers))
 			}
 		}
 	}
 	for _, hc := range r.Post {
 		if err := hc.Check(); err != nil {
-			return fmt.Errorf("controller: post-deployment check %q failed: %w", hc.Name, err)
+			return fail(fmt.Errorf("controller: post-deployment check %q failed: %w", hc.Name, err))
 		}
 	}
 	if c.DB != nil {
 		if stragglers := c.Stragglers(); len(stragglers) > 0 {
-			return fmt.Errorf("controller: %d stragglers after rollout: %v", len(stragglers), stragglers)
+			return fail(fmt.Errorf("controller: %d stragglers after rollout: %v", len(stragglers), stragglers))
 		}
 	}
 	return nil
+}
+
+// unwind restores the prior config of every deployed device in reverse
+// deployment order — the Section 5.3.2 removal order, closest to the
+// origin first — then settles once so the fabric reconverges on the
+// pre-rollout state. Devices that carried no config before the rollout
+// get an empty one (removing the RPA behavior).
+func (c *Controller) unwind(r Rollout, deployed []topo.DeviceID, prior map[topo.DeviceID]*core.Config) error {
+	var firstErr error
+	for i := len(deployed) - 1; i >= 0; i-- {
+		dev := deployed[i]
+		cfg := prior[dev]
+		if cfg == nil {
+			cfg = &core.Config{}
+		}
+		if err := c.Deploy(dev, cfg); err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("redeploy prior config to %s: %w", dev, err)
+			}
+			continue
+		}
+		c.deployments++
+		if c.DB != nil {
+			// Re-point intent at the restored config so the consistency
+			// loop does not report the unwound devices as stragglers.
+			c.DB.Publish(nsdb.Intended, nsdb.DevicePath(string(dev), "rpa"), cfg.Clone())
+			if !c.BackendUpdatesCurrent {
+				c.DB.Publish(nsdb.Current, nsdb.DevicePath(string(dev), "rpa"), cfg.Clone())
+			}
+		}
+		if r.SettlePerDevice && c.Settle != nil {
+			c.Settle()
+		}
+	}
+	if c.Settle != nil {
+		c.Settle()
+	}
+	return firstErr
 }
 
 // stragglerFraction computes the out-of-sync fraction among the devices

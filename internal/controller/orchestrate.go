@@ -1,6 +1,9 @@
 package controller
 
-import "fmt"
+import (
+	"context"
+	"fmt"
+)
 
 // OrchestratedChange implements the Section 7.1 "unified routing change
 // orchestration": RPAs identify routes through attributes that the *base*
@@ -22,27 +25,62 @@ type OrchestratedChange struct {
 	// verification); nil skips verification.
 	VerifyBasePolicy func() error
 
+	// RemoveBasePolicy undoes ApplyBasePolicy. When set, Execute calls it
+	// if the change fails after the base policy was applied — failed
+	// verification or a failed rollout — so an aborted change never leaves
+	// the base policy dangling with no RPA depending on it (the reverse of
+	// the coordinated deploy order). It must be idempotent; nil keeps the
+	// historical leave-in-place behavior.
+	RemoveBasePolicy func() error
+
 	// Rollout is the dependent RPA deployment.
 	Rollout Rollout
 }
 
-// Execute runs the change in the safe order on the controller.
+// Execute runs the change in the safe order on the controller. It is
+// ExecuteCtx under a background context.
 func (c *Controller) Execute(oc OrchestratedChange) error {
+	return c.ExecuteCtx(context.Background(), oc)
+}
+
+// ExecuteCtx runs the change in the safe order under a context: base
+// policy, settle, verification, then the dependent rollout (which checks
+// the context before every device). Failure after the base policy is
+// applied triggers RemoveBasePolicy (when set) followed by a settle, so
+// the fabric returns to its pre-change routing state; pair it with
+// Rollout.UnwindOnFailure for full cleanup of a partially-deployed RPA.
+func (c *Controller) ExecuteCtx(ctx context.Context, oc OrchestratedChange) error {
+	applied := false
+	// cleanup removes the dangling base policy after a post-apply failure,
+	// folding a removal error into the change's error.
+	cleanup := func(err error) error {
+		if !applied || oc.RemoveBasePolicy == nil {
+			return err
+		}
+		if rerr := oc.RemoveBasePolicy(); rerr != nil {
+			return fmt.Errorf("%w (base policy removal failed: %v)", err, rerr)
+		}
+		if c.Settle != nil {
+			c.Settle()
+		}
+		return fmt.Errorf("%w (base policy removed)", err)
+	}
 	if oc.ApplyBasePolicy != nil {
 		if err := oc.ApplyBasePolicy(); err != nil {
 			return fmt.Errorf("controller: %s: base policy: %w", oc.Name, err)
 		}
+		applied = true
 	}
 	if c.Settle != nil {
 		c.Settle()
 	}
 	if oc.VerifyBasePolicy != nil {
 		if err := oc.VerifyBasePolicy(); err != nil {
-			return fmt.Errorf("controller: %s: base policy verification: %w", oc.Name, err)
+			return cleanup(fmt.Errorf("controller: %s: base policy verification: %w", oc.Name, err))
 		}
 	}
-	if err := c.Run(oc.Rollout); err != nil {
-		return fmt.Errorf("controller: %s: %w", oc.Name, err)
+	if err := c.RunCtx(ctx, oc.Rollout); err != nil {
+		return cleanup(fmt.Errorf("controller: %s: %w", oc.Name, err))
 	}
 	return nil
 }

@@ -1,0 +1,61 @@
+package guard
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"centralium/internal/fabric"
+	"centralium/internal/planner"
+	"centralium/internal/topo"
+)
+
+// BenchmarkGuardedCampaign times one clean guarded fig10 campaign end to
+// end (restore, three probed waves, per-wave captures, checkpoints).
+func BenchmarkGuardedCampaign(b *testing.B) {
+	snap, p, err := planner.ScenarioSetup("fig10", 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := FromParams(p)
+		c.Name = "bench"
+		res, err := Run(context.Background(), snap, c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.State != StateCompleted {
+			b.Fatalf("campaign ended %s", res.State)
+		}
+	}
+}
+
+// BenchmarkGuardRollback times detection-plus-rollback: a session-down
+// storm hits wave 0 and the guard aborts to last-good without retrying.
+func BenchmarkGuardRollback(b *testing.B) {
+	snap, p, err := planner.ScenarioSetup("fig10", 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := FromParams(p)
+		c.Name = "bench"
+		c.Retry.MaxRetries = -1
+		c.Instrument = func(n *fabric.Network, wave, attempt int) {
+			if wave == 0 && attempt == 0 {
+				n.After(time.Millisecond, func() {
+					n.RestartDevice(topo.SSWID(0, 0), 2*time.Millisecond, false)
+				})
+			}
+		}
+		res, err := Run(context.Background(), snap, c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.State != StateAborted {
+			b.Fatalf("campaign ended %s", res.State)
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package guard
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+)
+
+// Journal persists guard checkpoints, latest-wins — the interface
+// internal/store's WAL-backed journal satisfies. The level passed to
+// SaveProgress is the wave index, advisory only.
+type Journal interface {
+	SaveProgress(level int, checkpoint []byte) error
+}
+
+// JournalFunc adapts a function to the Journal interface.
+type JournalFunc func(level int, checkpoint []byte) error
+
+// SaveProgress implements Journal.
+func (f JournalFunc) SaveProgress(level int, checkpoint []byte) error {
+	return f(level, checkpoint)
+}
+
+// ObjectStore persists the guard's last-good snapshots, keyed by
+// fingerprint — the interface internal/store's content-addressed
+// SnapStore satisfies. Put must be idempotent for a given key.
+type ObjectStore interface {
+	Put(key string, data []byte) error
+	Get(key string) ([]byte, bool, error)
+}
+
+// MemObjects is an in-memory ObjectStore for storeless daemons and
+// tests: resumable within the process, gone with it.
+type MemObjects struct {
+	mu sync.Mutex
+	m  map[string][]byte
+}
+
+// NewMemObjects builds an empty in-memory object store.
+func NewMemObjects() *MemObjects { return &MemObjects{m: make(map[string][]byte)} }
+
+// Put implements ObjectStore.
+func (s *MemObjects) Put(key string, data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.m[key]; !ok {
+		s.m[key] = append([]byte(nil), data...)
+	}
+	return nil
+}
+
+// Get implements ObjectStore.
+func (s *MemObjects) Get(key string) ([]byte, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	data, ok := s.m[key]
+	if !ok {
+		return nil, false, nil
+	}
+	return append([]byte(nil), data...), true, nil
+}
+
+// Checkpoint is the guard record journaled before every wave and after
+// every rollback and terminal decision. It is self-contained: a resumed
+// process needs only the checkpoint, the campaign definition, and the
+// object store holding the referenced snapshots to drive the execution
+// to the byte-identical terminal state.
+type Checkpoint struct {
+	Version  int    `json:"version"`
+	Campaign string `json:"campaign"`
+	// Waves is the campaign's total wave count (resume sanity check).
+	Waves int `json:"waves"`
+	// Wave and Attempt name the next attempt to execute.
+	Wave    int `json:"wave"`
+	Attempt int `json:"attempt"`
+	// Retries and Rollbacks carry the counters across a resume.
+	Retries   int `json:"retries"`
+	Rollbacks int `json:"rollbacks"`
+	// Started records that Wave's start line is already in Log (the
+	// checkpoint was taken inside the wave, not at its boundary), so a
+	// resumed run must not re-emit it.
+	Started bool `json:"started,omitempty"`
+	// LastGood is the fingerprint of the pre-wave snapshot in the object
+	// store; the resumed run restores it as its working state.
+	LastGood string `json:"last_good"`
+	// Log is the decision log so far.
+	Log string `json:"log"`
+
+	// Terminal state: Done marks a finished campaign, Aborted its
+	// outcome class, FinalFP the terminal snapshot, Report the codec'd
+	// incident report when aborted.
+	Done        bool     `json:"done,omitempty"`
+	Aborted     bool     `json:"aborted,omitempty"`
+	Quarantined []string `json:"quarantined,omitempty"`
+	FinalFP     string   `json:"final_fp,omitempty"`
+	Report      []byte   `json:"report,omitempty"`
+}
+
+// checkpointVersion guards the JSON schema.
+const checkpointVersion = 1
+
+// Encode renders the checkpoint.
+func (cp *Checkpoint) Encode() ([]byte, error) {
+	out, err := json.Marshal(cp)
+	if err != nil {
+		return nil, fmt.Errorf("guard: encode checkpoint: %w", err)
+	}
+	return out, nil
+}
+
+// DecodeCheckpoint parses and validates a journaled guard record.
+func DecodeCheckpoint(data []byte) (*Checkpoint, error) {
+	cp := &Checkpoint{}
+	if err := json.Unmarshal(data, cp); err != nil {
+		return nil, fmt.Errorf("guard: decode checkpoint: %w", err)
+	}
+	if cp.Version != checkpointVersion {
+		return nil, fmt.Errorf("guard: checkpoint version %d unsupported", cp.Version)
+	}
+	if cp.Waves < 0 || cp.Wave < 0 || cp.Attempt < 0 || (!cp.Done && cp.Wave >= cp.Waves && cp.Waves > 0) {
+		return nil, fmt.Errorf("guard: checkpoint wave %d/%d attempt %d out of range", cp.Wave, cp.Waves, cp.Attempt)
+	}
+	if cp.LastGood == "" && !cp.Done {
+		return nil, fmt.Errorf("guard: checkpoint has no last-good fingerprint")
+	}
+	return cp, nil
+}

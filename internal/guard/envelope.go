@@ -1,0 +1,267 @@
+package guard
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Envelope is a campaign's safety envelope: per-wave bounds on the
+// transient metrics the guard probe measures. Every field follows one
+// convention so zero values stay inert:
+//
+//	0   the check is disabled
+//	> 0 the bound itself (a wave violates when its metric exceeds it)
+//	< 0 a bound of zero (the metric must not appear at all)
+//
+// The negative form exists because "at most zero" is a real envelope —
+// "no session may flap during this campaign" — and a plain zero cannot
+// express it without stealing the disabled meaning.
+type Envelope struct {
+	// MaxBlackholeNs bounds the integrated virtual time the workload's
+	// black-holed fraction exceeded epsilon during the wave.
+	MaxBlackholeNs int64 `json:"max_blackhole_ns,omitempty"`
+	// MaxPeakShare bounds the worst transient traffic share on any
+	// watched device (the funneling metric).
+	MaxPeakShare float64 `json:"max_peak_share,omitempty"`
+	// MaxConvergeNs bounds the virtual time the wave took to settle.
+	MaxConvergeNs int64 `json:"max_converge_ns,omitempty"`
+	// MaxPeakNHG bounds next-hop-group occupancy seen in FIB writes.
+	MaxPeakNHG int `json:"max_peak_nhg,omitempty"`
+	// MaxChurn bounds routing events (Adj-RIB-In + best path) on the tap.
+	MaxChurn int64 `json:"max_churn,omitempty"`
+	// MaxSessionDowns bounds BGP session-down events. A clean RPA wave
+	// never drops a session, so -1 here (none allowed) cleanly separates
+	// config-push transients from fault-induced turbulence.
+	MaxSessionDowns int64 `json:"max_session_downs,omitempty"`
+	// MaxAlerts bounds pathology-detector alerts fired during the wave.
+	MaxAlerts int `json:"max_alerts,omitempty"`
+}
+
+// DefaultEnvelope is the floor applied when a guarded execution names no
+// envelope: no session may drop, and the black-hole window stays under
+// 5ms of virtual time.
+func DefaultEnvelope() Envelope {
+	return Envelope{MaxSessionDowns: -1, MaxBlackholeNs: 5e6}
+}
+
+// boundI resolves an int-family field to (limit, enabled).
+func boundI(v int64) (int64, bool) {
+	switch {
+	case v == 0:
+		return 0, false
+	case v < 0:
+		return 0, true
+	default:
+		return v, true
+	}
+}
+
+// boundF resolves a float field to (limit, enabled).
+func boundF(v float64) (float64, bool) {
+	switch {
+	case v == 0:
+		return 0, false
+	case v < 0:
+		return 0, true
+	default:
+		return v, true
+	}
+}
+
+// String renders the enabled checks in canonical order — the form the
+// decision log records, so two campaigns with one envelope log one header.
+func (e Envelope) String() string {
+	var parts []string
+	if lim, on := boundI(e.MaxBlackholeNs); on {
+		parts = append(parts, fmt.Sprintf("blackhole<=%.2fms", float64(lim)/1e6))
+	}
+	if lim, on := boundF(e.MaxPeakShare); on {
+		parts = append(parts, fmt.Sprintf("share<=%.3f", lim))
+	}
+	if lim, on := boundI(e.MaxConvergeNs); on {
+		parts = append(parts, fmt.Sprintf("converge<=%.2fms", float64(lim)/1e6))
+	}
+	if lim, on := boundI(int64(e.MaxPeakNHG)); on {
+		parts = append(parts, fmt.Sprintf("nhg<=%d", lim))
+	}
+	if lim, on := boundI(e.MaxChurn); on {
+		parts = append(parts, fmt.Sprintf("churn<=%d", lim))
+	}
+	if lim, on := boundI(e.MaxSessionDowns); on {
+		parts = append(parts, fmt.Sprintf("session-downs<=%d", lim))
+	}
+	if lim, on := boundI(int64(e.MaxAlerts)); on {
+		parts = append(parts, fmt.Sprintf("alerts<=%d", lim))
+	}
+	if len(parts) == 0 {
+		return "unbounded"
+	}
+	return strings.Join(parts, " ")
+}
+
+// Spec renders the envelope in ParseEnvelope syntax, keys in canonical
+// order — the round-trippable form, unlike String's log form. An
+// envelope with no enabled checks renders as "".
+func (e Envelope) Spec() string {
+	var parts []string
+	add := func(key string, v float64, on bool) {
+		if !on {
+			return
+		}
+		parts = append(parts, key+"="+strconv.FormatFloat(v, 'g', -1, 64))
+	}
+	lim, on := boundI(e.MaxBlackholeNs)
+	add("blackhole-ms", float64(lim)/1e6, on)
+	limF, onF := boundF(e.MaxPeakShare)
+	add("share", limF, onF)
+	lim, on = boundI(e.MaxConvergeNs)
+	add("converge-ms", float64(lim)/1e6, on)
+	lim, on = boundI(int64(e.MaxPeakNHG))
+	add("nhg", float64(lim), on)
+	lim, on = boundI(e.MaxChurn)
+	add("churn", float64(lim), on)
+	lim, on = boundI(e.MaxSessionDowns)
+	add("session-downs", float64(lim), on)
+	lim, on = boundI(int64(e.MaxAlerts))
+	add("alerts", float64(lim), on)
+	return strings.Join(parts, ",")
+}
+
+// Violation is one envelope check a wave failed.
+type Violation struct {
+	// Check names the failed envelope check ("blackhole", "share",
+	// "converge", "nhg", "churn", "session-downs", "alerts") or
+	// "execute-error" when the rollout itself failed.
+	Check string `json:"check"`
+	// Devices attributes the violation when the metric names offenders;
+	// empty when the hazard is fleet-wide (e.g. a black-hole window).
+	Devices []string `json:"devices,omitempty"`
+	// Detail is the deterministic human-readable evidence.
+	Detail string `json:"detail"`
+}
+
+func (v Violation) String() string {
+	if len(v.Devices) == 0 {
+		return v.Check + ": " + v.Detail
+	}
+	return v.Check + " [" + strings.Join(v.Devices, ",") + "]: " + v.Detail
+}
+
+// Violations evaluates one wave's measured transient against the
+// envelope. Checks run in canonical order, so the violation list — and
+// everything downstream of it: decision log, quarantine set, incident
+// report — is deterministic.
+func (e Envelope) Violations(m WaveMetrics) []Violation {
+	var out []Violation
+	if lim, on := boundI(e.MaxBlackholeNs); on && m.BlackholeNs > lim {
+		out = append(out, Violation{Check: "blackhole",
+			Detail: fmt.Sprintf("%.2fms black-hole window > limit %.2fms", float64(m.BlackholeNs)/1e6, float64(lim)/1e6)})
+	}
+	if lim, on := boundF(e.MaxPeakShare); on && m.PeakShare > lim {
+		out = append(out, Violation{Check: "share", Devices: one(m.ShareDevice),
+			Detail: fmt.Sprintf("peak share %.3f > limit %.3f", m.PeakShare, lim)})
+	}
+	if lim, on := boundI(e.MaxConvergeNs); on && m.ConvergeNs > lim {
+		out = append(out, Violation{Check: "converge",
+			Detail: fmt.Sprintf("settled in %.2fms > limit %.2fms", float64(m.ConvergeNs)/1e6, float64(lim)/1e6)})
+	}
+	if lim, on := boundI(int64(e.MaxPeakNHG)); on && int64(m.PeakNHG) > lim {
+		out = append(out, Violation{Check: "nhg", Devices: one(m.NHGDevice),
+			Detail: fmt.Sprintf("peak NHG occupancy %d > limit %d", m.PeakNHG, lim)})
+	}
+	if lim, on := boundI(e.MaxChurn); on && m.Churn > lim {
+		out = append(out, Violation{Check: "churn",
+			Detail: fmt.Sprintf("%d routing events > limit %d", m.Churn, lim)})
+	}
+	if lim, on := boundI(e.MaxSessionDowns); on && m.SessionDowns > lim {
+		out = append(out, Violation{Check: "session-downs", Devices: sortedCopy(m.DownDevices),
+			Detail: fmt.Sprintf("%d session-down event(s) > limit %d", m.SessionDowns, lim)})
+	}
+	if lim, on := boundI(int64(e.MaxAlerts)); on && int64(m.Alerts) > lim {
+		out = append(out, Violation{Check: "alerts", Devices: sortedCopy(m.AlertDevices),
+			Detail: fmt.Sprintf("%d detector alert(s) [%s] > limit %d", m.Alerts, strings.Join(m.AlertTags, " "), lim)})
+	}
+	return out
+}
+
+func one(dev string) []string {
+	if dev == "" {
+		return nil
+	}
+	return []string{dev}
+}
+
+func sortedCopy(in []string) []string {
+	if len(in) == 0 {
+		return nil
+	}
+	out := append([]string(nil), in...)
+	sort.Strings(out)
+	return out
+}
+
+// ParseEnvelope parses the CLI/API envelope syntax: comma-separated
+// key=value pairs over the keys blackhole-ms, share, converge-ms, nhg,
+// churn, session-downs, alerts. A value of 0 means "none allowed" (the
+// negative internal form); omitted keys stay disabled. The empty string
+// parses to the zero (fully disabled) envelope.
+func ParseEnvelope(text string) (Envelope, error) {
+	var e Envelope
+	if strings.TrimSpace(text) == "" {
+		return e, nil
+	}
+	for _, pair := range strings.Split(text, ",") {
+		pair = strings.TrimSpace(pair)
+		if pair == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(pair, "=")
+		if !ok {
+			return Envelope{}, fmt.Errorf("guard: envelope: %q is not key=value", pair)
+		}
+		key = strings.TrimSpace(key)
+		f, err := strconv.ParseFloat(strings.TrimSpace(val), 64)
+		if err != nil || f < 0 {
+			return Envelope{}, fmt.Errorf("guard: envelope: bad value %q for %s", val, key)
+		}
+		switch key {
+		case "blackhole-ms":
+			e.MaxBlackholeNs = nsBound(f * 1e6)
+		case "share":
+			if f == 0 {
+				e.MaxPeakShare = -1
+			} else {
+				e.MaxPeakShare = f
+			}
+		case "converge-ms":
+			e.MaxConvergeNs = nsBound(f * 1e6)
+		case "nhg":
+			e.MaxPeakNHG = intBound(f)
+		case "churn":
+			e.MaxChurn = int64(intBound(f))
+		case "session-downs":
+			e.MaxSessionDowns = int64(intBound(f))
+		case "alerts":
+			e.MaxAlerts = intBound(f)
+		default:
+			return Envelope{}, fmt.Errorf("guard: envelope: unknown key %q", key)
+		}
+	}
+	return e, nil
+}
+
+func nsBound(ns float64) int64 {
+	if ns == 0 {
+		return -1
+	}
+	return int64(ns)
+}
+
+func intBound(f float64) int {
+	if f == 0 {
+		return -1
+	}
+	return int(f)
+}

@@ -1,0 +1,82 @@
+package guard
+
+import (
+	"bytes"
+	"testing"
+)
+
+// fuzzSeedReports are the structured seeds behind the checked-in corpus:
+// a rich report, a minimal one, and edge shapes (empty lists, empty
+// strings, negative virtual time).
+func fuzzSeedReports() []*IncidentReport {
+	return []*IncidentReport{
+		{
+			Campaign: "fig10-guarded", Wave: 1, Attempt: 2, TimeNs: 123456789,
+			LastGood:    "a4d186b7ade1deadbeefcafe",
+			Quarantined: []string{"ssw.pl0.0", "ssw.pl0.1"},
+			Violations: []Violation{
+				{Check: "session-downs", Devices: []string{"ssw.pl0.0"}, Detail: "1 > 0"},
+				{Check: "share", Detail: "0.812 > 0.600"},
+			},
+			Log: "wave 1 attempt 2: VIOLATION session-downs\nwave 1: pause; roll back\n",
+		},
+		{Campaign: "empty", Log: ""},
+		{Campaign: "", Wave: 0, Attempt: 0, TimeNs: -1, LastGood: "", Log: "x"},
+		{
+			Campaign: "one-violation-no-devices",
+			Violations: []Violation{
+				{Check: "execute-error", Detail: "wave 0 device fsw.pod0.0: deploy refused"},
+			},
+			Log: "short",
+		},
+	}
+}
+
+// FuzzIncidentReport holds the incident-report codec to the same line as
+// the store's FuzzWALRecord: arbitrary input never panics, every
+// successful decode consumes the whole buffer, and every decoded report
+// re-encodes to the exact bytes it came from (the codec is canonical).
+func FuzzIncidentReport(f *testing.F) {
+	for _, r := range fuzzSeedReports() {
+		f.Add(EncodeIncidentReport(r))
+	}
+	// Truncations, corrupt magic, and junk get the mutator started on the
+	// reject paths.
+	valid := EncodeIncidentReport(fuzzSeedReports()[0])
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte("CGI1"))
+	f.Add([]byte("CGI2\x01junk"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := DecodeIncidentReport(data)
+		if err != nil {
+			return
+		}
+		re := EncodeIncidentReport(r)
+		if !bytes.Equal(re, data) {
+			t.Fatalf("decode/encode not a fixed point:\n in: %x\nout: %x", data, re)
+		}
+		// And the re-decoded report matches field-for-field.
+		r2, err := DecodeIncidentReport(re)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if r2.Campaign != r.Campaign || r2.Wave != r.Wave || r2.Attempt != r.Attempt ||
+			r2.TimeNs != r.TimeNs || r2.LastGood != r.LastGood || r2.Log != r.Log ||
+			len(r2.Quarantined) != len(r.Quarantined) || len(r2.Violations) != len(r.Violations) {
+			t.Fatalf("re-decode diverged: %+v vs %+v", r2, r)
+		}
+	})
+}
+
+func TestIncidentReportRejectsNonMinimalVarints(t *testing.T) {
+	valid := EncodeIncidentReport(fuzzSeedReports()[1])
+	// The campaign-name length (5) sits right after magic+version; pad
+	// its uvarint to two bytes (0x85 0x00 still decodes to 5 loosely).
+	padded := append([]byte{}, valid[:5]...)
+	padded = append(padded, 0x85, 0x00)
+	padded = append(padded, valid[6:]...)
+	if _, err := DecodeIncidentReport(padded); err == nil {
+		t.Fatalf("non-minimal uvarint accepted")
+	}
+}

@@ -1,0 +1,131 @@
+package guard
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"centralium/internal/fabric"
+	"centralium/internal/planner"
+	"centralium/internal/snapshot"
+	"centralium/internal/topo"
+)
+
+// fig10Campaign builds the small Figure 10 equalization campaign the
+// guard tests run: a quiescent base snapshot plus a campaign derived
+// from the scenario's planner parameters.
+func fig10Campaign(t testing.TB, seed int64) (*snapshot.Snapshot, Campaign) {
+	t.Helper()
+	snap, p, err := planner.ScenarioSetup("fig10", seed)
+	if err != nil {
+		t.Fatalf("scenario setup: %v", err)
+	}
+	c := FromParams(p)
+	c.Name = "fig10-guarded"
+	return snap, c
+}
+
+func TestCleanCampaignCompletes(t *testing.T) {
+	snap, c := fig10Campaign(t, 1)
+	res, err := Run(context.Background(), snap, c)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if res.State != StateCompleted {
+		t.Fatalf("state = %s, want completed\nlog:\n%s", res.State, res.Log)
+	}
+	if res.WavesDone != res.Waves || res.Waves == 0 {
+		t.Fatalf("waves done %d of %d", res.WavesDone, res.Waves)
+	}
+	if res.Retries != 0 || res.Rollbacks != 0 {
+		t.Fatalf("clean campaign used %d retries, %d rollbacks\nlog:\n%s", res.Retries, res.Rollbacks, res.Log)
+	}
+	if res.Net == nil || res.Snapshot == nil {
+		t.Fatalf("terminal result missing fabric state")
+	}
+	if !strings.Contains(res.Log, "campaign complete") {
+		t.Fatalf("log missing completion line:\n%s", res.Log)
+	}
+}
+
+func TestCleanCampaignDeterministicAcrossWidths(t *testing.T) {
+	var logs []string
+	for _, workers := range []int{1, 4} {
+		snap, c := fig10Campaign(t, 7)
+		c.Workers = workers
+		res, err := Run(context.Background(), snap, c)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		logs = append(logs, res.Log)
+	}
+	if logs[0] != logs[1] {
+		t.Fatalf("decision logs diverge across widths:\n--- w=1 ---\n%s\n--- w=4 ---\n%s", logs[0], logs[1])
+	}
+}
+
+func TestViolationRetriesThenCompletes(t *testing.T) {
+	snap, c := fig10Campaign(t, 3)
+	// A transient fault: restart a spine during wave 1, attempt 0 only.
+	// The session-downs envelope trips, the guard rolls back and retries,
+	// and the clean retry completes the campaign.
+	c.Instrument = func(n *fabric.Network, wave, attempt int) {
+		if wave == 1 && attempt == 0 {
+			n.After(time.Millisecond, func() {
+				n.RestartDevice(topo.SSWID(0, 0), 2*time.Millisecond, false)
+			})
+		}
+	}
+	res, err := Run(context.Background(), snap, c)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if res.State != StateCompleted {
+		t.Fatalf("state = %s, want completed\nlog:\n%s", res.State, res.Log)
+	}
+	if res.Retries == 0 || res.Rollbacks == 0 {
+		t.Fatalf("fault did not force a retry (retries=%d rollbacks=%d)\nlog:\n%s", res.Retries, res.Rollbacks, res.Log)
+	}
+	if !strings.Contains(res.Log, "VIOLATION session-downs") {
+		t.Fatalf("log missing session-downs violation:\n%s", res.Log)
+	}
+}
+
+func TestPersistentFaultQuarantinesAndAborts(t *testing.T) {
+	snap, c := fig10Campaign(t, 5)
+	c.Retry.MaxRetries = 1
+	// The fault re-arms on every attempt: the retry budget runs out and
+	// the campaign aborts with the restarted device quarantined.
+	c.Instrument = func(n *fabric.Network, wave, attempt int) {
+		if wave == 1 {
+			n.After(time.Millisecond, func() {
+				n.RestartDevice(topo.SSWID(0, 0), 2*time.Millisecond, false)
+			})
+		}
+	}
+	res, err := Run(context.Background(), snap, c)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if res.State != StateAborted {
+		t.Fatalf("state = %s, want aborted\nlog:\n%s", res.State, res.Log)
+	}
+	if res.Report == nil || res.Report.Wave != 1 {
+		t.Fatalf("missing or mislocated incident report: %+v", res.Report)
+	}
+	if len(res.Quarantined) == 0 {
+		t.Fatalf("abort quarantined nobody\nlog:\n%s", res.Log)
+	}
+	// The incident report round-trips through its codec.
+	back, err := DecodeIncidentReport(EncodeIncidentReport(res.Report))
+	if err != nil {
+		t.Fatalf("report round trip: %v", err)
+	}
+	if back.Campaign != res.Report.Campaign || back.Log != res.Report.Log {
+		t.Fatalf("report round trip diverged")
+	}
+	if res.WavesDone != 1 {
+		t.Fatalf("waves done = %d, want 1 (aborted at wave 1)", res.WavesDone)
+	}
+}

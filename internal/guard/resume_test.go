@@ -1,0 +1,195 @@
+package guard
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"centralium/internal/fabric"
+	"centralium/internal/snapshot"
+	"centralium/internal/store"
+	"centralium/internal/topo"
+)
+
+// pacedToTerminal drives a campaign one wave per call through
+// Run/Resume, simulating a process that dies and resumes at every wave
+// boundary, and returns the terminal result.
+func pacedToTerminal(t *testing.T, snap *snapshot.Snapshot, c Campaign) *Result {
+	t.Helper()
+	c.MaxWaves = 1
+	res, err := Run(context.Background(), snap, c)
+	if err != nil {
+		t.Fatalf("paced run: %v", err)
+	}
+	for hops := 0; res.State == StatePaused; hops++ {
+		if hops > 64 {
+			t.Fatalf("paced run did not terminate")
+		}
+		if res, err = Resume(context.Background(), res.Checkpoint, c); err != nil {
+			t.Fatalf("paced resume: %v", err)
+		}
+	}
+	return res
+}
+
+// requireSameTerminal asserts two results reached the byte-identical
+// terminal state: same state, same decision log, same terminal
+// fingerprint.
+func requireSameTerminal(t *testing.T, want, got *Result) {
+	t.Helper()
+	if want.State != got.State {
+		t.Fatalf("terminal state %s, want %s\nlog:\n%s", got.State, want.State, got.Log)
+	}
+	if want.Log != got.Log {
+		t.Fatalf("decision logs diverge\n--- uninterrupted ---\n%s\n--- resumed ---\n%s", want.Log, got.Log)
+	}
+	wfp, err := want.Snapshot.Fingerprint()
+	if err != nil {
+		t.Fatalf("fingerprint: %v", err)
+	}
+	gfp, err := got.Snapshot.Fingerprint()
+	if err != nil {
+		t.Fatalf("fingerprint: %v", err)
+	}
+	if wfp != gfp {
+		t.Fatalf("terminal fingerprints diverge: %s vs %s", short(wfp), short(gfp))
+	}
+	if want.Retries != got.Retries || want.Rollbacks != got.Rollbacks {
+		t.Fatalf("counters diverge: retries %d/%d rollbacks %d/%d",
+			want.Retries, got.Retries, want.Rollbacks, got.Rollbacks)
+	}
+}
+
+// stormInstrument re-arms a spine restart on every attempt of wave 1; a
+// pure function of (wave, attempt), so resumed runs replay it.
+func stormInstrument(n *fabric.Network, wave, attempt int) {
+	if wave == 1 {
+		n.After(time.Millisecond, func() {
+			n.RestartDevice(topo.SSWID(0, 0), 2*time.Millisecond, false)
+		})
+	}
+}
+
+func TestPacedResumeMatchesUninterrupted(t *testing.T) {
+	for _, tc := range []struct {
+		name       string
+		instrument func(n *fabric.Network, wave, attempt int)
+		want       State
+	}{
+		{name: "clean", want: StateCompleted},
+		{name: "storm", instrument: stormInstrument, want: StateAborted},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			snap, c := fig10Campaign(t, 11)
+			c.Instrument = tc.instrument
+			c.Objects = NewMemObjects()
+			ref, err := Run(context.Background(), snap, c)
+			if err != nil {
+				t.Fatalf("uninterrupted run: %v", err)
+			}
+			if ref.State != tc.want {
+				t.Fatalf("uninterrupted terminal = %s, want %s\nlog:\n%s", ref.State, tc.want, ref.Log)
+			}
+			res := pacedToTerminal(t, snap, c)
+			requireSameTerminal(t, ref, res)
+		})
+	}
+}
+
+// TestResumeAcrossStoreReopen is the crash-shaped resume: the guard
+// journals through a real WAL-backed store, the process "dies" (store
+// closed mid-campaign), and a fresh store handle resumes from the
+// journaled checkpoint to the byte-identical terminal state.
+func TestResumeAcrossStoreReopen(t *testing.T) {
+	dir := t.TempDir()
+	snap, c := fig10Campaign(t, 13)
+	c.Instrument = stormInstrument
+
+	// Reference: uninterrupted run, no persistence.
+	ref, err := Run(context.Background(), snap, Campaign(c))
+	if err != nil {
+		t.Fatalf("uninterrupted run: %v", err)
+	}
+
+	const guardRecType = 5
+	st, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatalf("open store: %v", err)
+	}
+	c.Journal = st.Journal(guardRecType, "exec/fig10")
+	c.Objects = st.Objects
+	c.MaxWaves = 1
+	res, err := Run(context.Background(), snap, c)
+	if err != nil {
+		t.Fatalf("first leg: %v", err)
+	}
+	if res.State != StatePaused {
+		t.Fatalf("first leg terminal = %s, want paused", res.State)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatalf("close store: %v", err)
+	}
+
+	// The restarted process: reopen the directory, recover the latest
+	// guard record from the WAL, and drive to the end.
+	st2, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatalf("reopen store: %v", err)
+	}
+	defer st2.Close()
+	j := st2.Journal(guardRecType, "exec/fig10")
+	cp, ok, err := j.Latest()
+	if err != nil || !ok {
+		t.Fatalf("latest guard record: ok=%v err=%v", ok, err)
+	}
+	c.Journal = j
+	c.Objects = st2.Objects
+	c.MaxWaves = 0
+	res, err = Resume(context.Background(), cp, c)
+	if err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	requireSameTerminal(t, ref, res)
+
+	// The terminal record is durable too: a third process resuming from
+	// it rebuilds the terminal result without executing anything.
+	cp, ok, err = j.Latest()
+	if err != nil || !ok {
+		t.Fatalf("terminal guard record: ok=%v err=%v", ok, err)
+	}
+	res2, err := Resume(context.Background(), cp, c)
+	if err != nil {
+		t.Fatalf("terminal resume: %v", err)
+	}
+	requireSameTerminal(t, ref, res2)
+	if res2.Report == nil || len(res2.Quarantined) == 0 {
+		t.Fatalf("terminal resume lost the incident report")
+	}
+}
+
+// TestContextCancelPausesResumable: a context cancelled mid-campaign
+// freezes the run at the wave boundary; resuming with a fresh context
+// reaches the uninterrupted terminal state.
+func TestContextCancelPausesResumable(t *testing.T) {
+	snap, c := fig10Campaign(t, 17)
+	c.Objects = NewMemObjects()
+	ref, err := Run(context.Background(), snap, c)
+	if err != nil {
+		t.Fatalf("uninterrupted run: %v", err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := Run(ctx, snap, c)
+	if err != nil {
+		t.Fatalf("cancelled run: %v", err)
+	}
+	if res.State != StatePaused {
+		t.Fatalf("cancelled run terminal = %s, want paused\nlog:\n%s", res.State, res.Log)
+	}
+	res, err = Resume(context.Background(), res.Checkpoint, c)
+	if err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	requireSameTerminal(t, ref, res)
+}

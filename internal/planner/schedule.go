@@ -199,6 +199,16 @@ func stepIntent(in controller.Intent, st Step) controller.Intent {
 	return out
 }
 
+// Intent restricts a full campaign intent to the step's devices with the
+// step's config transforms applied — the same projection the search's
+// evaluator pushes through the rollout path. Exported so the execution
+// guard (internal/guard) can derive degraded retry shapes (smaller
+// batches, MinNextHop overrides) that deploy exactly what the planner
+// would have deployed.
+func (st Step) Intent(in controller.Intent) controller.Intent {
+	return stepIntent(in, st)
+}
+
 // sortedDevices returns an intent's devices sorted (stable candidate
 // generation never iterates a map directly).
 func sortedDevices(in controller.Intent) []topo.DeviceID {

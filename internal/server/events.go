@@ -7,17 +7,24 @@ package server
 // backpressure.
 
 import (
+	"centralium/internal/guard"
 	"centralium/internal/telemetry"
 )
 
 import "sync"
 
 // StreamEvent is one /v1/events item: a telemetry event plus the request
-// context that produced it.
+// context that produced it, or — for guarded executions — a guard
+// state-machine transition.
 type StreamEvent struct {
-	// Source labels the producing request, e.g. "whatif fig10/42".
+	// Source labels the producing request, e.g. "whatif fig10/42" or
+	// "execute fig10/42".
 	Source string          `json:"source"`
 	Event  telemetry.Event `json:"event"`
+	// Guard, when set, marks this item as a guard transition (running,
+	// retrying, rolled-back, quarantined, completed, aborted, paused)
+	// from a POST /v1/execute campaign; Event is zero for these.
+	Guard *guard.Transition `json:"guard,omitempty"`
 }
 
 type broadcaster struct {

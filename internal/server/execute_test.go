@@ -1,0 +1,292 @@
+package server
+
+// POST /v1/execute behavior: a clean campaign completes and re-serves
+// idempotently, a violating campaign aborts with a structured incident,
+// paced execution lands on the one-shot bytes, a killed durable daemon
+// resumes the campaign from its WAL, guard transitions stream on
+// /v1/events, and guard_* metrics count the state machine.
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"centralium/internal/store"
+)
+
+func postExecute(t *testing.T, client *http.Client, url, body string) respRec {
+	t.Helper()
+	resp, err := client.Post(url+"/v1/execute", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Errorf("post execute: %v", err)
+		return respRec{status: -1}
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Errorf("read execute response: %v", err)
+		return respRec{status: -1}
+	}
+	return respRec{status: resp.StatusCode, body: string(data)}
+}
+
+func decodeExecute(t *testing.T, rec respRec) ExecuteResponse {
+	t.Helper()
+	if rec.status != http.StatusOK {
+		t.Fatalf("execute status %d: %s", rec.status, rec.body)
+	}
+	var resp ExecuteResponse
+	if err := json.Unmarshal([]byte(rec.body), &resp); err != nil {
+		t.Fatalf("decode execute response: %v (%s)", err, rec.body)
+	}
+	return resp
+}
+
+// TestExecuteCompletesAndIdempotent runs the fig10 campaign under the
+// default envelope: it completes clean, repeat posts replay the stored
+// terminal bytes, and the guard counters account for every wave.
+func TestExecuteCompletesAndIdempotent(t *testing.T) {
+	_, ts := confServer(t, 4)
+	body := fmt.Sprintf(`{"scenario":"fig10","seed":%d}`, confSeed)
+	first := postExecute(t, ts.Client(), ts.URL, body)
+	resp := decodeExecute(t, first)
+	if resp.State != "completed" {
+		t.Fatalf("state %q, want completed: %+v", resp.State, resp)
+	}
+	if resp.Waves == 0 || resp.WavesDone != resp.Waves {
+		t.Errorf("waves %d/%d, want all done", resp.WavesDone, resp.Waves)
+	}
+	if resp.Retries != 0 || resp.Rollbacks != 0 || resp.Incident != nil {
+		t.Errorf("clean campaign saw trouble: %+v", resp)
+	}
+	if resp.ExecID == "" || resp.Fingerprint == "" || resp.FinalFingerprint == "" {
+		t.Errorf("missing identity: %+v", resp)
+	}
+	if !strings.Contains(resp.Log, "campaign complete") {
+		t.Errorf("decision log missing terminal line:\n%s", resp.Log)
+	}
+
+	again := postExecute(t, ts.Client(), ts.URL, body)
+	if again.body != first.body {
+		t.Errorf("completed execution replay diverged:\n%s\nvs\n%s", again.body, first.body)
+	}
+
+	m := fetchMetrics(t, ts)
+	if m.GuardCompleted != 1 {
+		t.Errorf("guard_completed = %d, want 1", m.GuardCompleted)
+	}
+	if m.GuardWaves != int64(resp.Waves) {
+		t.Errorf("guard_waves = %d, want %d", m.GuardWaves, resp.Waves)
+	}
+	if m.GuardAborted != 0 || m.GuardRollbacks != 0 {
+		t.Errorf("spurious guard trouble counters: %+v", m)
+	}
+}
+
+// TestExecuteAbortsWithIncident drives the reversed schedule into a
+// tight share envelope with retries disabled: the guard must abort,
+// quarantine the offending wave, and attach the incident report, with
+// the terminal fabric rolled back to the incident's last-good state.
+func TestExecuteAbortsWithIncident(t *testing.T) {
+	_, _, reversed := fig10Schedules(t)
+	_, ts := confServer(t, 4)
+	body := fmt.Sprintf(
+		`{"scenario":"fig10","seed":%d,"schedule":%q,"envelope":"share=0.6","max_retries":-1}`,
+		confSeed, reversed)
+	resp := decodeExecute(t, postExecute(t, ts.Client(), ts.URL, body))
+	if resp.State != "aborted" {
+		t.Fatalf("state %q, want aborted: %+v", resp.State, resp)
+	}
+	if resp.Incident == nil {
+		t.Fatalf("aborted without incident report: %+v", resp)
+	}
+	if len(resp.Quarantined) == 0 || len(resp.Incident.Quarantined) == 0 {
+		t.Errorf("aborted without quarantine: %+v", resp)
+	}
+	if len(resp.Incident.Violations) == 0 {
+		t.Errorf("incident carries no violations: %+v", resp.Incident)
+	}
+	if resp.Incident.LastGood != resp.FinalFingerprint {
+		t.Errorf("terminal fingerprint %s is not the incident's last-good %s",
+			resp.FinalFingerprint, resp.Incident.LastGood)
+	}
+	m := fetchMetrics(t, ts)
+	if m.GuardAborted != 1 || m.GuardQuarantines != 1 {
+		t.Errorf("guard_aborted/guard_quarantines = %d/%d, want 1/1",
+			m.GuardAborted, m.GuardQuarantines)
+	}
+}
+
+// TestExecutePacedMatchesOneShot advances the campaign one wave per
+// request and must land on byte-identical terminal bytes to the
+// one-shot execution — the guard checkpoint/resume determinism,
+// surfaced through the API.
+func TestExecutePacedMatchesOneShot(t *testing.T) {
+	_, oneShot := confServer(t, 4)
+	oneBody := fmt.Sprintf(`{"scenario":"fig10","seed":%d}`, confSeed)
+	want := postExecute(t, oneShot.Client(), oneShot.URL, oneBody)
+	if decodeExecute(t, want).State != "completed" {
+		t.Fatalf("one-shot execute did not complete: %s", want.body)
+	}
+
+	_, paced := confServer(t, 4)
+	stepBody := fmt.Sprintf(`{"scenario":"fig10","seed":%d,"max_waves":1}`, confSeed)
+	var got respRec
+	for i := 0; i < 16; i++ {
+		got = postExecute(t, paced.Client(), paced.URL, stepBody)
+		resp := decodeExecute(t, got)
+		if resp.State != "paused" {
+			break
+		}
+	}
+	if got.body != want.body {
+		t.Errorf("paced terminal bytes diverged from one-shot:\n%s\nvs\n%s", got.body, want.body)
+	}
+}
+
+// TestExecuteResumesAcrossDaemonRestart pauses a guarded campaign on a
+// durable daemon, kills the daemon, and reopens the data directory: the
+// recovered daemon must resume the campaign from its WAL checkpoint and
+// reach byte-identical terminal bytes to an uninterrupted execution.
+func TestExecuteResumesAcrossDaemonRestart(t *testing.T) {
+	_, ref := confServer(t, 2)
+	body := `{"scenario":"fig10","seed":1}`
+	want := postExecute(t, ref.Client(), ref.URL, body)
+	if decodeExecute(t, want).State != "completed" {
+		t.Fatalf("reference execute did not complete: %s", want.body)
+	}
+
+	dir := t.TempDir()
+	st1, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatalf("open store: %v", err)
+	}
+	s1, err := Open(Config{Workers: 2, Store: st1})
+	if err != nil {
+		t.Fatalf("open server: %v", err)
+	}
+	ts1 := httptest.NewServer(s1.Handler())
+	paced := `{"scenario":"fig10","seed":1,"max_waves":1}`
+	resp := decodeExecute(t, postExecute(t, ts1.Client(), ts1.URL, paced))
+	if resp.State != "paused" {
+		t.Fatalf("first leg state %q, want paused: %+v", resp.State, resp)
+	}
+	// Kill the daemon with the campaign frozen mid-flight.
+	ts1.Close()
+	if err := st1.Close(); err != nil {
+		t.Fatalf("close store: %v", err)
+	}
+
+	st2, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatalf("reopen store: %v", err)
+	}
+	t.Cleanup(func() { st2.Close() })
+	s2, err := Open(Config{Workers: 2, Store: st2})
+	if err != nil {
+		t.Fatalf("reopen server: %v", err)
+	}
+	ts2 := httptest.NewServer(s2.Handler())
+	t.Cleanup(ts2.Close)
+
+	m := fetchMetrics(t, ts2)
+	if m.RecoveredExecs != 1 {
+		t.Errorf("recovered_execs = %d, want 1", m.RecoveredExecs)
+	}
+	got := postExecute(t, ts2.Client(), ts2.URL, body)
+	if got.body != want.body {
+		t.Errorf("resumed terminal bytes diverged from uninterrupted:\n%s\nvs\n%s",
+			got.body, want.body)
+	}
+	// The terminal record itself is durable: a third daemon generation
+	// replays the stored bytes without re-driving anything.
+	again := postExecute(t, ts2.Client(), ts2.URL, body)
+	if again.body != want.body {
+		t.Errorf("recovered terminal replay diverged")
+	}
+}
+
+// TestExecuteRejectsBadRequests pins the 400 surface.
+func TestExecuteRejectsBadRequests(t *testing.T) {
+	_, ts := confServer(t, 2)
+	cases := []struct{ name, body string }{
+		{"unknown field", `{"scenario":"fig10","seed":1,"bogus":true}`},
+		{"bad scenario", `{"scenario":"fig99","seed":1}`},
+		{"bad envelope", `{"scenario":"fig10","seed":1,"envelope":"share=lots"}`},
+		{"retries too high", `{"scenario":"fig10","seed":1,"max_retries":9}`},
+		{"retries too low", `{"scenario":"fig10","seed":1,"max_retries":-2}`},
+		{"waves out of range", `{"scenario":"fig10","seed":1,"max_waves":65}`},
+		{"unknown device", `{"scenario":"fig10","seed":1,"schedule":"nosuch-device"}`},
+		{"trailing garbage", `{"scenario":"fig10","seed":1}x`},
+	}
+	for _, c := range cases {
+		if rec := postExecute(t, ts.Client(), ts.URL, c.body); rec.status != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (%s)", c.name, rec.status, rec.body)
+		}
+	}
+}
+
+// TestExecuteGuardEventsOnStream subscribes to /v1/events and must see
+// the guard state machine walk by, tagged with the execute source.
+func TestExecuteGuardEventsOnStream(t *testing.T) {
+	_, ts := confServer(t, 4)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL+"/v1/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatalf("open stream: %v", err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	if !sc.Scan() || !strings.HasPrefix(sc.Text(), ":") {
+		t.Fatalf("no stream-open comment: %q", sc.Text())
+	}
+
+	go postExecute(t, ts.Client(), ts.URL,
+		fmt.Sprintf(`{"scenario":"fig10","seed":%d}`, confSeed))
+
+	var ev struct {
+		Source string `json:"source"`
+		Guard  *struct {
+			State string `json:"state"`
+			Wave  int    `json:"wave"`
+		} `json:"guard"`
+	}
+	states := map[string]bool{}
+	wantSource := fmt.Sprintf("execute fig10/%d", confSeed)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+			t.Fatalf("decode stream event: %v (%s)", err, line)
+		}
+		if ev.Guard == nil {
+			continue
+		}
+		if ev.Source != wantSource {
+			t.Fatalf("guard event source %q, want %q", ev.Source, wantSource)
+		}
+		states[ev.Guard.State] = true
+		if ev.Guard.State == "completed" {
+			break
+		}
+	}
+	if !states["running"] || !states["completed"] {
+		t.Errorf("guard states seen on stream: %v, want running and completed", states)
+	}
+	cancel()
+}

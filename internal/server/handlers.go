@@ -403,11 +403,13 @@ func (s *Server) metricsHandler(ctx context.Context, ar *apiRequest) result {
 	snap.SnapshotCacheHits, snap.SnapshotCacheMisses, snap.SnapshotCacheEvictions, snap.SnapshotCacheSize = s.cache.stats()
 	snap.MemoHits, snap.MemoMisses, snap.MemoSize = s.memo.stats()
 	snap.EventSubscribers, snap.EventsSent, snap.EventsDropped = s.events.stats()
+	snap.GuardWaves, snap.GuardRetries, snap.GuardRollbacks, snap.GuardQuarantines,
+		snap.GuardCompleted, snap.GuardAborted, snap.GuardPaused = s.metrics.guardSnapshot()
 	if s.persist != nil {
 		snap.StoreEnabled = true
 		snap.StoreAppends, snap.StoreCompactions, snap.StoreErrors, snap.StoreSegments = s.persist.stats()
-		snap.RecoveredBases, snap.RecoveredPlans, snap.RecoveredMemos, snap.RecoveredTruncatedBytes =
-			s.recovered.Bases, s.recovered.Plans, s.recovered.Memos, s.recovered.TruncatedBytes
+		snap.RecoveredBases, snap.RecoveredPlans, snap.RecoveredExecs, snap.RecoveredMemos, snap.RecoveredTruncatedBytes =
+			s.recovered.Bases, s.recovered.Plans, s.recovered.Execs, s.recovered.Memos, s.recovered.TruncatedBytes
 	}
 	return jsonResult(http.StatusOK, snap)
 }

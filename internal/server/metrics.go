@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"centralium/internal/guard"
 	"centralium/internal/metrics"
 )
 
@@ -30,6 +31,16 @@ type serverMetrics struct {
 	rejectedQueueFull int64
 	rejectedDraining  int64
 	deadlineExpired   int64
+
+	// Guard counters: state-machine edges observed across every guarded
+	// execution this daemon drove.
+	guardWaves       int64
+	guardRetries     int64
+	guardRollbacks   int64
+	guardQuarantines int64
+	guardCompleted   int64
+	guardAborted     int64
+	guardPaused      int64
 }
 
 func newServerMetrics() *serverMetrics {
@@ -75,6 +86,37 @@ func (m *serverMetrics) addDeadline() {
 	m.mu.Unlock()
 }
 
+// observeGuard counts one guard state-machine edge.
+func (m *serverMetrics) observeGuard(tr guard.Transition) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	switch tr.State {
+	case guard.StateRunning:
+		if tr.Attempt == 0 {
+			m.guardWaves++
+		}
+	case guard.StateRetrying:
+		m.guardRetries++
+	case guard.StateRolledBack:
+		m.guardRollbacks++
+	case guard.StateQuarantined:
+		m.guardQuarantines++
+	case guard.StateCompleted:
+		m.guardCompleted++
+	case guard.StateAborted:
+		m.guardAborted++
+	case guard.StatePaused:
+		m.guardPaused++
+	}
+}
+
+func (m *serverMetrics) guardSnapshot() (waves, retries, rollbacks, quarantines, completed, aborted, paused int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.guardWaves, m.guardRetries, m.guardRollbacks, m.guardQuarantines,
+		m.guardCompleted, m.guardAborted, m.guardPaused
+}
+
 // EndpointMetrics is one endpoint's block in the /v1/metrics snapshot.
 type EndpointMetrics struct {
 	Endpoint string  `json:"endpoint"`
@@ -106,6 +148,15 @@ type MetricsSnapshot struct {
 	EventsSent       int64 `json:"events_sent"`
 	EventsDropped    int64 `json:"events_dropped"`
 
+	// Guard counters: POST /v1/execute state-machine accounting.
+	GuardWaves       int64 `json:"guard_waves"`
+	GuardRetries     int64 `json:"guard_retries"`
+	GuardRollbacks   int64 `json:"guard_rollbacks"`
+	GuardQuarantines int64 `json:"guard_quarantines"`
+	GuardCompleted   int64 `json:"guard_completed"`
+	GuardAborted     int64 `json:"guard_aborted"`
+	GuardPaused      int64 `json:"guard_paused"`
+
 	// Durability counters (zero when the daemon runs without a store).
 	StoreEnabled     bool  `json:"store_enabled"`
 	StoreAppends     int64 `json:"store_appends"`
@@ -116,6 +167,7 @@ type MetricsSnapshot struct {
 	// count the corrupt WAL tail recovery discarded.
 	RecoveredBases          int `json:"recovered_bases"`
 	RecoveredPlans          int `json:"recovered_plans"`
+	RecoveredExecs          int `json:"recovered_execs"`
 	RecoveredMemos          int `json:"recovered_memos"`
 	RecoveredTruncatedBytes int `json:"recovered_truncated_bytes"`
 

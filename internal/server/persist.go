@@ -13,6 +13,10 @@ package server
 //	recPlanCheckpoint plan ID → between-levels search checkpoint
 //	recPlanFinal      plan ID → final response bytes
 //	recMemo           memo key → memoized response bytes
+//	recExecCheckpoint exec ID → guard checkpoint (pre-wave / post-rollback);
+//	                  last-good snapshots live in the object store under
+//	                  their fingerprints
+//	recExecFinal      exec ID → terminal /v1/execute response bytes
 //
 // Every payload is an EncodeKV(key, value) pair; the latest record for a
 // key wins on replay. The persistor keeps a live mirror of exactly that
@@ -50,6 +54,8 @@ const (
 	recPlanCheckpoint uint8 = 2
 	recPlanFinal      uint8 = 3
 	recMemo           uint8 = 4
+	recExecCheckpoint uint8 = 5
+	recExecFinal      uint8 = 6
 )
 
 // baseRecord is the recBase payload value: everything needed to rebuild
@@ -78,6 +84,7 @@ type persistor struct {
 	// the rewritten log cannot outgrow the in-memory memo.
 	bases     map[string][]byte
 	plans     map[string]*planMirror
+	execs     map[string]*planMirror
 	memos     map[string][]byte
 	memoOrder []string
 	memoMax   int
@@ -96,6 +103,7 @@ func newPersistor(st *store.Store, compactEvery, memoMax int) *persistor {
 		st:           st,
 		bases:        make(map[string][]byte),
 		plans:        make(map[string]*planMirror),
+		execs:        make(map[string]*planMirror),
 		memos:        make(map[string][]byte),
 		memoMax:      memoMax,
 		compactEvery: compactEvery,
@@ -128,6 +136,20 @@ func (p *persistor) append(typ uint8, key string, value []byte) error {
 		if pm == nil {
 			pm = &planMirror{}
 			p.plans[key] = pm
+		}
+		pm.final = v
+	case recExecCheckpoint:
+		pm := p.execs[key]
+		if pm == nil {
+			pm = &planMirror{}
+			p.execs[key] = pm
+		}
+		pm.checkpoint = v
+	case recExecFinal:
+		pm := p.execs[key]
+		if pm == nil {
+			pm = &planMirror{}
+			p.execs[key] = pm
 		}
 		pm.final = v
 	case recMemo:
@@ -178,6 +200,24 @@ func (p *persistor) compactLocked() error {
 			}
 		}
 	}
+	execIDs := make([]string, 0, len(p.execs))
+	for id := range p.execs {
+		execIDs = append(execIDs, id)
+	}
+	sort.Strings(execIDs)
+	for _, key := range execIDs {
+		pm := p.execs[key]
+		if pm.checkpoint != nil {
+			if _, err := p.st.Log.Append(recExecCheckpoint, store.EncodeKV(key, pm.checkpoint)); err != nil {
+				return err
+			}
+		}
+		if pm.final != nil {
+			if _, err := p.st.Log.Append(recExecFinal, store.EncodeKV(key, pm.final)); err != nil {
+				return err
+			}
+		}
+	}
 	for _, key := range p.memoOrder {
 		if _, err := p.st.Log.Append(recMemo, store.EncodeKV(key, p.memos[key])); err != nil {
 			return err
@@ -223,6 +263,14 @@ func (p *persistor) saveMemo(key string, body []byte) error {
 	return p.append(recMemo, key, body)
 }
 
+func (p *persistor) saveExecCheckpoint(id string, cp []byte) error {
+	return p.append(recExecCheckpoint, id, cp)
+}
+
+func (p *persistor) saveExecFinal(id string, body []byte) error {
+	return p.append(recExecFinal, id, body)
+}
+
 func (p *persistor) noteError() {
 	p.mu.Lock()
 	p.errors++
@@ -239,6 +287,7 @@ func (p *persistor) stats() (appends, compactions, errs int64, segments int) {
 type recoveryStats struct {
 	Bases          int
 	Plans          int
+	Execs          int
 	Memos          int
 	TruncatedBytes int
 	SkippedBases   int
@@ -273,6 +322,20 @@ func (p *persistor) recover(s *Server) (recoveryStats, error) {
 			if pm == nil {
 				pm = &planMirror{}
 				p.plans[key] = pm
+			}
+			pm.final = v
+		case recExecCheckpoint:
+			pm := p.execs[key]
+			if pm == nil {
+				pm = &planMirror{}
+				p.execs[key] = pm
+			}
+			pm.checkpoint = v
+		case recExecFinal:
+			pm := p.execs[key]
+			if pm == nil {
+				pm = &planMirror{}
+				p.execs[key] = pm
 			}
 			pm.final = v
 		case recMemo:
@@ -320,6 +383,14 @@ func (p *persistor) recover(s *Server) (recoveryStats, error) {
 		pe.final = pm.final
 		pe.mu.Unlock()
 		rs.Plans++
+	}
+	for id, pm := range p.execs {
+		ee := s.execs.get(id)
+		ee.mu.Lock()
+		ee.checkpoint = pm.checkpoint
+		ee.final = pm.final
+		ee.mu.Unlock()
+		rs.Execs++
 	}
 	for _, key := range p.memoOrder {
 		s.memo.put(key, p.memos[key])

@@ -320,7 +320,7 @@ func TestRestartResumesInFlightPlan(t *testing.T) {
 
 	// The restarted daemon: same data dir, fresh process state.
 	s2, ts2 := durableServer(t, dir)
-	if _, plans, _, _ := s2.Recovered(); plans != 1 {
+	if _, plans, _, _, _ := s2.Recovered(); plans != 1 {
 		t.Fatalf("recovered %d plans, want 1", plans)
 	}
 	next := decodePlan(t, postPlan(t, ts2.Client(), ts2.URL, recStepBody))
@@ -350,7 +350,7 @@ func TestWarmRestartServesFromRecoveredState(t *testing.T) {
 	serveHistory(t, history, wantFinal, wantWhatIf)
 
 	s, ts := durableServer(t, history)
-	bases, plans, memos, _ := s.Recovered()
+	bases, plans, _, memos, _ := s.Recovered()
 	if bases != 1 || plans != 1 || memos != 1 {
 		t.Fatalf("recovered (bases, plans, memos) = (%d, %d, %d), want (1, 1, 1)", bases, plans, memos)
 	}

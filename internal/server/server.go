@@ -85,6 +85,7 @@ type Server struct {
 	cache   *snapCache
 	memo    *respMemo
 	plans   *planStore
+	execs   *execStore
 	events  *broadcaster
 	metrics *serverMetrics
 
@@ -116,6 +117,7 @@ func New(cfg Config) *Server {
 		cache:   newSnapCache(cfg.CacheSize),
 		memo:    newRespMemo(cfg.MemoSize),
 		plans:   newPlanStore(cfg.PlanStoreSize),
+		execs:   newExecStore(cfg.PlanStoreSize),
 		events:  newBroadcaster(cfg.EventBuffer),
 		metrics: newServerMetrics(),
 		sem:     make(chan struct{}, cfg.Workers),
@@ -136,6 +138,7 @@ func New(cfg Config) *Server {
 	}
 	s.mux.HandleFunc("/v1/whatif", s.pooled("whatif", http.MethodPost, s.whatif))
 	s.mux.HandleFunc("/v1/plan", s.pooled("plan", http.MethodPost, s.plan))
+	s.mux.HandleFunc("/v1/execute", s.pooled("execute", http.MethodPost, s.execute))
 	s.mux.HandleFunc("/v1/explain", s.pooled("explain", http.MethodGet, s.explain))
 	s.mux.HandleFunc("/v1/metrics", s.direct("metrics", http.MethodGet, s.metricsHandler))
 	s.mux.HandleFunc("/v1/healthz", s.direct("healthz", http.MethodGet, s.healthz))
@@ -162,8 +165,9 @@ func Open(cfg Config) (*Server, error) {
 
 // Recovered reports what boot-time recovery rebuilt (zero without a
 // store or when built with New).
-func (s *Server) Recovered() (bases, plans, memos, truncatedBytes int) {
-	return s.recovered.Bases, s.recovered.Plans, s.recovered.Memos, s.recovered.TruncatedBytes
+func (s *Server) Recovered() (bases, plans, execs, memos, truncatedBytes int) {
+	return s.recovered.Bases, s.recovered.Plans, s.recovered.Execs,
+		s.recovered.Memos, s.recovered.TruncatedBytes
 }
 
 // Handler returns the daemon's HTTP surface.

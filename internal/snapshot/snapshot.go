@@ -123,14 +123,21 @@ func (s *Snapshot) Encode() ([]byte, error) {
 // EncodeCanonical renders the captured state alone, with no metadata
 // section: a pure state identity. Two snapshots of byte-identical fabric
 // states encode canonically to equal bytes regardless of what their Meta
-// maps hold, which is what makes the encoding usable as a memoization and
-// cache key. Unlike Encode with a cleared Meta, it never touches the Meta
-// field, so it is safe to call concurrently with everything else.
+// maps hold — and regardless of the engine width that executed them: the
+// parallel batch counter is an observational statistic, not state (the
+// restore differential holds everything else byte-identical across
+// widths), so the canonical form clears it. That is what makes the
+// encoding usable as a memoization and cache key, including across
+// processes running at different CENTRALIUM_PARALLEL widths. Unlike
+// Encode with a cleared Meta, it never touches the Meta field, so it is
+// safe to call concurrently with everything else.
 func (s *Snapshot) EncodeCanonical() ([]byte, error) {
 	if s.state == nil {
 		return nil, fmt.Errorf("snapshot: empty snapshot")
 	}
-	return encodeState(s.state, nil), nil
+	st := *s.state
+	st.Batched = 0
+	return encodeState(&st, nil), nil
 }
 
 // Fingerprint hashes the canonical encoding: a compact state identity for
